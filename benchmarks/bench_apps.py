@@ -1,0 +1,118 @@
+"""Section 8 applications: functional benchmarks.
+
+Each application the paper sketches is exercised end-to-end on TPC-H
+data with a correctness assertion and a timing measurement:
+robustness analysis, the sampling-plan advisor, cardinality estimation
+for plan selection, and stream load shedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    LoadShedder,
+    StreamJoinShedder,
+    advise,
+    estimate_cardinality,
+    robustness_report,
+)
+from repro.data.workloads import REVENUE_EXPR, query1_plan
+from repro.relational.expressions import col
+from repro.relational.plan import (
+    Aggregate,
+    AggSpec,
+    Join,
+    Scan,
+    TableSample,
+)
+from repro.sampling import Bernoulli, WithoutReplacement
+
+
+class TestRobustnessBench:
+    def test_robustness_analysis(self, benchmark, bench_db, repro_report):
+        plan = Aggregate(
+            Join(
+                Scan("lineitem"), Scan("orders"),
+                ["l_orderkey"], ["o_orderkey"],
+            ),
+            [AggSpec("sum", REVENUE_EXPR, "rev")],
+        )
+        (report,) = benchmark(robustness_report, bench_db, plan, 0.01)
+        repro_report.add(
+            "App: robustness",
+            "cv of revenue under 1% loss",
+            "small (robust query)",
+            f"{report.coefficient_of_variation:.3%}",
+        )
+        assert 0 < report.coefficient_of_variation < 0.05
+
+
+class TestAdvisorBench:
+    def test_advisor_ranking(self, benchmark, bench_db, repro_report):
+        observed = bench_db.estimate(query1_plan(), seed=31)
+        strategies = {
+            "light": {"lineitem": Bernoulli(0.05)},
+            "medium": {"lineitem": Bernoulli(0.2)},
+            "heavy": {
+                "lineitem": Bernoulli(0.4),
+                "orders": WithoutReplacement(5000),
+            },
+        }
+        report = benchmark(advise, observed, strategies, bench_db.sizes())
+        names = [o.name for o in report.outcomes]
+        repro_report.add(
+            "App: advisor",
+            "ranking (best→worst)",
+            "heavy, medium, light",
+            ", ".join(names),
+        )
+        assert names == ["heavy", "medium", "light"]
+
+
+class TestCardinalityBench:
+    def test_join_cardinality(self, benchmark, bench_db, repro_report):
+        subplan = Join(
+            TableSample(Scan("lineitem"), Bernoulli(0.2)),
+            TableSample(Scan("orders"), WithoutReplacement(3000)),
+            ["l_orderkey"],
+            ["o_orderkey"],
+        )
+        truth = bench_db.execute_exact(subplan).n_rows
+        card = benchmark(estimate_cardinality, bench_db, subplan, seed=3)
+        rel_err = abs(card.value - truth) / truth
+        repro_report.add(
+            "App: cardinality",
+            "|l⋈o| relative error (one draw)",
+            "within CI",
+            f"{rel_err:.1%} ({'reliable' if card.reliable else 'unreliable'})",
+        )
+        assert card.interval.lo <= truth <= card.interval.hi or rel_err < 0.3
+
+
+class TestLoadSheddingBench:
+    def test_single_stream_window(self, benchmark, repro_report):
+        shedder = LoadShedder(capacity_per_window=5_000, seed=1)
+        rng = np.random.default_rng(3)
+        values = rng.gamma(2.0, 5.0, 40_000)
+
+        est = benchmark(shedder.process_window, values)
+        rel_err = abs(est.value - values.sum()) / values.sum()
+        repro_report.add(
+            "App: load shedding",
+            "window SUM rel-err at 8x overload",
+            "few %",
+            f"{rel_err:.1%}",
+        )
+        assert rel_err < 0.15
+
+    def test_stream_join_window(self, benchmark):
+        rng = np.random.default_rng(4)
+        lk = rng.integers(0, 300, 20_000)
+        rk = rng.integers(0, 300, 8_000)
+        lv = rng.uniform(0, 2, 20_000)
+        rv = rng.uniform(0, 2, 8_000)
+        shedder = StreamJoinShedder(0.4, 0.6, seed=9)
+        est = benchmark(shedder.process_window, lk, lv, rk, rv)
+        assert est.std > 0

@@ -1,0 +1,125 @@
+"""Figure 2 + Examples 1/3: Query 1's plan transformation.
+
+Reproduces the joint GUS of the paper's running example — Bernoulli
+lineitem sample ⋈ WOR orders sample — checking every printed
+coefficient of Example 1/3, and benchmarks both the plan rewrite
+itself (the paper claims "a few milliseconds even for plans involving
+10 relations") and the full SBox pipeline on TPC-H data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import rewrite_to_top_gus
+from repro.data.workloads import query1_plan
+
+#: Base-table cardinalities matching the paper's Example 1 numbers.
+PAPER_SIZES = {"lineitem": 60_000, "orders": 150_000}
+
+#: The Example 1 / Example 3 / Figure 4 G(a12) coefficient table.
+EXAMPLE1_COEFFICIENTS = {
+    "a": 6.667e-4,
+    "b_empty": 4.44e-7,
+    "b_o": 6.667e-5,
+    "b_l": 4.44e-6,
+    "b_lo": 6.667e-4,
+}
+
+
+@pytest.fixture(scope="module")
+def query1_rewrite():
+    return rewrite_to_top_gus(query1_plan().child, PAPER_SIZES)
+
+
+class TestExample1Coefficients:
+    def test_all_printed_digits(self, benchmark, repro_report):
+        g = benchmark(
+            lambda: rewrite_to_top_gus(query1_plan().child, PAPER_SIZES)
+        ).params
+        measured = {
+            "a": g.a,
+            "b_empty": g.b_of([]),
+            "b_o": g.b_of(["orders"]),
+            "b_l": g.b_of(["lineitem"]),
+            "b_lo": g.b_of(["lineitem", "orders"]),
+        }
+        for name, paper_value in EXAMPLE1_COEFFICIENTS.items():
+            assert measured[name] == pytest.approx(paper_value, rel=2e-2), name
+            repro_report.add(
+                "Ex 1/3 (Fig 2)",
+                f"G(a_BW): {name}",
+                f"{paper_value:.4g}",
+                f"{measured[name]:.4g}",
+            )
+
+    def test_single_gus_below_aggregate(self, benchmark, query1_rewrite):
+        benchmark(lambda: query1_rewrite.analysis_plan.pretty())
+        """The Figure 2(c) shape: relational subtree + one GUS on top."""
+        from repro.relational.plan import contains_sampling, walk
+
+        assert not contains_sampling(query1_rewrite.clean_plan)
+        kinds = [
+            type(n).__name__ for n in walk(query1_rewrite.clean_plan)
+        ]
+        assert kinds == ["Select", "Join", "Scan", "Scan"]
+
+
+class TestRewriteSpeed:
+    def test_rewrite_is_milliseconds(self, benchmark):
+        """Section 6.1's claim: the transformation costs milliseconds."""
+        plan = query1_plan().child
+        result = benchmark(rewrite_to_top_gus, plan, PAPER_SIZES)
+        assert result.params.a == pytest.approx(6.667e-4, rel=1e-3)
+
+    def test_ten_relation_rewrite(self, benchmark, repro_report):
+        """The paper's stress case: a plan joining 10 relations."""
+        from repro.relational.plan import Join, Scan, TableSample
+        from repro.sampling import Bernoulli
+
+        sizes = {f"r{i}": 10_000 for i in range(10)}
+        tree = TableSample(Scan("r0"), Bernoulli(0.1))
+        for i in range(1, 10):
+            right = TableSample(Scan(f"r{i}"), Bernoulli(0.5))
+            tree = Join(tree, right, [f"k{i - 1}"], [f"k{i}"])
+        result = benchmark(rewrite_to_top_gus, tree, sizes)
+        assert len(result.params.schema) == 10
+        stats_ms = benchmark.stats.stats.mean * 1e3
+        repro_report.add(
+            "Sec 6.1",
+            "10-relation rewrite",
+            "few milliseconds",
+            f"{stats_ms:.2f} ms",
+        )
+
+
+class TestQuery1EndToEnd:
+    def test_sbox_pipeline(self, benchmark, bench_db):
+        """Full pipeline: execute sampled plan + estimate + intervals."""
+        plan = query1_plan()
+
+        def run():
+            return bench_db.estimate(plan, seed=3)
+
+        result = benchmark(run)
+        est = result.estimates["revenue"]
+        assert est.value > 0
+        assert est.std > 0
+
+    def test_estimate_brackets_truth(self, benchmark, bench_db, repro_report):
+        plan = query1_plan()
+        truth = benchmark(
+            lambda: bench_db.execute_exact(plan).to_rows()[0][0]
+        )
+        hits = 0
+        trials = 100
+        for seed in range(trials):
+            est = bench_db.estimate(plan, seed=seed).estimates["revenue"]
+            hits += est.ci(0.95).contains(truth)
+        repro_report.add(
+            "Query 1",
+            "95% CI coverage",
+            "0.95",
+            f"{hits / trials:.2f}",
+        )
+        assert hits / trials > 0.88

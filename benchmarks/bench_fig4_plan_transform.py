@@ -1,0 +1,146 @@
+"""Figure 4: the four-relation plan transformation, digit-for-digit.
+
+The paper's largest worked example: ((lineitem ⋈ orders) ⋈ customer)
+⋈ part with B(0.1), WOR(1000), identity, and B(0.5) samplers.  The
+figure prints the complete 16-entry b̄ table of the final
+G(a₁₂₃, b̄₁₂₃); this module asserts every entry and benchmarks the
+rewrite plus the end-to-end estimation of the query on TPC-H data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import rewrite_to_top_gus
+from repro.data.workloads import figure4_plan
+
+PAPER_SIZES = {
+    "lineitem": 60_000,
+    "orders": 150_000,
+    "customer": 1_500,
+    "part": 2_000,
+}
+
+#: The complete Figure 4 G(a₁₂₃, b̄₁₂₃) table, keyed by subset initials
+#: (l = lineitem, o = orders, c = customer, p = part).
+FIGURE4_TABLE = {
+    "": 1.11e-7,
+    "p": 2.22e-7,
+    "c": 1.11e-7,
+    "cp": 2.22e-7,
+    "o": 1.667e-5,
+    "op": 3.335e-5,
+    "oc": 1.667e-5,
+    "ocp": 3.335e-5,
+    "l": 1.11e-6,
+    "lp": 2.22e-6,
+    "lc": 1.11e-6,
+    "lcp": 2.22e-6,
+    "lo": 1.667e-4,
+    "lop": 3.334e-4,
+    "loc": 1.667e-4,
+    "locp": 3.334e-4,
+}
+
+_NAMES = {"l": "lineitem", "o": "orders", "c": "customer", "p": "part"}
+
+
+@pytest.fixture(scope="module")
+def figure4_rewrite():
+    return rewrite_to_top_gus(figure4_plan().child, PAPER_SIZES)
+
+
+class TestFigure4Table:
+    def test_a_coefficient(self, benchmark, repro_report):
+        g = benchmark(
+            lambda: rewrite_to_top_gus(figure4_plan().child, PAPER_SIZES)
+        ).params
+        repro_report.add(
+            "Fig 4", "a₁₂₃", "3.334e-4", f"{g.a:.4g}"
+        )
+        assert g.a == pytest.approx(3.334e-4, rel=1e-3)
+
+    def test_all_sixteen_b_entries(self, benchmark, figure4_rewrite, repro_report):
+        g = figure4_rewrite.params
+        benchmark(lambda: [g.b_of([_NAMES[c] for c in k]) for k in FIGURE4_TABLE])
+        worst_rel_err = 0.0
+        for initials, paper_value in FIGURE4_TABLE.items():
+            subset = [_NAMES[ch] for ch in initials]
+            measured = g.b_of(subset)
+            rel_err = abs(measured - paper_value) / paper_value
+            worst_rel_err = max(worst_rel_err, rel_err)
+            assert measured == pytest.approx(paper_value, rel=2e-2), initials
+        repro_report.add(
+            "Fig 4",
+            "all 16 b̄₁₂₃ entries",
+            "table values",
+            f"worst rel err {worst_rel_err:.2%}",
+        )
+
+    def test_intermediate_g121(self, benchmark, repro_report):
+        """The intermediate G(a₁₂₁) after absorbing identity customer."""
+        from repro.core.algebra import join_gus
+        from repro.core.gus import (
+            bernoulli_gus,
+            identity_gus,
+            without_replacement_gus,
+        )
+
+        def build():
+            g12 = join_gus(
+                bernoulli_gus("lineitem", 0.1),
+                without_replacement_gus("orders", 1000, 150_000),
+            )
+            return join_gus(g12, identity_gus(["customer"]))
+
+        g121 = benchmark(build)
+        assert g121.a == pytest.approx(6.667e-4, rel=1e-3)
+        assert g121.b_of(["customer"]) == pytest.approx(4.44e-7, rel=1e-2)
+        repro_report.add(
+            "Fig 4", "a₁₂₁", "6.667e-4", f"{g121.a:.4g}"
+        )
+
+    def test_customer_contributes_nothing(self, benchmark, figure4_rewrite):
+        """c_S = 0 whenever S contains the unsampled customer —
+        the identity-pruning optimization is exact."""
+        g = figure4_rewrite.params
+        c = benchmark(g.c_vector)
+        lat = g.lattice
+        for mask in lat.masks():
+            if "customer" in lat.set_of(mask):
+                assert c[mask] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestFigure4Runtime:
+    def test_four_relation_rewrite(self, benchmark):
+        plan = figure4_plan().child
+        result = benchmark(rewrite_to_top_gus, plan, PAPER_SIZES)
+        assert len(result.params.schema) == 4
+
+    def test_end_to_end_estimation(self, benchmark, bench_db):
+        plan = figure4_plan(part_rate=0.5)
+        result = benchmark(lambda: bench_db.estimate(plan, seed=5))
+        assert "revenue" in result.estimates
+
+    def test_estimates_center_on_truth(self, benchmark, bench_db, repro_report):
+        import numpy as np
+
+        plan = figure4_plan()
+        truth = benchmark(
+            lambda: bench_db.execute_exact(plan).to_rows()[0][0]
+        )
+        values = np.array(
+            [
+                bench_db.estimate(plan, seed=s)["revenue"]
+                for s in range(60)
+            ]
+        )
+        rel_bias = abs(values.mean() - truth) / truth
+        repro_report.add(
+            "Fig 4 query",
+            "relative bias over 60 runs",
+            "0 (unbiased)",
+            f"{rel_bias:.3%}",
+        )
+        stderr = values.std(ddof=1) / np.sqrt(len(values))
+        assert abs(values.mean() - truth) < 4 * stderr

@@ -1,0 +1,148 @@
+"""Eval-B (reconstructed): runtime analysis.
+
+The paper's design goals are architectural: the SBox must cost little
+next to query execution (Section 6), the coefficient machinery scales
+as 2^n in the number of *sampled* relations (with identity pruning
+cutting unsampled ones, Section 6.1), and lineage-hash sub-sampling
+bounds the y-term cost (Section 7).  This module measures each claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import estimate_sum
+from repro.core.rewrite import rewrite_to_top_gus
+from repro.core.subsample import SubsampleSpec, subsampled_estimate
+from repro.data.workloads import REVENUE_EXPR, query1_plan
+from repro.relational.plan import Join, Scan, TableSample
+from repro.sampling import Bernoulli
+
+
+class TestSBoxOverhead:
+    """Estimation should be cheap next to executing the query."""
+
+    def test_execution_alone(self, benchmark, bench_db_large):
+        plan = query1_plan(lineitem_rate=0.3, orders_rows=10_000)
+        benchmark(lambda: bench_db_large.execute(plan.child, seed=1))
+
+    def test_estimation_overhead_ratio(
+        self, benchmark, bench_db_large, repro_report
+    ):
+        plan = query1_plan(lineitem_rate=0.3, orders_rows=10_000)
+        sbox = bench_db_large.sbox()
+        rewrite = sbox.analyze(plan.child)
+        sample = bench_db_large.execute(plan.child, seed=1)
+
+        def estimate_only():
+            return sbox.estimate_from_sample(plan, sample, rewrite)
+
+        benchmark(estimate_only)
+
+        # Measure both phases once for the ratio row.
+        t0 = time.perf_counter()
+        bench_db_large.execute(plan.child, seed=2)
+        exec_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        estimate_only()
+        est_time = time.perf_counter() - t0
+        repro_report.add(
+            "Eval-B",
+            "SBox time / execution time",
+            "small fraction",
+            f"{est_time / exec_time:.2f}",
+        )
+
+
+class TestLatticeScaling:
+    """Rewrite + coefficient cost grows as 2^k in sampled relations."""
+
+    def _chain(self, k_sampled: int, n_total: int = 8):
+        sizes = {f"r{i}": 10_000 for i in range(n_total)}
+        tree = None
+        for i in range(n_total):
+            leaf = Scan(f"r{i}")
+            if i < k_sampled:
+                leaf = TableSample(leaf, Bernoulli(0.5))
+            tree = (
+                leaf
+                if tree is None
+                else Join(tree, leaf, [f"k{i - 1}"], [f"k{i}"])
+            )
+        return tree, sizes
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_rewrite_scaling(self, benchmark, k):
+        tree, sizes = self._chain(k)
+        result = benchmark(rewrite_to_top_gus, tree, sizes)
+        assert len(result.params.schema) == 8
+
+    def test_identity_pruning_pays(self, benchmark, repro_report):
+        """2 sampled + 6 identity relations must analyse like 2, not 8."""
+        tree, sizes = self._chain(2)
+        params = rewrite_to_top_gus(tree, sizes).params
+        pruned = benchmark(params.project_out_inactive)
+        repro_report.add(
+            "Eval-B",
+            "lattice cells after pruning (2 of 8 sampled)",
+            "4 (=2²)",
+            f"{pruned.lattice.size}",
+        )
+        assert pruned.lattice.size == 4
+
+
+class TestYTermCost:
+    """The y-term group-bys dominate; sub-sampling bounds them."""
+
+    @pytest.fixture(scope="class")
+    def inputs(self, bench_db_large):
+        plan = query1_plan(lineitem_rate=0.5, orders_rows=20_000)
+        rewrite = bench_db_large.analyze(plan)
+        sample = bench_db_large.execute(plan.child, seed=7)
+        f = np.asarray(REVENUE_EXPR.eval(sample), dtype=np.float64)
+        return rewrite.params, f, sample.lineage
+
+    def test_full_sample_y_terms(self, benchmark, inputs):
+        params, f, lineage = inputs
+        benchmark(estimate_sum, params, f, lineage)
+
+    def test_subsampled_y_terms(self, benchmark, inputs, repro_report):
+        params, f, lineage = inputs
+        spec = SubsampleSpec(target_rows=5_000, seed=1)
+        benchmark(subsampled_estimate, params, f, lineage, spec)
+
+        # One-shot speedup measurement for the report.
+        t0 = time.perf_counter()
+        estimate_sum(params, f, lineage)
+        full_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        subsampled_estimate(params, f, lineage, spec)
+        sub_t = time.perf_counter() - t0
+        repro_report.add(
+            "Eval-B / Sec 7",
+            f"variance est. speedup (n={f.shape[0]})",
+            ">1 for large samples",
+            f"{full_t / sub_t:.1f}x",
+        )
+
+
+class TestEngineThroughput:
+    """Substrate sanity: the columnar engine handles benchmark scale."""
+
+    def test_join_throughput(self, benchmark, bench_db_large):
+        plan = Join(
+            Scan("lineitem"), Scan("orders"),
+            ["l_orderkey"], ["o_orderkey"],
+        )
+        result = benchmark(lambda: bench_db_large.execute(plan))
+        assert result.n_rows == bench_db_large.table("lineitem").n_rows
+
+    def test_group_by_throughput(self, benchmark, bench_db_large):
+        from repro.core.estimator import group_ids
+
+        keys = bench_db_large.table("lineitem").column("l_orderkey")
+        gids, n = benchmark(group_ids, [keys], keys.shape[0])
+        assert n == bench_db_large.table("orders").n_rows

@@ -1,0 +1,106 @@
+"""Eval-D (ablation): how small can the Section 7 sub-sample get?
+
+Sweeps the lineage-hash sub-sampling rate from 1 (use everything) down
+to 1/64 and measures (a) the dispersion of the variance *estimate*
+relative to the true variance, and (b) the time to compute it.  The
+design claim: ~10⁴ rows suffice for usable intervals, because an error
+in Ŷ only perturbs the CI width by a small factor (Section 7's
+"should we make a mistake, it will only affect the confidence interval
+by a small constant factor").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import estimate_sum, exact_moments
+from repro.core.subsample import SubsampleSpec, subsampled_estimate
+from repro.data.workloads import REVENUE_EXPR, query1_plan
+
+RATES = (1.0, 0.5, 0.25, 0.125)
+
+
+@pytest.fixture(scope="module")
+def ablation_inputs(bench_db_large):
+    plan = query1_plan(lineitem_rate=0.5, orders_rows=20_000)
+    rewrite = bench_db_large.analyze(plan)
+    sample = bench_db_large.execute(plan.child, seed=13)
+    f = np.asarray(REVENUE_EXPR.eval(sample), dtype=np.float64)
+    full = bench_db_large.execute_exact(plan.child)
+    f_full = np.asarray(REVENUE_EXPR.eval(full), dtype=np.float64)
+    _, true_var = exact_moments(rewrite.params, f_full, full.lineage)
+    return rewrite.params, f, sample.lineage, true_var
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_variance_quality_vs_rate(
+    benchmark, ablation_inputs, repro_report, rate
+):
+    params, f, lineage, true_var = ablation_inputs
+    estimates = []
+    for seed in range(12):
+        est = subsampled_estimate(
+            params, f, lineage, SubsampleSpec(rate=rate, seed=seed)
+        )
+        estimates.append(est.variance_raw)
+    estimates = np.array(estimates)
+    # The CI *width* error is the sqrt of the variance-estimate ratio.
+    width_ratio = np.sqrt(np.maximum(estimates, 0.0) / true_var)
+    repro_report.add(
+        "Eval-D",
+        f"CI width factor @ sub-rate {rate:g}",
+        "≈1 ± small",
+        f"{width_ratio.mean():.2f} ± {width_ratio.std():.2f}",
+    )
+    # Even at 1/8 per-dimension rate the width stays within ~2x.
+    assert 0.4 < width_ratio.mean() < 2.5
+    benchmark(
+        subsampled_estimate,
+        params,
+        f,
+        lineage,
+        SubsampleSpec(rate=rate, seed=0),
+    )
+
+
+def test_time_decreases_with_rate(benchmark, ablation_inputs, repro_report):
+    params, f, lineage, _ = ablation_inputs
+    times = {}
+    for rate in RATES:
+        spec = SubsampleSpec(rate=rate, seed=0)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            subsampled_estimate(params, f, lineage, spec)
+        times[rate] = (time.perf_counter() - t0) / 5
+    benchmark(
+        subsampled_estimate,
+        params,
+        f,
+        lineage,
+        SubsampleSpec(rate=0.125, seed=0),
+    )
+    repro_report.add(
+        "Eval-D",
+        "y-term time: rate 1 / rate 0.125",
+        ">1 (cheaper with smaller Ŷ sample)",
+        f"{times[1.0] / times[0.125]:.1f}x",
+    )
+    assert times[0.125] < times[1.0]
+
+
+def test_fullrate_equals_direct_computation(benchmark, ablation_inputs):
+    """rate=1 sub-sampling must be *exactly* the direct Ŷ path."""
+    params, f, lineage, _ = ablation_inputs
+    direct = estimate_sum(params, f, lineage)
+    sub = benchmark(
+        subsampled_estimate,
+        params,
+        f,
+        lineage,
+        SubsampleSpec(rate=1.0, seed=5),
+    )
+    assert sub.variance_raw == pytest.approx(direct.variance_raw)
+    assert sub.value == pytest.approx(direct.value)

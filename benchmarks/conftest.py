@@ -1,0 +1,96 @@
+"""Shared benchmark fixtures and the paper-vs-measured report.
+
+Every benchmark module asserts its reproduction claims and registers
+rows with the session-scoped ``repro_report`` fixture; the collected
+table is printed at the end of the run (and appended to
+``benchmarks/results/report.txt``) so ``pytest benchmarks/
+--benchmark-only`` leaves a reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.data import tpch_database
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@dataclass
+class ReproReport:
+    """Collects (experiment, quantity, paper value, measured) rows."""
+
+    rows: list[tuple[str, str, str, str, str]] = field(default_factory=list)
+
+    def add(
+        self,
+        experiment: str,
+        quantity: str,
+        paper: object,
+        measured: object,
+        verdict: str = "match",
+    ) -> None:
+        self.rows.append(
+            (experiment, quantity, str(paper), str(measured), verdict)
+        )
+
+    def render(self) -> str:
+        if not self.rows:
+            return "(no reproduction rows registered)"
+        widths = [
+            max(len(row[i]) for row in self.rows + [self._header()])
+            for i in range(5)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self._header(), widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _header() -> tuple[str, str, str, str, str]:
+        return ("experiment", "quantity", "paper", "measured", "verdict")
+
+
+_REPORT = ReproReport()
+
+
+@pytest.fixture(scope="session")
+def repro_report():
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print the paper-vs-measured table where tee can capture it."""
+    if not _REPORT.rows:
+        return
+    text = (
+        "\n" + "=" * 72 + "\nPAPER-VS-MEASURED REPRODUCTION REPORT\n"
+        + "=" * 72 + "\n" + _REPORT.render() + "\n"
+    )
+    terminalreporter.write(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "report.txt").write_text(text)
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    """The TPC-H instance shared by the benchmark suite.
+
+    Scale 0.5 ≈ 30k lineitem rows: large enough that sampling matters,
+    small enough that a few hundred Monte-Carlo trials stay fast.
+    """
+    return tpch_database(scale=0.5, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_db_large():
+    """A bigger instance for runtime scaling measurements."""
+    return tpch_database(scale=2.0, seed=42)

@@ -1,0 +1,89 @@
+"""Section 8 application: the database viewed as a sample.
+
+If 1% of tuples were randomly lost, how much would each report change?
+Treating the database as a 99% Bernoulli sample of a hypothetical
+"true" database, Theorem 1 turns that question into an exact variance
+computation — no simulation required.  (We also simulate the loss to
+show the analytic figure is the right one.)
+
+Run:  python examples/robustness_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import robustness_report
+from repro.data import tpch_database
+from repro.relational.expressions import col, lit
+from repro.relational.plan import Aggregate, AggSpec, Join, Scan, Select
+
+REPORTS = {
+    "total_revenue": lambda: Aggregate(
+        Join(
+            Scan("lineitem"), Scan("orders"),
+            ["l_orderkey"], ["o_orderkey"],
+        ),
+        [
+            AggSpec(
+                "sum",
+                col("l_extendedprice") * (lit(1.0) - col("l_discount")),
+                "total_revenue",
+            )
+        ],
+    ),
+    "big_ticket_count": lambda: Aggregate(
+        Select(Scan("lineitem"), col("l_extendedprice") > 9000.0),
+        [AggSpec("count", None, "big_ticket_count")],
+    ),
+    "order_count": lambda: Aggregate(
+        Scan("orders"), [AggSpec("count", None, "order_count")]
+    ),
+}
+
+
+def simulate_loss(db, plan, loss_rate, trials, seed):
+    """Monte-Carlo check: actually delete tuples and recompute."""
+    rng = np.random.default_rng(seed)
+    values = []
+    relations = sorted(plan.child.lineage_schema())
+    for _ in range(trials):
+        lossy = type(db)(seed=0)
+        for name, table in db.tables.items():
+            if name in relations:
+                keep = rng.random(table.n_rows) >= loss_rate
+                lossy.register(name, table.filter(keep))
+            else:
+                lossy.register(name, table)
+        raw = lossy.execute_exact(plan).to_rows()[0][0]
+        # Scale like the estimator so numbers are comparable.
+        values.append(raw / (1.0 - loss_rate) ** len(relations))
+    return float(np.std(values))
+
+
+def main() -> None:
+    db = tpch_database(scale=0.2, seed=17)
+    loss = 0.01
+
+    print(f"Sensitivity of three reports to {loss:.0%} random tuple loss\n")
+    header = f"{'report':<22}{'value':>16}{'analytic ±σ':>14}{'simulated ±σ':>14}{'cv':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, build in REPORTS.items():
+        plan = build()
+        (report,) = robustness_report(db, plan, loss_rate=loss)
+        simulated = simulate_loss(db, plan, loss, trials=60, seed=5)
+        print(
+            f"{name:<22}{report.value:>16,.1f}{report.std:>14,.2f}"
+            f"{simulated:>14,.2f}{report.coefficient_of_variation:>9.3%}"
+        )
+
+    print(
+        "\nReading: a COUNT over a narrow filter concentrates on few"
+        "\ntuples, so the same 1% loss moves it relatively more than a"
+        "\nbroad revenue SUM — exactly what the cv column quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

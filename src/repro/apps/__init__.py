@@ -1,0 +1,35 @@
+"""The paper's Section 8 applications, built on the core algebra.
+
+* :mod:`repro.apps.robustness`    — "database as a sample": sensitivity
+  of query results to random tuple loss;
+* :mod:`repro.apps.advisor`       — predict the variance of alternative
+  sampling strategies from one observed sample;
+* :mod:`repro.apps.cardinality`   — intermediate-result size estimation
+  with confidence intervals, for plan selection;
+* :mod:`repro.apps.load_shedding` — stream load shedding with
+  error-aware sampling rates, including the multi-stream join case the
+  paper highlights as newly analysable.
+"""
+
+from repro.apps.advisor import (
+    AdvisorReport,
+    StrategyOutcome,
+    advise,
+    recommend,
+)
+from repro.apps.cardinality import CardinalityEstimate, estimate_cardinality
+from repro.apps.load_shedding import LoadShedder, StreamJoinShedder
+from repro.apps.robustness import RobustnessReport, robustness_report
+
+__all__ = [
+    "robustness_report",
+    "RobustnessReport",
+    "advise",
+    "recommend",
+    "AdvisorReport",
+    "StrategyOutcome",
+    "estimate_cardinality",
+    "CardinalityEstimate",
+    "LoadShedder",
+    "StreamJoinShedder",
+]

@@ -1,0 +1,28 @@
+"""Baseline estimators from the paper's Related Work.
+
+* :mod:`repro.baselines.clt_single_table` — classical single-relation
+  survey estimators (the pre-AQUA state of the art).  On one sampled
+  relation the GUS machinery must agree with these exactly, which the
+  test suite verifies.
+* :mod:`repro.baselines.aqua` — AQUA-style star-schema estimation:
+  sample the fact table, keep dimensions whole, apply the CLT to
+  per-fact-tuple totals.
+* :mod:`repro.baselines.split_sample` — an online-aggregation-style
+  baseline using with-replacement samples and across-epoch variance
+  (ripple-join flavoured), the comparison point for queries GUS handles
+  analytically.
+"""
+
+from repro.baselines.aqua import aqua_estimate
+from repro.baselines.clt_single_table import (
+    clt_bernoulli_estimate,
+    clt_wor_estimate,
+)
+from repro.baselines.split_sample import split_sample_join_estimate
+
+__all__ = [
+    "clt_bernoulli_estimate",
+    "clt_wor_estimate",
+    "aqua_estimate",
+    "split_sample_join_estimate",
+]

@@ -1,0 +1,156 @@
+"""Interactive SQL shell and batch runner.
+
+Usage::
+
+    python -m repro                          # TPC-H scale 0.1, shell
+    python -m repro --scale 0.5 --seed 7     # bigger instance
+    python -m repro --load orders=o.csv --load lineitem=l.csv
+    python -m repro -c "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (10 PERCENT)"
+
+Shell commands:
+
+* any SQL statement — runs it; aggregate queries print estimates with
+  95% intervals, others print rows;
+* ``\\explain <sql>`` — show the executable plan and its SOA-equivalent
+  single-GUS analysis plan;
+* ``\\exact <sql>`` — run with sampling stripped (ground truth);
+* ``\\tables`` — list the catalog;
+* ``\\quit`` — leave.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _build_database(args):
+    from repro.relational.database import Database
+
+    if args.load:
+        from repro.relational.io import read_csv
+
+        db = Database(seed=args.seed)
+        for spec in args.load:
+            if "=" not in spec:
+                raise ReproError(
+                    f"--load expects name=path.csv, got {spec!r}"
+                )
+            name, path = spec.split("=", 1)
+            db.register(name, read_csv(path, name=name))
+        return db
+    from repro.data.tpch import tpch_database
+
+    return tpch_database(scale=args.scale, seed=args.seed)
+
+
+def _format_result(result, level: float) -> str:
+    from repro.core.sbox import QueryResult
+
+    if isinstance(result, QueryResult):
+        lines = []
+        for alias, value in result.values.items():
+            est = result.estimates[alias]
+            ci = est.ci(level)
+            lines.append(
+                f"{alias} = {value:.6g}   "
+                f"[{ci.lo:.6g}, {ci.hi:.6g}] @{level:.0%}"
+                + ("  (variance clamped)" if est.clamped else "")
+            )
+        lines.append(f"-- {result.sample.n_rows} sample rows, a = {result.gus.a:.4g}")
+        return "\n".join(lines)
+    # A plain table: print up to 20 rows.
+    lines = ["\t".join(result.schema.names)]
+    for row in result.head(20).to_rows():
+        lines.append("\t".join(str(v) for v in row))
+    if result.n_rows > 20:
+        lines.append(f"... ({result.n_rows} rows total)")
+    return "\n".join(lines)
+
+
+def run_statement(db, text: str, level: float = 0.95) -> str:
+    """Execute one shell statement and return the printable output."""
+    stripped = text.strip()
+    if not stripped:
+        return ""
+    if stripped.startswith("\\"):
+        command, _, rest = stripped[1:].partition(" ")
+        if command == "tables":
+            return "\n".join(
+                f"{name}  ({table.n_rows} rows: "
+                + ", ".join(table.schema.names)
+                + ")"
+                for name, table in sorted(db.tables.items())
+            )
+        if command == "explain":
+            return db.explain(db.plan_sql(rest))
+        if command == "exact":
+            return _format_result(db.sql_exact(rest), level)
+        if command in ("quit", "q", "exit"):
+            raise EOFError
+        return f"unknown command \\{command}; try \\tables, \\explain, \\exact, \\quit"
+    return _format_result(db.sql(stripped), level)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate aggregate queries with GUS-based "
+        "confidence intervals (VLDB 2013 reproduction).",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="TPC-H scale factor (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--load", action="append", default=[],
+        metavar="NAME=PATH.csv",
+        help="load a CSV instead of generating TPC-H (repeatable)",
+    )
+    parser.add_argument(
+        "-c", "--command", default=None,
+        help="run one statement and exit",
+    )
+    parser.add_argument(
+        "--level", type=float, default=0.95,
+        help="confidence level for printed intervals",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        db = _build_database(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command is not None:
+        try:
+            print(run_statement(db, args.command, args.level))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    print(f"repro shell — {db!r}")
+    print("SQL or \\tables \\explain \\exact \\quit")
+    while True:
+        try:
+            line = input("repro> ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = run_statement(db, line, args.level)
+        except EOFError:
+            return 0
+        except ReproError as exc:
+            output = f"error: {exc}"
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    sys.exit(main())

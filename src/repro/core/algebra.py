@@ -1,0 +1,152 @@
+"""The sampling algebra: how GUS quasi-operators combine.
+
+This module implements the parameter maps of the paper's Section 4–5
+propositions.  Each function takes :class:`~repro.core.gus.GUSParams`
+and returns the parameters of the SOA-equivalent single GUS:
+
+* :func:`join_gus`      — Proposition 6 (GUS commutes with ⋈ / ×);
+* :func:`compose_gus`   — Proposition 9 (multi-dimensional design);
+* :func:`union_gus`     — Proposition 7 (combining two samples of R);
+* :func:`compact_gus`   — Proposition 8 (stacking samplers / intersection);
+* :func:`lift_gus`      — embedding into a larger lineage schema by
+  joining with the identity GUS (Proposition 4).
+
+Algebraic structure (Theorem 2, verified in tests): union and
+compaction are commutative monoids with identities ``G(0,0̄)`` and
+``G(1,1̄)`` respectively; ``G(0,0̄)`` annihilates compaction and
+``G(1,1̄)`` absorbs union.  Under union the quantities ``1−a`` and
+``u_T = 1−2a+b_T`` are multiplicative; under compaction ``a`` and
+``b_T`` themselves are.  Full distributivity of compaction over union
+does **not** hold for these independent-process maps (the test suite
+exhibits a counterexample), so "semiring" should be read as the pair of
+monoids plus null elements, which is all the paper's constructions use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gus import GUSParams, identity_gus
+from repro.core.lattice import SubsetLattice
+from repro.errors import SelfJoinError
+
+__all__ = [
+    "join_gus",
+    "compose_gus",
+    "union_gus",
+    "compact_gus",
+    "lift_gus",
+]
+
+
+def join_gus(left: GUSParams, right: GUSParams) -> GUSParams:
+    """Proposition 6: merge the GUS operators of two join inputs.
+
+    For ``G(a₁,b̄₁)(R₁) ⋈ G(a₂,b̄₂)(R₂)`` with disjoint lineage,
+    the SOA-equivalent top GUS over ``L₁ ∪ L₂`` has
+
+        ``a = a₁·a₂``  and  ``b_T = b₁,(T∩L₁) · b₂,(T∩L₂)``.
+
+    Raises :class:`~repro.errors.SelfJoinError` when the lineage
+    schemas overlap — the precondition that rules out self-joins.
+    """
+    overlap = left.schema & right.schema
+    if overlap:
+        raise SelfJoinError(
+            f"join inputs share lineage {sorted(overlap)}; Proposition 6 "
+            "requires disjoint lineage (self-joins are not analysable)"
+        )
+    lattice = SubsetLattice(left.schema | right.schema)
+
+    # Decompose every combined mask into its left / right components,
+    # re-encoded in the operand lattices — vectorized bit scatter so a
+    # 10-relation rewrite stays in the paper's "few milliseconds".
+    masks = np.arange(lattice.size, dtype=np.int64)
+    left_idx = np.zeros(lattice.size, dtype=np.int64)
+    right_idx = np.zeros(lattice.size, dtype=np.int64)
+    for i, dim in enumerate(lattice.dims):
+        bit = (masks >> i) & 1
+        if dim in left.schema:
+            left_idx |= bit << left.lattice.dims.index(dim)
+        else:
+            right_idx |= bit << right.lattice.dims.index(dim)
+    vec = left.b[left_idx] * right.b[right_idx]
+    return GUSParams(lattice, left.a * right.a, vec, validate=False)
+
+
+def compose_gus(left: GUSParams, right: GUSParams) -> GUSParams:
+    """Proposition 9: compose samplers over disjoint expressions.
+
+    ``G₁(R₁) ∘ G₂(R₂)`` builds a multi-dimensional sampling operator
+    (e.g. the bi-dimensional Bernoulli of Example 5).  The parameter map
+    coincides with the join rule — the distinction is one of *usage*
+    (designing a new operator vs. analysing a join), so this is a
+    documented alias kept for fidelity to the paper's statement.
+    """
+    return join_gus(left, right)
+
+
+def _aligned(left: GUSParams, right: GUSParams) -> tuple[GUSParams, GUSParams]:
+    """Lift both operands onto their common (union) lineage schema."""
+    schema = left.schema | right.schema
+    return lift_gus(left, schema), lift_gus(right, schema)
+
+
+def union_gus(left: GUSParams, right: GUSParams) -> GUSParams:
+    """Proposition 7: union of two independent GUS samples of ``R``.
+
+        ``a = a₁ + a₂ − a₁a₂``
+        ``b_T = 2a − 1 + (1 − 2a₁ + b₁,T)(1 − 2a₂ + b₂,T)``
+
+    Derivation (inclusion–exclusion on the complement): a tuple is
+    *excluded* from the union with probability ``(1−a₁)(1−a₂)`` and a
+    pair is jointly excluded with probability ``Π_i (1−2a_i+b_i,T)``,
+    whence both quantities are multiplicative across unions — this is
+    what makes the operation associative.
+    """
+    left, right = _aligned(left, right)
+    a = left.a + right.a - left.a * right.a
+    u = (1.0 - 2.0 * left.a + left.b) * (1.0 - 2.0 * right.a + right.b)
+    vec = 2.0 * a - 1.0 + u
+    return GUSParams(left.lattice, a, vec, validate=False)
+
+
+def compact_gus(outer: GUSParams, inner: GUSParams) -> GUSParams:
+    """Proposition 8: stack one GUS on the output of another.
+
+    Because the two filters are independent and both act on lineage,
+    both ``a`` and every ``b_T`` simply multiply:
+
+        ``a = a₁·a₂``,  ``b_T = b₁,T · b₂,T``.
+
+    The same map analyses the *intersection* of two independent samples
+    of the same expression.  This is the workhorse of Section 7, where a
+    cheap lineage-keyed Bernoulli is compacted onto the plan's GUS to
+    estimate variance from a small sub-sample.
+    """
+    outer, inner = _aligned(outer, inner)
+    return GUSParams(
+        outer.lattice,
+        outer.a * inner.a,
+        outer.b * inner.b,
+        validate=False,
+    )
+
+
+def lift_gus(params: GUSParams, schema: frozenset[str] | set[str]) -> GUSParams:
+    """Embed ``params`` into a larger lineage schema.
+
+    New dimensions behave as the identity GUS (Proposition 4): the
+    underlying process ignores them, so ``b'_T = b_{T ∩ L}``.
+    Implemented as a join with ``G(1,1̄)`` over the added relations,
+    which keeps the algebra's single source of truth.
+    """
+    extra = frozenset(schema) - params.schema
+    if not extra:
+        if frozenset(schema) != params.schema:
+            raise SelfJoinError(
+                f"cannot lift {sorted(params.schema)} onto smaller schema "
+                f"{sorted(schema)}"
+            )
+        return params
+    return join_gus(params, identity_gus(extra))

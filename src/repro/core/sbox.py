@@ -1,0 +1,177 @@
+"""The SBox: the paper's Section 6 statistical estimator component.
+
+The SBox sits between the query plan and the aggregate.  It receives
+exactly what Section 6 says it needs — the result tuples of the sampled
+plan, their lineage, and the plan itself — and produces, per aggregate:
+
+1. the single top GUS of the SOA-equivalent plan (Section 6.1, via the
+   rewriter);
+2. unbiased ``Ŷ_S`` estimates from the sample, or from a Section 7
+   sub-sample when a :class:`~repro.core.subsample.SubsampleSpec` is
+   given (Section 6.3);
+3. the point estimate, variance, and confidence-interval /
+   ``QUANTILE`` outputs (Section 6.4).
+
+It is deliberately a self-contained "black box": nothing in it touches
+the execution engine beyond consuming its output table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.estimator import Estimate, estimate_sum
+from repro.core.gus import GUSParams
+from repro.core.rewrite import RewriteResult, rewrite_to_top_gus
+from repro.core.subsample import SubsampleSpec, subsampled_estimate
+from repro.errors import PlanError
+from repro.relational.aggregates import aggregate_input_vector
+from repro.relational.plan import Aggregate, AggSpec, PlanNode
+from repro.relational.table import Table
+from repro.stats.delta import covariance_estimate, ratio_estimate
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything an approximate aggregate query returns.
+
+    ``values`` holds the per-alias answer the query's SELECT list asked
+    for (point estimate, or the requested quantile for ``QUANTILE``
+    columns).  ``estimates`` carries the full estimator objects so the
+    caller can derive any interval afterwards; ``gus`` is the top
+    quasi-operator of the SOA-equivalent plan; ``sample`` is the
+    pre-aggregation result sample (with lineage) the estimates came
+    from.
+    """
+
+    values: dict[str, float]
+    estimates: dict[str, Estimate]
+    gus: GUSParams
+    sample: Table
+    rewrite: RewriteResult = field(repr=False)
+    plan: Aggregate | None = field(default=None, repr=False)
+
+    def __getitem__(self, alias: str) -> float:
+        return self.values[alias]
+
+    def summary(self, level: float = 0.95, method: str = "normal") -> str:
+        """Human-readable per-aggregate report."""
+        lines = []
+        for alias, est in self.estimates.items():
+            ci = est.ci(level, method)
+            lines.append(
+                f"{alias}: {est.value:.6g}  ±{(ci.hi - ci.lo) / 2:.4g} "
+                f"({level:.0%} {method}; n={est.n_sample}"
+                + (", variance clamped" if est.clamped else "")
+                + ")"
+            )
+        return "\n".join(lines)
+
+
+class SBox:
+    """The statistical estimator module (paper Figure in Section 6).
+
+    ``catalog`` maps table names to :class:`Table`; it supplies both
+    execution and the base-table cardinalities the rewriter needs.
+    """
+
+    def __init__(
+        self,
+        catalog: Mapping[str, Table],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.catalog = dict(catalog)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # -- pipeline ----------------------------------------------------------
+
+    def analyze(self, plan: PlanNode) -> RewriteResult:
+        """Section 6.1: compute the SOA-equivalent single-GUS form."""
+        sizes = {name: t.n_rows for name, t in self.catalog.items()}
+        return rewrite_to_top_gus(plan, sizes)
+
+    def run(
+        self,
+        plan: Aggregate,
+        *,
+        subsample: SubsampleSpec | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> QueryResult:
+        """Execute the sampled plan and estimate every aggregate."""
+        from repro.relational.executor import Executor
+
+        if not isinstance(plan, Aggregate):
+            raise PlanError("SBox.run expects an Aggregate plan")
+        rewrite = self.analyze(plan.child)
+        executor = Executor(self.catalog, rng if rng is not None else self.rng)
+        sample = executor.execute(plan.child)
+        return self.estimate_from_sample(
+            plan, sample, rewrite, subsample=subsample
+        )
+
+    def estimate_from_sample(
+        self,
+        plan: Aggregate,
+        sample: Table,
+        rewrite: RewriteResult | None = None,
+        *,
+        subsample: SubsampleSpec | None = None,
+    ) -> QueryResult:
+        """Estimate from an already-executed sample (the pure SBox API).
+
+        This is the entry point a host database would call: it needs
+        only the result tuples with lineage and the plan description.
+        """
+        if rewrite is None:
+            rewrite = self.analyze(plan.child)
+        params = rewrite.params
+        estimates: dict[str, Estimate] = {}
+        values: dict[str, float] = {}
+        for spec in plan.specs:
+            est = self._estimate_spec(spec, params, sample, subsample)
+            estimates[spec.alias] = est
+            values[spec.alias] = (
+                est.quantile(spec.quantile)
+                if spec.quantile is not None
+                else est.value
+            )
+        return QueryResult(
+            values=values,
+            estimates=estimates,
+            gus=params,
+            sample=sample,
+            rewrite=rewrite,
+            plan=plan,
+        )
+
+    def _estimate_spec(
+        self,
+        spec: AggSpec,
+        params: GUSParams,
+        sample: Table,
+        subsample: SubsampleSpec | None,
+    ) -> Estimate:
+        if spec.kind == "avg":
+            return self._estimate_avg(spec, params, sample)
+        f = aggregate_input_vector(sample, spec)
+        label = spec.kind.upper()
+        if subsample is not None:
+            return subsampled_estimate(
+                params, f, sample.lineage, subsample, label=label
+            )
+        return estimate_sum(params, f, sample.lineage, label=label)
+
+    def _estimate_avg(
+        self, spec: AggSpec, params: GUSParams, sample: Table
+    ) -> Estimate:
+        """AVG = SUM/COUNT via the delta method (Section 9 extension)."""
+        assert spec.expr is not None
+        f = np.asarray(spec.expr.eval(sample), dtype=np.float64)
+        ones = np.ones(sample.n_rows, dtype=np.float64)
+        est_sum = estimate_sum(params, f, sample.lineage, label="SUM")
+        est_count = estimate_sum(params, ones, sample.lineage, label="COUNT")
+        cov = covariance_estimate(params, f, ones, sample.lineage)
+        return ratio_estimate(est_sum, est_count, cov)

@@ -1,0 +1,120 @@
+"""Section 7: efficient variance estimation from a sub-sample.
+
+Estimating the ``y_S`` terms needs ``2^k`` GROUP BY passes over the
+result sample, which dominates cost for large samples.  The paper's
+fix: keep the *point* estimate on the full sample (it needs no
+lineage), but estimate the ``Ŷ_S`` on a small **lineage-keyed
+Bernoulli sub-sample** of the result.
+
+Correctness requires the sub-sampler to be a GUS — dropping a base
+tuple must drop every result row it contributed to — which the
+pseudo-random hash filter of
+:class:`~repro.sampling.pseudorandom.LineageHashBernoulli` guarantees
+with one seed per base relation.  The sub-sampled rows are governed by
+the *compaction* (Prop 8) of the sub-sampler's composed Bernoulli
+(Prop 9) onto the plan's top GUS, so the standard unbiasing recursion
+applies with the composed parameters, while the variance formula keeps
+the **original** plan's ``c_S/a²`` coefficients (we are still
+estimating the full-sample estimator's variance).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algebra import compact_gus
+from repro.core.estimator import (
+    Estimate,
+    theorem1_variance,
+    unbiased_y_terms,
+    y_terms,
+)
+from repro.core.gus import GUSParams
+from repro.errors import EstimationError
+from repro.sampling.composed import BiDimensionalBernoulli
+
+#: Section 7's rule of thumb: ~10,000 result rows suffice for the
+#: y-term estimates (based on the DBO / Turbo-DBO experience).
+DEFAULT_TARGET_ROWS = 10_000
+
+
+@dataclass(frozen=True)
+class SubsampleSpec:
+    """How to sub-sample for variance estimation.
+
+    ``rate`` is either one per-dimension keep probability applied to
+    every sampled relation, or a per-relation mapping.  ``target_rows``
+    (used when ``rate`` is None) picks a uniform per-dimension rate so
+    the expected sub-sample size is roughly that many rows.
+    """
+
+    rate: float | Mapping[str, float] | None = None
+    target_rows: int = DEFAULT_TARGET_ROWS
+    seed: int = 0
+
+    def rates_for(self, dims: tuple[str, ...], n_rows: int) -> dict[str, float]:
+        """Resolve to a per-dimension rate mapping."""
+        if isinstance(self.rate, Mapping):
+            missing = set(dims) - set(self.rate)
+            if missing:
+                raise EstimationError(
+                    f"subsample rates missing for dimensions {sorted(missing)}"
+                )
+            return {d: float(self.rate[d]) for d in dims}
+        if self.rate is not None:
+            return {d: float(self.rate) for d in dims}
+        if n_rows <= self.target_rows or not dims:
+            return {d: 1.0 for d in dims}
+        overall = self.target_rows / n_rows
+        per_dim = overall ** (1.0 / len(dims))
+        return {d: per_dim for d in dims}
+
+
+def subsampled_estimate(
+    params: GUSParams,
+    f_sample: np.ndarray,
+    lineage_sample: Mapping[str, np.ndarray],
+    spec: SubsampleSpec,
+    *,
+    label: str = "SUM",
+) -> Estimate:
+    """Full-sample point estimate, sub-sample variance estimate."""
+    if params.a <= 0.0:
+        raise EstimationError("cannot estimate from a = 0 (null sampling)")
+    f_sample = np.asarray(f_sample, dtype=np.float64)
+    pruned = params.project_out_inactive()
+    value = float(np.sum(f_sample)) / params.a
+
+    if pruned.lattice.n == 0:
+        # No sampling anywhere: zero variance, nothing to sub-sample.
+        return Estimate(value, 0.0, int(f_sample.shape[0]), label=label)
+
+    rates = spec.rates_for(pruned.lattice.dims, int(f_sample.shape[0]))
+    sampler = BiDimensionalBernoulli(rates, seed=spec.seed)
+    mask = sampler.keep(lineage_sample)
+    sub_f = f_sample[mask]
+    sub_lineage = {
+        d: lineage_sample[d][mask] for d in pruned.lattice.dims
+    }
+    composed = compact_gus(sampler.gus(), pruned)
+    plugin = y_terms(sub_f, sub_lineage, pruned.lattice)
+    yhat = unbiased_y_terms(composed, plugin)
+    # The c_S/a² weights are the ORIGINAL plan's: we estimate the
+    # variance of the full-sample estimator, only the y-terms come from
+    # the sub-sample.
+    var_raw = theorem1_variance(pruned, yhat)
+    return Estimate(
+        value=value,
+        variance_raw=var_raw,
+        n_sample=int(f_sample.shape[0]),
+        label=label,
+        extras={
+            "a": params.a,
+            "active_dims": pruned.lattice.dims,
+            "n_subsample": int(sub_f.shape[0]),
+            "subsample_rates": rates,
+        },
+    )

@@ -1,0 +1,47 @@
+"""Plain (non-estimating) aggregate evaluation.
+
+Used for ground-truth runs over the full data and for executing
+``Aggregate`` nodes directly.  The *estimating* path — scaling by
+``1/a`` and attaching variances — lives in :mod:`repro.core.sbox`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.relational.plan import AggSpec
+from repro.relational.table import Table
+
+
+def aggregate_input_vector(table: Table, spec: AggSpec) -> np.ndarray:
+    """The per-row ``f`` values of a SUM-like aggregate.
+
+    SUM uses the expression values; COUNT uses the constant 1 — the
+    paper's reduction of COUNT to SUM.  AVG has no single ``f`` (it is
+    a ratio of two SUM-like aggregates) and is rejected here.
+    """
+    if spec.kind == "count":
+        return np.ones(table.n_rows, dtype=np.float64)
+    if spec.kind == "sum":
+        assert spec.expr is not None
+        return np.asarray(spec.expr.eval(table), dtype=np.float64)
+    raise ExecutionError(
+        f"{spec.kind.upper()} is not SUM-like; handled by the delta method"
+    )
+
+
+def evaluate_aggregates(table: Table, specs: Sequence[AggSpec]) -> Table:
+    """Evaluate aggregates exactly over ``table`` (no estimation)."""
+    outputs: dict[str, np.ndarray] = {}
+    for spec in specs:
+        if spec.kind == "avg":
+            assert spec.expr is not None
+            values = np.asarray(spec.expr.eval(table), dtype=np.float64)
+            result = float(values.mean()) if table.n_rows else float("nan")
+        else:
+            result = float(aggregate_input_vector(table, spec).sum())
+        outputs[spec.alias] = np.array([result], dtype=np.float64)
+    return Table(None, outputs)

@@ -1,0 +1,170 @@
+"""The user-facing database façade.
+
+Binds together the catalog, executor, SBox estimator, and SQL frontend:
+
+* :meth:`Database.execute` runs any plan (sampling included);
+* :meth:`Database.execute_exact` strips sampling for ground truth;
+* :meth:`Database.estimate` runs an aggregate plan through the SBox;
+* :meth:`Database.sql` parses and runs SQL text;
+* :meth:`Database.explain` shows the executable plan alongside its
+  SOA-equivalent single-GUS analysis form (the paper's Figure 2/4/5
+  transformations, rendered).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.plan import Aggregate, PlanNode, strip_sampling
+from repro.relational.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.rewrite import RewriteResult
+    from repro.core.sbox import QueryResult, SBox
+    from repro.core.subsample import SubsampleSpec
+
+
+class Database:
+    """An in-memory catalog of named tables plus the estimation stack."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.tables: dict[str, Table] = {}
+        self._rng = np.random.default_rng(seed)
+
+    # -- catalog -----------------------------------------------------------
+
+    @classmethod
+    def from_tables(
+        cls, tables: Mapping[str, Table], seed: int | None = None
+    ) -> "Database":
+        db = cls(seed=seed)
+        for name, table in tables.items():
+            db.register(name, table)
+        return db
+
+    def register(self, name: str, table: Table) -> Table:
+        """Register an existing :class:`Table` under ``name``."""
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already exists")
+        named = table.rename(name)
+        self.tables[name] = named
+        return named
+
+    def create_table(self, name: str, columns: Mapping[str, Any]) -> Table:
+        """Create a table from column arrays."""
+        return self.register(name, Table(name, columns))
+
+    def drop_table(self, name: str) -> None:
+        try:
+            del self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r} to drop") from None
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r}; available: {sorted(self.tables)}"
+            ) from None
+
+    def sizes(self) -> dict[str, int]:
+        return {name: t.n_rows for name, t in self.tables.items()}
+
+    # -- execution -----------------------------------------------------------
+
+    def rng(self, seed: int | None = None) -> np.random.Generator:
+        """A generator: the database's own stream, or a seeded fork."""
+        return self._rng if seed is None else np.random.default_rng(seed)
+
+    def execute(self, plan: PlanNode, seed: int | None = None) -> Table:
+        """Execute a plan, drawing any samples from the RNG."""
+        from repro.relational.executor import Executor
+
+        return Executor(self.tables, self.rng(seed)).execute(plan)
+
+    def execute_exact(self, plan: PlanNode) -> Table:
+        """Execute with all sampling removed (ground truth)."""
+        from repro.relational.executor import Executor
+
+        return Executor(self.tables, self.rng(0)).execute(
+            strip_sampling(plan)
+        )
+
+    # -- estimation ------------------------------------------------------------
+
+    def sbox(self) -> "SBox":
+        from repro.core.sbox import SBox
+
+        return SBox(self.tables, self._rng)
+
+    def estimate(
+        self,
+        plan: Aggregate,
+        *,
+        seed: int | None = None,
+        subsample: "SubsampleSpec | None" = None,
+    ) -> "QueryResult":
+        """Run an aggregate plan through the SBox estimator."""
+        return self.sbox().run(plan, subsample=subsample, rng=self.rng(seed))
+
+    def analyze(self, plan: PlanNode) -> "RewriteResult":
+        """The SOA-equivalent single-GUS form of (the input of) a plan."""
+        target = plan.child if isinstance(plan, Aggregate) else plan
+        return self.sbox().analyze(target)
+
+    def explain(self, plan: PlanNode) -> str:
+        """Executable plan + its SOA-equivalent analysis plan."""
+        target = plan.child if isinstance(plan, Aggregate) else plan
+        rewrite = self.sbox().analyze(target)
+        return (
+            "== executable plan ==\n"
+            + plan.pretty()
+            + "\n== SOA-equivalent analysis plan ==\n"
+            + rewrite.analysis_plan.pretty()
+            + "\n== top GUS ==\n"
+            + repr(rewrite.params)
+        )
+
+    # -- SQL -----------------------------------------------------------------
+
+    def plan_sql(self, text: str) -> PlanNode:
+        """Parse SQL text into a logical plan (no execution)."""
+        from repro.sql.parser import parse
+        from repro.sql.planner import plan_query
+
+        return plan_query(parse(text), self)
+
+    def sql(
+        self,
+        text: str,
+        *,
+        seed: int | None = None,
+        subsample: "SubsampleSpec | None" = None,
+    ) -> "QueryResult | Table":
+        """Parse and run SQL.
+
+        Aggregate queries return a :class:`QueryResult` with estimates
+        and confidence machinery; non-aggregate queries return the
+        result :class:`Table` directly.
+        """
+        plan = self.plan_sql(text)
+        if isinstance(plan, Aggregate):
+            return self.estimate(plan, seed=seed, subsample=subsample)
+        return self.execute(plan, seed=seed)
+
+    def sql_exact(self, text: str) -> Table:
+        """Ground truth for a SQL query: strip sampling, run exactly."""
+        plan = self.plan_sql(text)
+        return self.execute_exact(plan)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}({t.n_rows})" for name, t in sorted(self.tables.items())
+        )
+        return f"Database({inner})"
+

@@ -1,0 +1,87 @@
+"""CSV import/export for tables.
+
+Deliberately small: comma-separated, header row required, type
+inference over int → float → string.  Enough to load external data into
+the engine and to export query samples for inspection — not a general
+CSV toolkit.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.table import Table
+
+
+def _infer_column(values: list[str]) -> np.ndarray:
+    """int64 if every value parses as int, else float64, else object."""
+    try:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        return np.array(values, dtype=object)
+
+
+def read_csv(source, name: str | None = None) -> Table:
+    """Load a table from a path or file-like object.
+
+    The first row is the header; column types are inferred per column.
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, newline="") as handle:
+            return read_csv(handle, name=name or pathlib.Path(source).stem)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header row)") from None
+    if not header or any(not h.strip() for h in header):
+        raise SchemaError(f"invalid CSV header {header!r}")
+    header = [h.strip() for h in header]
+    rows = list(reader)
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"CSV row {i + 2} has {len(row)} fields, "
+                f"expected {len(header)}"
+            )
+    columns = {
+        column: _infer_column([row[j] for row in rows])
+        for j, column in enumerate(header)
+    }
+    if not rows:
+        columns = {column: np.empty(0, dtype=np.float64) for column in header}
+    return Table(name, columns)
+
+
+def write_csv(table: Table, destination) -> None:
+    """Write a table (data columns only) to a path or file-like object."""
+    if isinstance(destination, (str, pathlib.Path)):
+        with open(destination, "w", newline="") as handle:
+            write_csv(table, handle)
+            return
+    writer = csv.writer(destination)
+    names = table.schema.names
+    writer.writerow(names)
+    for row in table.to_rows():
+        writer.writerow(row)
+
+
+def read_csv_text(text: str, name: str | None = None) -> Table:
+    """Convenience: load from a CSV string (used heavily in tests)."""
+    return read_csv(io.StringIO(text), name=name)
+
+
+def to_csv_text(table: Table) -> str:
+    """Convenience: render a table as a CSV string."""
+    buffer = io.StringIO()
+    write_csv(table, buffer)
+    return buffer.getvalue()

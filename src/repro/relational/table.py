@@ -1,0 +1,169 @@
+"""Columnar tables with lineage columns.
+
+A :class:`Table` stores data columns and, separately, one int64
+*lineage* column per base relation that contributed rows.  Lineage ids
+dissociate a tuple's identity from its content (the paper's Section 4.2
+requirement): the estimator only ever compares them for equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, ColumnType, Schema
+
+
+def _as_column_array(values: Any) -> np.ndarray:
+    """Coerce input values to a 1-D storage array."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise SchemaError(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in "US":
+        arr = arr.astype(object)
+    return arr
+
+
+class Table:
+    """An immutable-by-convention columnar table.
+
+    ``columns`` maps column names to equal-length arrays; ``lineage``
+    maps base-relation names to int64 id arrays of the same length.
+    All transformation methods return new tables.
+    """
+
+    __slots__ = ("name", "schema", "columns", "lineage", "n_rows")
+
+    def __init__(
+        self,
+        name: str | None,
+        columns: Mapping[str, Any],
+        lineage: Mapping[str, Any] | None = None,
+    ) -> None:
+        converted: dict[str, np.ndarray] = {
+            col_name: _as_column_array(values)
+            for col_name, values in columns.items()
+        }
+        lengths = {arr.shape[0] for arr in converted.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self.n_rows = lengths.pop() if lengths else 0
+        self.name = name
+        self.columns = converted
+        self.schema = Schema(
+            Column(col_name, ColumnType.from_dtype(arr.dtype))
+            for col_name, arr in converted.items()
+        )
+        lin: dict[str, np.ndarray] = {}
+        for rel, ids in (lineage or {}).items():
+            ids_arr = np.asarray(ids, dtype=np.int64)
+            if ids_arr.shape != (self.n_rows,):
+                raise SchemaError(
+                    f"lineage column {rel!r} has shape {ids_arr.shape}, "
+                    f"expected ({self.n_rows},)"
+                )
+            lin[rel] = ids_arr
+        self.lineage = lin
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str | None,
+        column_names: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        materialized = [tuple(row) for row in rows]
+        if materialized and any(len(r) != len(column_names) for r in materialized):
+            raise SchemaError("row arity does not match column names")
+        columns = {
+            col_name: np.array([row[i] for row in materialized])
+            if materialized
+            else np.empty(0, dtype=np.float64)
+            for i, col_name in enumerate(column_names)
+        }
+        return cls(name, columns)
+
+    @property
+    def lineage_schema(self) -> frozenset[str]:
+        """Base relations this table carries lineage for."""
+        return frozenset(self.lineage)
+
+    # -- access -----------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; available: {list(self.columns)}"
+            ) from None
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """Materialize as row tuples (test/debug helper)."""
+        names = self.schema.names
+        return [
+            tuple(self.columns[n][i] for n in names) for i in range(self.n_rows)
+        ]
+
+    def lineage_rows(self) -> list[tuple[int, ...]]:
+        """Lineage tuples in canonical (sorted relation name) order."""
+        rels = sorted(self.lineage)
+        return [
+            tuple(int(self.lineage[r][i]) for r in rels)
+            for i in range(self.n_rows)
+        ]
+
+    # -- transformations ---------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Gather rows by position (data and lineage together)."""
+        return Table(
+            self.name,
+            {n: arr[indices] for n, arr in self.columns.items()},
+            {r: ids[indices] for r, ids in self.lineage.items()},
+        )
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Keep rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_rows,):
+            raise SchemaError(
+                f"mask shape {mask.shape} does not match {self.n_rows} rows"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def with_lineage(self, relation: str, ids: np.ndarray) -> "Table":
+        """Attach (or replace) the lineage column of one base relation."""
+        new_lineage = dict(self.lineage)
+        new_lineage[relation] = np.asarray(ids, dtype=np.int64)
+        return Table(self.name, self.columns, new_lineage)
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        """Project to the named data columns (lineage always survives)."""
+        return Table(
+            self.name,
+            {n: self.column(n) for n in names},
+            self.lineage,
+        )
+
+    def rename(self, name: str | None) -> "Table":
+        return Table(name, self.columns, self.lineage)
+
+    def head(self, k: int = 10) -> "Table":
+        return self.take(np.arange(min(k, self.n_rows)))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{c.name}:{c.type.value}" for c in self.schema.columns
+        )
+        lin = ",".join(sorted(self.lineage)) or "-"
+        return (
+            f"Table({self.name or '<anon>'}, rows={self.n_rows}, "
+            f"cols=[{cols}], lineage=[{lin}])"
+        )

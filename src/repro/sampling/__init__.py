@@ -1,0 +1,34 @@
+"""Sampling operators: the executable side of ``TABLESAMPLE``.
+
+Each method implements two duties:
+
+* **execution** — draw a boolean keep-mask over a base table (plus the
+  lineage ids the draw is keyed on, which is what makes block sampling
+  analysable), and
+* **analysis** — report its GUS parameters ``G(a, b̄)`` so the rewriter
+  can fold it into the plan's single top quasi-operator.
+
+With-replacement sampling is provided for the online-aggregation-style
+baseline but deliberately refuses GUS conversion: it is not a filter
+(paper, Section 9).
+"""
+
+from repro.sampling.base import SamplingMethod
+from repro.sampling.bernoulli import Bernoulli
+from repro.sampling.block import BlockBernoulli, BlockWithoutReplacement
+from repro.sampling.composed import BiDimensionalBernoulli
+from repro.sampling.pseudorandom import LineageHashBernoulli, hash01
+from repro.sampling.with_replacement import WithReplacement
+from repro.sampling.without_replacement import WithoutReplacement
+
+__all__ = [
+    "SamplingMethod",
+    "Bernoulli",
+    "WithoutReplacement",
+    "WithReplacement",
+    "BlockBernoulli",
+    "BlockWithoutReplacement",
+    "LineageHashBernoulli",
+    "BiDimensionalBernoulli",
+    "hash01",
+]

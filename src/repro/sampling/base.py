@@ -1,0 +1,56 @@
+"""The sampling-method interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gus import GUSParams
+
+
+@dataclass(frozen=True)
+class Draw:
+    """Outcome of executing a sampling method over a base table.
+
+    ``mask`` marks the kept rows.  ``lineage`` gives the lineage id of
+    *every* row (kept or not) under this method's sampling unit — row
+    ids for tuple-level methods, block ids for block-level ones.  The
+    executor attaches ``lineage[mask]`` to the surviving rows.
+    """
+
+    mask: np.ndarray
+    lineage: np.ndarray
+
+
+class SamplingMethod(abc.ABC):
+    """A randomized filter over one base relation.
+
+    Subclasses must be deterministic functions of the supplied
+    ``numpy.random.Generator`` so experiments are reproducible.
+    """
+
+    @abc.abstractmethod
+    def draw(self, n_rows: int, rng: np.random.Generator) -> Draw:
+        """Sample a keep-mask (and lineage ids) for a table of ``n_rows``."""
+
+    @abc.abstractmethod
+    def gus(self, relation: str, n_rows: int) -> GUSParams:
+        """GUS parameters of this method applied to ``relation``.
+
+        Raises :class:`~repro.errors.NotGUSError` for methods that are
+        not uniform filters.
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``BERNOULLI(10 PERCENT)``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+def row_lineage(n_rows: int) -> np.ndarray:
+    """Default tuple-level lineage: the row index."""
+    return np.arange(n_rows, dtype=np.int64)

@@ -1,0 +1,39 @@
+"""Bernoulli (a.k.a. ``TABLESAMPLE (p PERCENT)``) sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gus import GUSParams, bernoulli_gus
+from repro.errors import ReproError
+from repro.sampling.base import Draw, SamplingMethod, row_lineage
+
+
+class Bernoulli(SamplingMethod):
+    """Keep each tuple independently with probability ``p``.
+
+    GUS parameters (paper Figure 1): ``a = p``, ``b_∅ = p²``,
+    ``b_R = p``.
+    """
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ReproError(f"Bernoulli rate {p} is not a probability")
+        self.p = float(p)
+
+    @classmethod
+    def from_percent(cls, percent: float) -> "Bernoulli":
+        """Build from the SQL ``PERCENT`` spelling (0–100)."""
+        return cls(percent / 100.0)
+
+    def draw(self, n_rows: int, rng: np.random.Generator) -> Draw:
+        mask = rng.random(n_rows) < self.p
+        return Draw(mask=mask, lineage=row_lineage(n_rows))
+
+    def gus(self, relation: str, n_rows: int) -> GUSParams:
+        return bernoulli_gus(relation, self.p)
+
+    def describe(self) -> str:
+        return f"BERNOULLI({self.p * 100:g} PERCENT)"

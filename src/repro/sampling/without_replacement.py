@@ -1,0 +1,46 @@
+"""Fixed-size simple random sampling without replacement
+(``TABLESAMPLE (n ROWS)``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gus import GUSParams, without_replacement_gus
+from repro.errors import ReproError
+from repro.sampling.base import Draw, SamplingMethod, row_lineage
+
+
+class WithoutReplacement(SamplingMethod):
+    """Keep a uniform random subset of exactly ``size`` tuples.
+
+    GUS parameters (paper Figure 1): ``a = n/N``,
+    ``b_∅ = n(n−1)/(N(N−1))``, ``b_R = n/N``.  When the table is smaller
+    than ``size`` the whole table is kept (``a = 1``), matching SQL
+    semantics.
+    """
+
+    __slots__ = ("size",)
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ReproError(f"sample size {size} must be non-negative")
+        self.size = int(size)
+
+    def effective_size(self, n_rows: int) -> int:
+        return min(self.size, n_rows)
+
+    def draw(self, n_rows: int, rng: np.random.Generator) -> Draw:
+        keep = self.effective_size(n_rows)
+        mask = np.zeros(n_rows, dtype=bool)
+        if keep:
+            chosen = rng.choice(n_rows, size=keep, replace=False)
+            mask[chosen] = True
+        return Draw(mask=mask, lineage=row_lineage(n_rows))
+
+    def gus(self, relation: str, n_rows: int) -> GUSParams:
+        return without_replacement_gus(
+            relation, self.effective_size(n_rows), n_rows
+        )
+
+    def describe(self) -> str:
+        return f"WOR({self.size} ROWS)"

@@ -1,0 +1,21 @@
+"""SQL frontend for the paper's query dialect.
+
+Supports the exact query shapes the paper works with::
+
+    SELECT QUANTILE(SUM(l_discount * (1.0 - l_tax)), 0.05) AS lo,
+           QUANTILE(SUM(l_discount * (1.0 - l_tax)), 0.95) AS hi
+    FROM lineitem TABLESAMPLE (10 PERCENT),
+         orders TABLESAMPLE (1000 ROWS)
+    WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0
+
+TABLESAMPLE variants: ``(p PERCENT)`` (Bernoulli), ``(n ROWS)`` (WOR),
+``SYSTEM (p PERCENT, b)`` / ``SYSTEM (n BLOCKS, b)`` (block sampling
+with ``b`` rows per block), and the SQL-2003 ``REPEATABLE (seed)``
+suffix which switches Bernoulli to the deterministic lineage-hash
+filter of Section 7.
+"""
+
+from repro.sql.parser import parse
+from repro.sql.planner import plan_query
+
+__all__ = ["parse", "plan_query"]

@@ -1,0 +1,130 @@
+"""Abstract syntax for the SQL subset.
+
+The AST stays close to the text; all semantic resolution (column → table
+mapping, join extraction, sampling-method construction) happens in the
+planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- scalar expressions -------------------------------------------------------
+
+
+class SqlExpr:
+    """Base class of scalar/boolean AST expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A possibly qualified column reference (``l.orderkey`` keeps only
+    the column part; column names are globally unique in this engine)."""
+
+    name: str
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlExpr):
+    value: float
+
+    @property
+    def as_python(self) -> float | int:
+        return int(self.value) if self.value.is_integer() else self.value
+
+
+@dataclass(frozen=True)
+class StringLit(SqlExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class Arithmetic(SqlExpr):
+    op: str  # + - * /
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class Compare(SqlExpr):
+    op: str  # = != < <= > >=
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class BoolOp(SqlExpr):
+    op: str  # AND OR
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotOp(SqlExpr):
+    child: SqlExpr
+
+
+# -- select items ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggCall(SqlExpr):
+    """``SUM(expr)``, ``COUNT(*)``, ``COUNT(expr)`` or ``AVG(expr)``."""
+
+    func: str  # sum | count | avg
+    argument: SqlExpr | None  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class QuantileCall(SqlExpr):
+    """``QUANTILE(aggregate, q)`` — the paper's approximate-view syntax."""
+
+    aggregate: AggCall
+    q: float
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: SqlExpr
+    alias: str | None
+
+
+# -- FROM clause -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SampleClause:
+    """The TABLESAMPLE specification, still syntactic."""
+
+    kind: str  # 'percent' | 'rows' | 'system_percent' | 'system_blocks'
+    amount: float
+    rows_per_block: int | None = None
+    repeatable_seed: int | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+    sample: SampleClause | None = None
+
+
+# -- whole query -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: SqlExpr | None = None
+    view_name: str | None = None
+    view_columns: tuple[str, ...] = field(default=())
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(
+            isinstance(item.expression, (AggCall, QuantileCall))
+            for item in self.items
+        )

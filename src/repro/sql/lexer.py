@@ -1,0 +1,112 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "QUANTILE",
+    "TABLESAMPLE",
+    "PERCENT",
+    "ROWS",
+    "BLOCKS",
+    "SYSTEM",
+    "REPEATABLE",
+    "CREATE",
+    "VIEW",
+}
+
+#: Multi-character operators first so maximal munch applies.
+SYMBOLS = ["<=", ">=", "!=", "<>", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: str  # 'kw' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    value: str
+    position: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.value == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind == "symbol" and self.value == sym
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex SQL text into tokens, ending with an ``eof`` sentinel."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            kind = "kw" if upper in KEYWORDS else "ident"
+            tokens.append(Token(kind, upper if kind == "kw" else word, i))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a
+                    # decimal point (e.g. ``l.orderkey``).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    while k < n and text[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise SQLSyntaxError("unterminated string literal", i)
+            tokens.append(Token("string", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("symbol", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

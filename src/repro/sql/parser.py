@@ -1,0 +1,331 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (EBNF, keywords case-insensitive)::
+
+    query        := [create_view] SELECT items FROM tables [WHERE bool_expr]
+    create_view  := CREATE VIEW ident ["(" ident ("," ident)* ")"] AS
+    items        := item ("," item)*
+    item         := expr [AS ident]
+    expr         := QUANTILE "(" agg "," number ")" | agg | arith
+    agg          := (SUM|AVG) "(" arith ")" | COUNT "(" ("*" | arith) ")"
+    arith        := term (("+"|"-") term)*
+    term         := factor (("*"|"/") factor)*
+    factor       := number | string | column | "(" arith ")" | "-" factor
+    column       := ident ["." ident]
+    tables       := table ("," table)*
+    table        := ident [ident] [TABLESAMPLE "(" sample ")"
+                                   [REPEATABLE "(" number ")"]]
+    sample       := number (PERCENT | ROWS)
+                  | SYSTEM "(" number (PERCENT | BLOCKS) "," number ")"
+    bool_expr    := bool_term (OR bool_term)*
+    bool_term    := bool_factor (AND bool_factor)*
+    bool_factor  := NOT bool_factor | "(" bool_expr ")" | comparison
+    comparison   := arith ("="|"!="|"<>"|"<"|"<="|">"|">=") arith
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast_nodes import (
+    AggCall,
+    Arithmetic,
+    BoolOp,
+    ColumnRef,
+    Compare,
+    NotOp,
+    NumberLit,
+    QuantileCall,
+    SampleClause,
+    SelectItem,
+    SelectQuery,
+    StringLit,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- cursor helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.current
+        self.pos += 1
+        return tok
+
+    def accept_kw(self, word: str) -> bool:
+        if self.current.is_kw(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, sym: str) -> bool:
+        if self.current.is_symbol(sym):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> Token:
+        if not self.current.is_kw(word):
+            raise SQLSyntaxError(
+                f"expected {word}, found {self.current.value or 'end of input'!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_symbol(self, sym: str) -> Token:
+        if not self.current.is_symbol(sym):
+            raise SQLSyntaxError(
+                f"expected {sym!r}, found {self.current.value or 'end of input'!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "ident":
+            raise SQLSyntaxError(
+                f"expected identifier, found {self.current.value or 'end of input'!r}",
+                self.current.position,
+            )
+        return self.advance().value
+
+    def expect_number(self) -> float:
+        if self.current.kind != "number":
+            raise SQLSyntaxError(
+                f"expected number, found {self.current.value or 'end of input'!r}",
+                self.current.position,
+            )
+        return float(self.advance().value)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        view_name: str | None = None
+        view_columns: tuple[str, ...] = ()
+        if self.accept_kw("CREATE"):
+            self.expect_kw("VIEW")
+            view_name = self.expect_ident()
+            if self.accept_symbol("("):
+                cols = [self.expect_ident()]
+                while self.accept_symbol(","):
+                    cols.append(self.expect_ident())
+                self.expect_symbol(")")
+                view_columns = tuple(cols)
+            self.expect_kw("AS")
+        self.expect_kw("SELECT")
+        items = [self.parse_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_item())
+        self.expect_kw("FROM")
+        tables = [self.parse_table()]
+        while self.accept_symbol(","):
+            tables.append(self.parse_table())
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.parse_bool_expr()
+        self.accept_symbol(";")
+        if self.current.kind != "eof":
+            raise SQLSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+        return SelectQuery(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            view_name=view_name,
+            view_columns=view_columns,
+        )
+
+    def parse_item(self) -> SelectItem:
+        expr = self.parse_select_expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def parse_select_expr(self):
+        if self.current.is_kw("QUANTILE"):
+            self.advance()
+            self.expect_symbol("(")
+            agg = self.parse_agg()
+            self.expect_symbol(",")
+            q = self.expect_number()
+            self.expect_symbol(")")
+            return QuantileCall(agg, q)
+        if self.current.kind == "kw" and self.current.value in (
+            "SUM",
+            "COUNT",
+            "AVG",
+        ):
+            return self.parse_agg()
+        return self.parse_arith()
+
+    def parse_agg(self) -> AggCall:
+        func = self.advance().value.lower()
+        self.expect_symbol("(")
+        if func == "count" and self.accept_symbol("*"):
+            self.expect_symbol(")")
+            return AggCall("count", None)
+        arg = self.parse_arith()
+        self.expect_symbol(")")
+        return AggCall(func, arg)
+
+    def parse_arith(self):
+        left = self.parse_term()
+        while self.current.kind == "symbol" and self.current.value in "+-":
+            op = self.advance().value
+            left = Arithmetic(op, left, self.parse_term())
+        return left
+
+    def parse_term(self):
+        left = self.parse_factor()
+        while self.current.kind == "symbol" and self.current.value in "*/":
+            op = self.advance().value
+            left = Arithmetic(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self):
+        tok = self.current
+        if tok.kind == "number":
+            self.advance()
+            return NumberLit(float(tok.value))
+        if tok.kind == "string":
+            self.advance()
+            return StringLit(tok.value)
+        if tok.is_symbol("-"):
+            self.advance()
+            return Arithmetic("-", NumberLit(0.0), self.parse_factor())
+        if tok.is_symbol("("):
+            self.advance()
+            inner = self.parse_arith()
+            self.expect_symbol(")")
+            return inner
+        if tok.kind == "ident":
+            name = self.advance().value
+            if self.accept_symbol("."):
+                column = self.expect_ident()
+                return ColumnRef(column, qualifier=name)
+            return ColumnRef(name)
+        raise SQLSyntaxError(
+            f"expected expression, found {tok.value or 'end of input'!r}",
+            tok.position,
+        )
+
+    def parse_table(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.current.kind == "ident":
+            alias = self.advance().value
+        sample = None
+        if self.accept_kw("TABLESAMPLE"):
+            sample = self.parse_sample()
+        return TableRef(name=name, alias=alias, sample=sample)
+
+    def parse_sample(self) -> SampleClause:
+        self.expect_symbol("(")
+        if self.accept_kw("SYSTEM"):
+            self.expect_symbol("(")
+            amount = self.expect_number()
+            if self.accept_kw("PERCENT"):
+                kind = "system_percent"
+            elif self.accept_kw("BLOCKS"):
+                kind = "system_blocks"
+            else:
+                raise SQLSyntaxError(
+                    "SYSTEM sample needs PERCENT or BLOCKS",
+                    self.current.position,
+                )
+            self.expect_symbol(",")
+            rows_per_block = int(self.expect_number())
+            self.expect_symbol(")")
+            self.expect_symbol(")")
+            return self._with_repeatable(
+                SampleClause(kind, amount, rows_per_block)
+            )
+        amount = self.expect_number()
+        if self.accept_kw("PERCENT"):
+            kind = "percent"
+        elif self.accept_kw("ROWS"):
+            kind = "rows"
+        else:
+            raise SQLSyntaxError(
+                "TABLESAMPLE needs PERCENT or ROWS", self.current.position
+            )
+        self.expect_symbol(")")
+        return self._with_repeatable(SampleClause(kind, amount))
+
+    def _with_repeatable(self, clause: SampleClause) -> SampleClause:
+        if self.accept_kw("REPEATABLE"):
+            self.expect_symbol("(")
+            seed = int(self.expect_number())
+            self.expect_symbol(")")
+            return SampleClause(
+                clause.kind, clause.amount, clause.rows_per_block, seed
+            )
+        return clause
+
+    def parse_bool_expr(self):
+        left = self.parse_bool_term()
+        while self.accept_kw("OR"):
+            left = BoolOp("OR", left, self.parse_bool_term())
+        return left
+
+    def parse_bool_term(self):
+        left = self.parse_bool_factor()
+        while self.accept_kw("AND"):
+            left = BoolOp("AND", left, self.parse_bool_factor())
+        return left
+
+    def parse_bool_factor(self):
+        if self.accept_kw("NOT"):
+            return NotOp(self.parse_bool_factor())
+        if self.current.is_symbol("("):
+            # Could be a parenthesized boolean or an arithmetic grouping
+            # inside a comparison; try boolean first, then backtrack.
+            saved = self.pos
+            try:
+                self.advance()
+                inner = self.parse_bool_expr()
+                self.expect_symbol(")")
+                return inner
+            except SQLSyntaxError:
+                self.pos = saved
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        left = self.parse_arith()
+        tok = self.current
+        if tok.kind != "symbol" or tok.value not in (
+            "=",
+            "!=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            raise SQLSyntaxError(
+                f"expected comparison operator, found "
+                f"{tok.value or 'end of input'!r}",
+                tok.position,
+            )
+        op = self.advance().value
+        if op == "<>":
+            op = "!="
+        right = self.parse_arith()
+        return Compare(op, left, right)
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse SQL text into a :class:`SelectQuery` AST."""
+    return _Parser(tokenize(text)).parse_query()

@@ -1,0 +1,285 @@
+"""Semantic analysis: AST → logical plan.
+
+The planner resolves columns against the catalog, converts TABLESAMPLE
+clauses into :mod:`repro.sampling` methods, extracts equi-join
+conditions from the WHERE conjunction, builds a left-deep join tree
+(cross products where tables are unconnected), and applies the residual
+predicate on top.  Aggregate select lists become an
+:class:`~repro.relational.plan.Aggregate`; pure-expression lists become
+a :class:`~repro.relational.plan.Project`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SQLError
+from repro.relational import expressions as e
+from repro.relational import plan as p
+from repro.sampling import (
+    Bernoulli,
+    BlockBernoulli,
+    BlockWithoutReplacement,
+    LineageHashBernoulli,
+    WithoutReplacement,
+)
+from repro.sql import ast_nodes as ast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.database import Database
+
+
+def plan_query(query: ast.SelectQuery, db: "Database") -> p.PlanNode:
+    """Turn a parsed query into an executable plan."""
+    return _Planner(query, db).plan()
+
+
+def build_sampling_method(clause: ast.SampleClause):
+    """Instantiate the sampling operator for a TABLESAMPLE clause."""
+    if clause.kind == "percent":
+        if clause.repeatable_seed is not None:
+            return LineageHashBernoulli(
+                clause.amount / 100.0, seed=clause.repeatable_seed
+            )
+        return Bernoulli.from_percent(clause.amount)
+    if clause.kind == "rows":
+        if clause.repeatable_seed is not None:
+            raise SQLError(
+                "REPEATABLE is only supported for PERCENT (Bernoulli) "
+                "sampling; fixed-size draws have no per-tuple hash form"
+            )
+        return WithoutReplacement(int(clause.amount))
+    if clause.kind == "system_percent":
+        assert clause.rows_per_block is not None
+        return BlockBernoulli(clause.amount / 100.0, clause.rows_per_block)
+    if clause.kind == "system_blocks":
+        assert clause.rows_per_block is not None
+        return BlockWithoutReplacement(
+            int(clause.amount), clause.rows_per_block
+        )
+    raise SQLError(f"unknown sample clause kind {clause.kind!r}")
+
+
+class _Planner:
+    def __init__(self, query: ast.SelectQuery, db: "Database") -> None:
+        self.query = query
+        self.db = db
+        # column name -> owning table name
+        self.column_owner: dict[str, str] = {}
+        # alias -> table name
+        self.aliases: dict[str, str] = {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def plan(self) -> p.PlanNode:
+        self._resolve_tables()
+        join_conds, filters = self._split_where()
+        tree = self._build_join_tree(join_conds)
+        if filters:
+            tree = p.Select(tree, e.and_(*filters))
+        if self.query.has_aggregates:
+            return p.Aggregate(tree, self._agg_specs())
+        return p.Project(tree, self._projection_outputs(tree))
+
+    # -- resolution ------------------------------------------------------------
+
+    def _resolve_tables(self) -> None:
+        seen: set[str] = set()
+        for ref in self.query.tables:
+            if ref.name not in self.db.tables:
+                raise SQLError(
+                    f"unknown table {ref.name!r}; "
+                    f"catalog has {sorted(self.db.tables)}"
+                )
+            if ref.name in seen:
+                raise SQLError(
+                    f"table {ref.name!r} appears twice: self-joins are "
+                    "outside the GUS algebra (paper, Section 9)"
+                )
+            seen.add(ref.name)
+            if ref.alias:
+                self.aliases[ref.alias] = ref.name
+            for column in self.db.tables[ref.name].schema.names:
+                if column in self.column_owner:
+                    raise SQLError(
+                        f"column {column!r} is ambiguous between "
+                        f"{self.column_owner[column]!r} and {ref.name!r}"
+                    )
+                self.column_owner[column] = ref.name
+
+    def _owner_of(self, ref: ast.ColumnRef) -> str:
+        if ref.name not in self.column_owner:
+            raise SQLError(f"unknown column {ref.name!r}")
+        owner = self.column_owner[ref.name]
+        if ref.qualifier is not None:
+            named = self.aliases.get(ref.qualifier, ref.qualifier)
+            if named != owner:
+                raise SQLError(
+                    f"column {ref.name!r} belongs to {owner!r}, "
+                    f"not {ref.qualifier!r}"
+                )
+        return owner
+
+    # -- WHERE decomposition ---------------------------------------------------
+
+    def _split_where(self) -> tuple[list[tuple[str, str, str, str]], list[e.Expr]]:
+        """Return (equi-join conditions, residual filter expressions).
+
+        A join condition is ``col_a = col_b`` with the two columns owned
+        by different tables; it is returned as
+        ``(table_a, col_a, table_b, col_b)``.  Everything else becomes a
+        filter.  OR/NOT expressions are never split.
+        """
+        joins: list[tuple[str, str, str, str]] = []
+        filters: list[e.Expr] = []
+        for conjunct in self._conjuncts(self.query.where):
+            join = self._as_join(conjunct)
+            if join is not None:
+                joins.append(join)
+            else:
+                filters.append(self._expr(conjunct))
+        return joins, filters
+
+    def _conjuncts(self, node):
+        if node is None:
+            return
+        if isinstance(node, ast.BoolOp) and node.op == "AND":
+            yield from self._conjuncts(node.left)
+            yield from self._conjuncts(node.right)
+        else:
+            yield node
+
+    def _as_join(self, node) -> tuple[str, str, str, str] | None:
+        if not (
+            isinstance(node, ast.Compare)
+            and node.op == "="
+            and isinstance(node.left, ast.ColumnRef)
+            and isinstance(node.right, ast.ColumnRef)
+        ):
+            return None
+        left_owner = self._owner_of(node.left)
+        right_owner = self._owner_of(node.right)
+        if left_owner == right_owner:
+            return None
+        return (left_owner, node.left.name, right_owner, node.right.name)
+
+    # -- join-tree construction ---------------------------------------------
+
+    def _leaf(self, ref: ast.TableRef) -> p.PlanNode:
+        scan = p.Scan(ref.name)
+        if ref.sample is None:
+            return scan
+        return p.TableSample(scan, build_sampling_method(ref.sample))
+
+    def _build_join_tree(
+        self, joins: list[tuple[str, str, str, str]]
+    ) -> p.PlanNode:
+        """Left-deep tree in FROM order, joining on every applicable
+        condition; unconnected tables fall back to cross products."""
+        pending = list(joins)
+        order = [ref.name for ref in self.query.tables]
+        trees: dict[str, p.PlanNode] = {
+            ref.name: self._leaf(ref) for ref in self.query.tables
+        }
+        current = trees[order[0]]
+        joined = {order[0]}
+        remaining = order[1:]
+        while remaining:
+            # Pick the next table connected to the joined set, if any.
+            chosen_idx = None
+            for idx, name in enumerate(remaining):
+                if any(
+                    (a in joined and c == name) or (c in joined and a == name)
+                    for a, _, c, _ in pending
+                ):
+                    chosen_idx = idx
+                    break
+            if chosen_idx is None:
+                name = remaining.pop(0)
+                current = p.CrossProduct(current, trees[name])
+                joined.add(name)
+                continue
+            name = remaining.pop(chosen_idx)
+            left_keys, right_keys = [], []
+            still_pending = []
+            for a, a_col, c, c_col in pending:
+                if a in joined and c == name:
+                    left_keys.append(a_col)
+                    right_keys.append(c_col)
+                elif c in joined and a == name:
+                    left_keys.append(c_col)
+                    right_keys.append(a_col)
+                else:
+                    still_pending.append((a, a_col, c, c_col))
+            pending = still_pending
+            current = p.Join(current, trees[name], left_keys, right_keys)
+            joined.add(name)
+        if pending:
+            leftover = [f"{a}.{ac} = {c}.{cc}" for a, ac, c, cc in pending]
+            raise SQLError(f"unusable join conditions: {leftover}")
+        return current
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self, node) -> e.Expr:
+        if isinstance(node, ast.ColumnRef):
+            self._owner_of(node)  # validates existence/qualifier
+            return e.col(node.name)
+        if isinstance(node, ast.NumberLit):
+            return e.lit(node.as_python)
+        if isinstance(node, ast.StringLit):
+            return e.lit(node.value)
+        if isinstance(node, ast.Arithmetic):
+            return e.BinOp(node.op, self._expr(node.left), self._expr(node.right))
+        if isinstance(node, ast.Compare):
+            return e.Comparison(
+                node.op, self._expr(node.left), self._expr(node.right)
+            )
+        if isinstance(node, ast.BoolOp):
+            ctor = e.And if node.op == "AND" else e.Or
+            return ctor(self._expr(node.left), self._expr(node.right))
+        if isinstance(node, ast.NotOp):
+            return e.Not(self._expr(node.child))
+        raise SQLError(f"unsupported expression node {type(node).__name__}")
+
+    # -- select list ------------------------------------------------------------
+
+    def _agg_specs(self) -> list[p.AggSpec]:
+        specs = []
+        for i, item in enumerate(self.query.items):
+            expr = item.expression
+            quantile = None
+            if isinstance(expr, ast.QuantileCall):
+                quantile = expr.q
+                expr = expr.aggregate
+            if not isinstance(expr, ast.AggCall):
+                raise SQLError(
+                    "mixing aggregates and plain expressions in one SELECT "
+                    "needs GROUP BY, which this dialect does not support"
+                )
+            alias = item.alias or self._default_alias(expr, quantile, i)
+            argument = (
+                None if expr.argument is None else self._expr(expr.argument)
+            )
+            specs.append(p.AggSpec(expr.func, argument, alias, quantile))
+        return specs
+
+    @staticmethod
+    def _default_alias(agg: ast.AggCall, quantile: float | None, i: int) -> str:
+        base = agg.func if quantile is None else f"{agg.func}_q{quantile:g}"
+        return f"{base}_{i + 1}"
+
+    def _projection_outputs(self, tree: p.PlanNode) -> dict[str, e.Expr]:
+        outputs: dict[str, e.Expr] = {}
+        for i, item in enumerate(self.query.items):
+            expr = self._expr(item.expression)
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expression, ast.ColumnRef):
+                name = item.expression.name
+            else:
+                name = f"col_{i + 1}"
+            if name in outputs:
+                raise SQLError(f"duplicate output column {name!r}")
+            outputs[name] = expr
+        return outputs

@@ -1,0 +1,120 @@
+"""Render SQL ASTs back to text.
+
+Used for EXPLAIN-style output, error messages, and — most importantly —
+round-trip testing: ``parse(to_sql(ast)) == ast`` is a strong property
+check on both the parser and this printer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql import ast_nodes as ast
+
+#: Binding strength for parenthesization decisions.
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def expr_to_sql(node: ast.SqlExpr, parent_prec: int = 0) -> str:
+    """Render a scalar/boolean expression."""
+    if isinstance(node, ast.ColumnRef):
+        if node.qualifier:
+            return f"{node.qualifier}.{node.name}"
+        return node.name
+    if isinstance(node, ast.NumberLit):
+        value = node.as_python
+        return repr(value)
+    if isinstance(node, ast.StringLit):
+        return "'" + node.value + "'"
+    if isinstance(node, ast.Arithmetic):
+        prec = _PRECEDENCE[node.op]
+        left = expr_to_sql(node.left, prec)
+        # Right side binds one tighter: - and / are left-associative.
+        right = expr_to_sql(node.right, prec + 1)
+        text = f"{left} {node.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(node, ast.Compare):
+        return (
+            f"{expr_to_sql(node.left)} {node.op} {expr_to_sql(node.right)}"
+        )
+    if isinstance(node, ast.BoolOp):
+        op_prec = 1 if node.op == "OR" else 2
+        left = _bool_to_sql(node.left, op_prec)
+        # The parser left-associates, so a right-nested same-precedence
+        # operand must keep its parentheses to round-trip.
+        right = _bool_to_sql(node.right, op_prec + 1)
+        return f"{left} {node.op} {right}"
+    if isinstance(node, ast.NotOp):
+        return f"NOT {_bool_to_sql(node.child, 3)}"
+    if isinstance(node, ast.AggCall):
+        if node.argument is None:
+            return "COUNT(*)"
+        return f"{node.func.upper()}({expr_to_sql(node.argument)})"
+    if isinstance(node, ast.QuantileCall):
+        return (
+            f"QUANTILE({expr_to_sql(node.aggregate)}, {node.q:g})"
+        )
+    raise SQLError(f"cannot render {type(node).__name__}")
+
+
+def _bool_prec(node: ast.SqlExpr) -> int:
+    if isinstance(node, ast.BoolOp):
+        return 1 if node.op == "OR" else 2
+    if isinstance(node, ast.NotOp):
+        return 3
+    return 4  # comparisons bind tightest
+
+
+def _bool_to_sql(node: ast.SqlExpr, parent_prec: int) -> str:
+    text = expr_to_sql(node)
+    if _bool_prec(node) < parent_prec:
+        return f"({text})"
+    return text
+
+
+def sample_to_sql(clause: ast.SampleClause) -> str:
+    """Render a TABLESAMPLE clause."""
+    if clause.kind == "percent":
+        inner = f"{clause.amount:g} PERCENT"
+    elif clause.kind == "rows":
+        inner = f"{clause.amount:g} ROWS"
+    elif clause.kind == "system_percent":
+        inner = f"SYSTEM ({clause.amount:g} PERCENT, {clause.rows_per_block})"
+    elif clause.kind == "system_blocks":
+        inner = f"SYSTEM ({clause.amount:g} BLOCKS, {clause.rows_per_block})"
+    else:
+        raise SQLError(f"unknown sample kind {clause.kind!r}")
+    text = f"TABLESAMPLE ({inner})"
+    if clause.repeatable_seed is not None:
+        text += f" REPEATABLE ({clause.repeatable_seed})"
+    return text
+
+
+def query_to_sql(query: ast.SelectQuery) -> str:
+    """Render a full query."""
+    parts = []
+    if query.view_name:
+        cols = (
+            " (" + ", ".join(query.view_columns) + ")"
+            if query.view_columns
+            else ""
+        )
+        parts.append(f"CREATE VIEW {query.view_name}{cols} AS")
+    items = []
+    for item in query.items:
+        text = expr_to_sql(item.expression)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append("SELECT " + ", ".join(items))
+    tables = []
+    for ref in query.tables:
+        text = ref.name
+        if ref.alias:
+            text += f" {ref.alias}"
+        if ref.sample is not None:
+            text += " " + sample_to_sql(ref.sample)
+        tables.append(text)
+    parts.append("FROM " + ", ".join(tables))
+    if query.where is not None:
+        parts.append("WHERE " + expr_to_sql(query.where))
+    return "\n".join(parts)

@@ -1,0 +1,6 @@
+"""Statistical extensions: the delta method for AVG and running moments."""
+
+from repro.stats.delta import covariance_estimate, ratio_estimate
+from repro.stats.moments import RunningMoments
+
+__all__ = ["ratio_estimate", "covariance_estimate", "RunningMoments"]

@@ -1,0 +1,77 @@
+"""Delta-method estimation for AVERAGE (a ratio of SUM-like aggregates).
+
+The paper's theory is exact for SUM-like aggregates; AVG = SUM/COUNT is
+non-linear, and Section 9 points to the delta method.  First-order
+expansion of ``g(s, c) = s/c`` around the means gives
+
+    ``Var(S/C) ≈ Var(S)/µ_C² − 2·µ_S·Cov(S,C)/µ_C³ + µ_S²·Var(C)/µ_C⁴``
+
+The covariance of two SUM-like estimators under the same GUS follows by
+**polarization** from three variance estimates — all machinery that is
+already exact and unbiased:
+
+    ``Cov(X_f, X_g) = (Var(X_{f+g}) − Var(X_f) − Var(X_g)) / 2``
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.estimator import Estimate, estimate_sum
+from repro.core.gus import GUSParams
+from repro.errors import EstimationError
+
+
+def covariance_estimate(
+    params: GUSParams,
+    f: np.ndarray,
+    g: np.ndarray,
+    lineage: Mapping[str, np.ndarray],
+) -> float:
+    """Unbiased estimate of ``Cov(X_f, X_g)`` by polarization.
+
+    Unbiasedness is inherited: each of the three variance estimates is
+    unbiased and expectation is linear.
+    """
+    var_sum = estimate_sum(params, np.asarray(f) + np.asarray(g), lineage)
+    var_f = estimate_sum(params, f, lineage)
+    var_g = estimate_sum(params, g, lineage)
+    return 0.5 * (
+        var_sum.variance_raw - var_f.variance_raw - var_g.variance_raw
+    )
+
+
+def ratio_estimate(
+    numerator: Estimate,
+    denominator: Estimate,
+    covariance: float,
+    *,
+    label: str = "AVG",
+) -> Estimate:
+    """Delta-method estimate of ``numerator / denominator``."""
+    if denominator.value == 0.0:
+        raise EstimationError(
+            "cannot form a ratio estimate: the denominator (COUNT) "
+            "estimate is zero — the sample is empty"
+        )
+    mu_s, mu_c = numerator.value, denominator.value
+    ratio = mu_s / mu_c
+    var = (
+        numerator.variance_raw / mu_c**2
+        - 2.0 * mu_s * covariance / mu_c**3
+        + mu_s**2 * denominator.variance_raw / mu_c**4
+    )
+    return Estimate(
+        value=ratio,
+        variance_raw=var,
+        n_sample=numerator.n_sample,
+        label=label,
+        extras={
+            "method": "delta",
+            "numerator": numerator.value,
+            "denominator": denominator.value,
+            "covariance": covariance,
+        },
+    )

@@ -1,0 +1,57 @@
+"""Numerically stable running moments (Welford's algorithm).
+
+Used by the experiment harnesses to accumulate estimator trials and by
+the load-shedding application to track stream statistics one batch at a
+time.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class RunningMoments:
+    """Single-pass mean/variance accumulator."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Include one observation."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def extend(self, values) -> None:
+        """Include many observations."""
+        for value in values:
+            self.add(float(value))
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations so far."""
+        if self.count == 0:
+            return float("nan")
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Bessel-corrected (n−1) variance."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance) if self.count else float("nan")
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningMoments(n={self.count}, mean={self.mean:.6g}, "
+            f"var={self.variance:.6g})"
+        )

@@ -1,0 +1,299 @@
+"""Tests for the GUS algebra: the paper's Propositions 4–9 and Theorem 2.
+
+The numeric fixtures come straight from the paper's worked examples
+(Examples 1, 3 and 5 and the coefficient tables of Figures 4 and 5),
+so these tests double as the digit-level reproduction of those tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import (
+    compact_gus,
+    compose_gus,
+    join_gus,
+    lift_gus,
+    union_gus,
+)
+from repro.core.gus import (
+    GUSParams,
+    bernoulli_gus,
+    identity_gus,
+    null_gus,
+    without_replacement_gus,
+)
+from repro.core.lattice import SubsetLattice
+from repro.errors import SelfJoinError
+
+
+@pytest.fixture
+def g_lineitem():
+    """B(0.1) on lineitem — paper Example 2."""
+    return bernoulli_gus("l", 0.1)
+
+
+@pytest.fixture
+def g_orders():
+    """WOR(1000) of orders(150 000) — paper Example 2."""
+    return without_replacement_gus("o", 1000, 150_000)
+
+
+class TestJoin:
+    def test_example_1_and_3_query1_coefficients(self, g_lineitem, g_orders):
+        """Examples 1/3: the joint GUS of Query 1.
+
+        a = 6.667e-4, b_∅ = 4.44e-7, b_o = 6.667e-5, b_l = 4.44e-6,
+        b_lo = 6.667e-4.
+        """
+        g = join_gus(g_lineitem, g_orders)
+        assert g.schema == {"l", "o"}
+        assert g.a == pytest.approx(6.667e-4, rel=1e-3)
+        assert g.b_of([]) == pytest.approx(4.44e-7, rel=1e-2)
+        assert g.b_of(["o"]) == pytest.approx(6.667e-5, rel=1e-3)
+        assert g.b_of(["l"]) == pytest.approx(4.44e-6, rel=1e-2)
+        assert g.b_of(["l", "o"]) == pytest.approx(6.667e-4, rel=1e-3)
+
+    def test_join_is_commutative(self, g_lineitem, g_orders):
+        assert join_gus(g_lineitem, g_orders).approx_equal(
+            join_gus(g_orders, g_lineitem)
+        )
+
+    def test_join_result_is_valid_gus(self, g_lineitem, g_orders):
+        g = join_gus(g_lineitem, g_orders)
+        # b_L = a must survive the combination.
+        assert g.b_of(["l", "o"]) == pytest.approx(g.a)
+
+    def test_self_join_rejected(self, g_lineitem):
+        with pytest.raises(SelfJoinError, match="share lineage"):
+            join_gus(g_lineitem, bernoulli_gus("l", 0.5))
+
+    def test_join_with_identity_adds_inactive_dim(self, g_lineitem):
+        g = join_gus(g_lineitem, identity_gus(["c"]))
+        assert g.schema == {"c", "l"}
+        assert g.a == pytest.approx(0.1)
+        assert g.inactive_dims() == {"c"}
+
+    def test_join_associative(self, g_lineitem, g_orders):
+        g3 = bernoulli_gus("p", 0.5)
+        left = join_gus(join_gus(g_lineitem, g_orders), g3)
+        right = join_gus(g_lineitem, join_gus(g_orders, g3))
+        assert left.approx_equal(right)
+
+
+class TestFigure4Table:
+    """The full coefficient table of the paper's Figure 4."""
+
+    def test_g123_coefficients(self, g_lineitem, g_orders):
+        g3 = bernoulli_gus("p", 0.5)
+        g12 = join_gus(g_lineitem, g_orders)
+        g121 = join_gus(g12, identity_gus(["c"]))
+        g123 = join_gus(g121, g3)
+
+        assert g123.a == pytest.approx(3.334e-4, rel=1e-3)
+        expected = {
+            frozenset(): 1.11e-7,
+            frozenset("p"): 2.22e-7,
+            frozenset("c"): 1.11e-7,
+            frozenset("cp"): 2.22e-7,
+            frozenset("o"): 1.667e-5,
+            frozenset("op"): 3.335e-5,
+            frozenset("oc"): 1.667e-5,
+            frozenset("ocp"): 3.335e-5,
+            frozenset("l"): 1.11e-6,
+            frozenset("lp"): 2.22e-6,
+            frozenset("lc"): 1.11e-6,
+            frozenset("lcp"): 2.22e-6,
+            frozenset("lo"): 1.667e-4,
+            frozenset("lop"): 3.334e-4,
+            frozenset("loc"): 1.667e-4,
+            frozenset("locp"): 3.334e-4,
+        }
+        for subset, value in expected.items():
+            assert g123.b_of(subset) == pytest.approx(value, rel=2e-2), subset
+
+    def test_g121_coefficients(self, g_lineitem, g_orders):
+        g12 = join_gus(g_lineitem, g_orders)
+        g121 = join_gus(g12, identity_gus(["c"]))
+        assert g121.a == pytest.approx(6.667e-4, rel=1e-3)
+        assert g121.b_of("c") == pytest.approx(4.44e-7, rel=1e-2)
+        assert g121.b_of("oc") == pytest.approx(6.667e-5, rel=1e-3)
+        assert g121.b_of("lc") == pytest.approx(4.44e-6, rel=1e-2)
+        assert g121.b_of("loc") == pytest.approx(6.667e-4, rel=1e-3)
+
+
+class TestComposition:
+    def test_example_5_bidimensional_bernoulli(self):
+        """Example 5: B(0.2, 0.3) = B(0.2)(l) ∘ B(0.3)(o)."""
+        g = compose_gus(bernoulli_gus("l", 0.2), bernoulli_gus("o", 0.3))
+        assert g.a == pytest.approx(0.06)
+        assert g.b_of([]) == pytest.approx(0.0036)
+        assert g.b_of(["o"]) == pytest.approx(0.012)
+        assert g.b_of(["l"]) == pytest.approx(0.018)
+        assert g.b_of(["l", "o"]) == pytest.approx(0.06)
+
+    def test_composition_equals_join_map(self):
+        g1, g2 = bernoulli_gus("l", 0.2), bernoulli_gus("o", 0.3)
+        assert compose_gus(g1, g2).approx_equal(join_gus(g1, g2))
+
+
+class TestFigure5Table:
+    """Figure 5: sub-sampled Query 1 — G(a₁₂₃, b̄₁₂₃)."""
+
+    def test_subsampled_query1_coefficients(self, g_lineitem, g_orders):
+        g12 = join_gus(g_lineitem, g_orders)
+        g3 = compose_gus(bernoulli_gus("l", 0.2), bernoulli_gus("o", 0.3))
+        g123 = compact_gus(g3, g12)
+
+        assert g123.a == pytest.approx(4e-5, rel=1e-3)
+        assert g123.b_of([]) == pytest.approx(1.598e-9, rel=1e-2)
+        assert g123.b_of(["o"]) == pytest.approx(8e-7, rel=1e-2)
+        assert g123.b_of(["l"]) == pytest.approx(7.992e-8, rel=1e-2)
+        assert g123.b_of(["l", "o"]) == pytest.approx(4e-5, rel=1e-3)
+
+
+class TestUnion:
+    def test_union_of_bernoullis_is_bernoulli(self):
+        """B(p) ∪ B(q) of the same relation = B(p + q − pq)."""
+        g = union_gus(bernoulli_gus("r", 0.3), bernoulli_gus("r", 0.5))
+        combined = 0.3 + 0.5 - 0.15
+        assert g.approx_equal(bernoulli_gus("r", combined), tol=1e-9)
+
+    def test_union_formula_matches_paper(self):
+        g1 = bernoulli_gus("r", 0.4)
+        g2 = without_replacement_gus("r", 3, 10)
+        g = union_gus(g1, g2)
+        a = 0.4 + 0.3 - 0.12
+        assert g.a == pytest.approx(a)
+        for t in [frozenset(), frozenset(["r"])]:
+            expected = (
+                2 * a
+                - 1
+                + (1 - 2 * g1.a + g1.b_of(t)) * (1 - 2 * g2.a + g2.b_of(t))
+            )
+            assert g.b_of(t) == pytest.approx(expected)
+
+    def test_union_exact_pair_probability(self):
+        """Check b_∅ against direct inclusion–exclusion."""
+        p, q = 0.25, 0.6
+        g = union_gus(bernoulli_gus("r", p), bernoulli_gus("r", q))
+        # Pair of distinct tuples each kept iff kept by either sampler;
+        # the two tuples are independent under Bernoulli.
+        keep_one = p + q - p * q
+        assert g.b_of([]) == pytest.approx(keep_one**2)
+
+    def test_union_commutative(self):
+        g1 = bernoulli_gus("r", 0.2)
+        g2 = without_replacement_gus("r", 5, 50)
+        assert union_gus(g1, g2).approx_equal(union_gus(g2, g1))
+
+
+class TestCompaction:
+    def test_stacked_bernoulli_multiplies(self):
+        g = compact_gus(bernoulli_gus("r", 0.5), bernoulli_gus("r", 0.4))
+        assert g.approx_equal(bernoulli_gus("r", 0.2))
+
+    def test_compaction_commutative(self):
+        g1 = bernoulli_gus("r", 0.3)
+        g2 = without_replacement_gus("r", 4, 12)
+        assert compact_gus(g1, g2).approx_equal(compact_gus(g2, g1))
+
+    def test_compaction_auto_lifts_schemas(self):
+        """Section 7 usage: bi-dim Bernoulli over {l,o} onto a {l,o} GUS."""
+        g12 = join_gus(bernoulli_gus("l", 0.1), bernoulli_gus("o", 0.2))
+        sub = bernoulli_gus("l", 0.5)
+        g = compact_gus(sub, g12)
+        assert g.schema == {"l", "o"}
+        assert g.a == pytest.approx(0.1 * 0.2 * 0.5)
+
+
+class TestLift:
+    def test_lift_adds_identity_dims(self):
+        g = lift_gus(bernoulli_gus("l", 0.1), frozenset(["l", "c"]))
+        assert g.schema == {"c", "l"}
+        assert g.b_of(["c"]) == pytest.approx(0.01)
+        assert g.b_of(["l", "c"]) == pytest.approx(0.1)
+
+    def test_lift_to_same_schema_is_noop(self):
+        g = bernoulli_gus("l", 0.1)
+        assert lift_gus(g, g.schema) is g
+
+    def test_lift_to_smaller_schema_rejected(self):
+        g = join_gus(bernoulli_gus("l", 0.1), bernoulli_gus("o", 0.2))
+        with pytest.raises(SelfJoinError):
+            lift_gus(g, frozenset(["l"]))
+
+
+def _random_single_gus(draw, name):
+    """A hypothesis helper drawing a structurally valid single-rel GUS."""
+    a = draw(st.floats(0.0, 1.0))
+    # Joint pair inclusion lies within Fréchet bounds.
+    lo, hi = max(0.0, 2 * a - 1.0), a
+    b_empty = draw(st.floats(lo, hi)) if hi > lo else lo
+    lat = SubsetLattice([name])
+    vec = np.empty(2)
+    vec[0] = b_empty
+    vec[1] = a
+    return GUSParams(lat, a, vec, validate=False)
+
+
+class TestSemiring:
+    """Theorem 2: the monoid laws that actually hold, plus the honest
+    counterexample to full distributivity."""
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_union_monoid(self, data):
+        g1 = _random_single_gus(data.draw, "r")
+        g2 = _random_single_gus(data.draw, "r")
+        g3 = _random_single_gus(data.draw, "r")
+        assert union_gus(g1, g2).approx_equal(union_gus(g2, g1), tol=1e-6)
+        assert union_gus(union_gus(g1, g2), g3).approx_equal(
+            union_gus(g1, union_gus(g2, g3)), tol=1e-6
+        )
+        assert union_gus(g1, null_gus(["r"])).approx_equal(g1, tol=1e-6)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_compaction_monoid(self, data):
+        g1 = _random_single_gus(data.draw, "r")
+        g2 = _random_single_gus(data.draw, "r")
+        g3 = _random_single_gus(data.draw, "r")
+        assert compact_gus(g1, g2).approx_equal(compact_gus(g2, g1), tol=1e-6)
+        assert compact_gus(compact_gus(g1, g2), g3).approx_equal(
+            compact_gus(g1, compact_gus(g2, g3)), tol=1e-6
+        )
+        assert compact_gus(g1, identity_gus(["r"])).approx_equal(g1, tol=1e-6)
+
+    def test_null_annihilates_compaction(self):
+        g = bernoulli_gus("r", 0.7)
+        assert compact_gus(g, null_gus(["r"])).approx_equal(null_gus(["r"]))
+
+    def test_identity_absorbs_union(self):
+        g = bernoulli_gus("r", 0.7)
+        assert union_gus(g, identity_gus(["r"])).approx_equal(
+            identity_gus(["r"])
+        )
+
+    def test_distributivity_fails_in_general(self):
+        """G₁∘(G₂∪G₃) ≠ (G₁∘G₂)∪(G₁∘G₃): the right side re-applies G₁
+        independently, a genuinely different stochastic process."""
+        g1 = bernoulli_gus("r", 0.5)
+        g2 = bernoulli_gus("r", 0.5)
+        g3 = bernoulli_gus("r", 0.5)
+        left = compact_gus(g1, union_gus(g2, g3))
+        right = union_gus(compact_gus(g1, g2), compact_gus(g1, g3))
+        assert left.a == pytest.approx(0.375)
+        assert right.a == pytest.approx(0.4375)
+        assert not left.approx_equal(right, tol=1e-6)
+
+    def test_distributivity_holds_for_degenerate_multiplier(self):
+        g2 = bernoulli_gus("r", 0.3)
+        g3 = bernoulli_gus("r", 0.6)
+        for g1 in (identity_gus(["r"]), null_gus(["r"])):
+            left = compact_gus(g1, union_gus(g2, g3))
+            right = union_gus(compact_gus(g1, g2), compact_gus(g1, g3))
+            assert left.approx_equal(right, tol=1e-9)

@@ -1,0 +1,134 @@
+"""Direct tests for the confidence-interval and quantile machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    cantelli_quantile,
+    chebyshev_interval,
+    interval,
+    normal_interval,
+    normal_quantile,
+    quantile,
+)
+from repro.errors import EstimationError
+
+
+class TestNormalInterval:
+    def test_paper_constant_95(self):
+        """The paper's formula: [µ̂ − 1.96σ̂, µ̂ + 1.96σ̂]."""
+        ci = normal_interval(10.0, 2.0, 0.95)
+        assert ci.lo == pytest.approx(10 - 1.96 * 2, abs=0.01)
+        assert ci.hi == pytest.approx(10 + 1.96 * 2, abs=0.01)
+        assert ci.method == "normal"
+
+    def test_width_grows_with_level(self):
+        w90 = normal_interval(0, 1, 0.90).width
+        w99 = normal_interval(0, 1, 0.99).width
+        assert w99 > w90
+
+    def test_zero_std_collapses(self):
+        ci = normal_interval(5.0, 0.0, 0.95)
+        assert ci.lo == ci.hi == 5.0
+
+    def test_invalid_level(self):
+        with pytest.raises(EstimationError):
+            normal_interval(0, 1, 1.0)
+        with pytest.raises(EstimationError):
+            normal_interval(0, 1, 0.0)
+
+    def test_empirical_coverage_of_normal_samples(self):
+        """A 90% normal interval covers ~90% of normal draws."""
+        rng = np.random.default_rng(0)
+        draws = rng.normal(3.0, 2.0, 20_000)
+        ci = normal_interval(3.0, 2.0, 0.90)
+        covered = np.mean((draws >= ci.lo) & (draws <= ci.hi))
+        assert covered == pytest.approx(0.90, abs=0.01)
+
+
+class TestChebyshevInterval:
+    def test_paper_constant_95(self):
+        """The paper's 4.47σ constant at 95%."""
+        ci = chebyshev_interval(0.0, 1.0, 0.95)
+        assert ci.hi == pytest.approx(4.47, abs=0.01)
+
+    def test_always_wider_than_normal(self):
+        for level in (0.5, 0.8, 0.95, 0.99):
+            assert (
+                chebyshev_interval(0, 1, level).width
+                > normal_interval(0, 1, level).width
+            )
+
+    def test_distribution_free_guarantee(self):
+        """Chebyshev must cover ≥95% even for heavy-tailed data."""
+        rng = np.random.default_rng(1)
+        draws = rng.standard_t(2.1, 50_000)  # heavy tails
+        mu, sigma = draws.mean(), draws.std()
+        ci = chebyshev_interval(mu, sigma, 0.95)
+        covered = np.mean((draws >= ci.lo) & (draws <= ci.hi))
+        assert covered >= 0.95
+
+
+class TestQuantiles:
+    def test_median_is_mean(self):
+        assert normal_quantile(7.0, 3.0, 0.5) == pytest.approx(7.0)
+
+    def test_symmetry(self):
+        hi = normal_quantile(0.0, 1.0, 0.95)
+        lo = normal_quantile(0.0, 1.0, 0.05)
+        assert hi == pytest.approx(-lo)
+
+    def test_cantelli_is_conservative(self):
+        assert cantelli_quantile(0, 1, 0.95) > normal_quantile(0, 1, 0.95)
+        assert cantelli_quantile(0, 1, 0.05) < normal_quantile(0, 1, 0.05)
+
+    def test_cantelli_constants(self):
+        # k = sqrt(q/(1-q)): at q = 0.95, sqrt(19) ≈ 4.359.
+        assert cantelli_quantile(0, 1, 0.95) == pytest.approx(
+            np.sqrt(19), abs=1e-9
+        )
+
+    def test_invalid_quantile(self):
+        with pytest.raises(EstimationError):
+            normal_quantile(0, 1, 0.0)
+        with pytest.raises(EstimationError):
+            cantelli_quantile(0, 1, 1.0)
+
+    @given(st.floats(0.01, 0.99), st.floats(0.02, 0.98))
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_monotone(self, q1, q2):
+        lo_q, hi_q = sorted([q1, q2])
+        for method in ("normal", "chebyshev"):
+            assert quantile(0.0, 1.0, lo_q, method) <= quantile(
+                0.0, 1.0, hi_q, method
+            ) + 1e-12
+
+
+class TestDispatch:
+    def test_interval_dispatch(self):
+        assert interval(0, 1, 0.95, "normal").method == "normal"
+        assert interval(0, 1, 0.95, "chebyshev").method == "chebyshev"
+        with pytest.raises(EstimationError, match="unknown"):
+            interval(0, 1, 0.95, "bootstrap")
+
+    def test_quantile_dispatch(self):
+        with pytest.raises(EstimationError, match="unknown"):
+            quantile(0, 1, 0.5, "bootstrap")
+
+
+class TestConfidenceIntervalType:
+    def test_contains_and_width(self):
+        ci = ConfidenceInterval(1.0, 3.0, 0.95, "normal")
+        assert ci.width == pytest.approx(2.0)
+        assert ci.contains(2.0)
+        assert ci.contains(1.0) and ci.contains(3.0)
+        assert not ci.contains(0.999)
+
+    def test_str_renders_level(self):
+        text = str(ConfidenceInterval(0.0, 1.0, 0.95, "normal"))
+        assert "95%" in text and "normal" in text

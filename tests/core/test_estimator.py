@@ -1,0 +1,395 @@
+"""Exact verification of Theorem 1 by brute-force enumeration.
+
+These tests enumerate *entire* sampling distributions on tiny relations
+and check, with no statistical slack, that:
+
+* the estimator is unbiased (``E[X] = A``);
+* Theorem 1's variance formula equals the true ``Var[X]``;
+* the plug-in moments unbias correctly (``E[Ŷ_S] = y_S``);
+* the expected variance *estimate* equals the true variance
+  (``E[σ̂²] = σ²``) — the property that makes the confidence machinery
+  honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import join_gus
+from repro.core.estimator import (
+    Estimate,
+    estimate_sum,
+    exact_moments,
+    group_ids,
+    theorem1_variance,
+    unbiased_y_terms,
+    y_terms,
+)
+from repro.core.gus import bernoulli_gus, without_replacement_gus
+from repro.errors import EstimationError
+
+from tests.enumeration import (
+    JoinedWorld,
+    bernoulli_outcomes,
+    cross_join_world,
+    wor_outcomes,
+)
+
+
+class TestGroupIds:
+    def test_no_columns_single_group(self):
+        gids, n = group_ids([], 5)
+        assert n == 1
+        np.testing.assert_array_equal(gids, np.zeros(5, dtype=np.int64))
+
+    def test_empty_input(self):
+        gids, n = group_ids([], 0)
+        assert n == 0
+        assert gids.size == 0
+
+    def test_single_column_groups(self):
+        col = np.array([3, 1, 3, 2, 1])
+        gids, n = group_ids([col], 5)
+        assert n == 3
+        # Rows with equal keys share an id; different keys differ.
+        assert gids[0] == gids[2]
+        assert gids[1] == gids[4]
+        assert len({gids[0], gids[1], gids[3]}) == 3
+
+    def test_multi_column_groups(self):
+        c1 = np.array([1, 1, 2, 2])
+        c2 = np.array([1, 2, 1, 1])
+        gids, n = group_ids([c1, c2], 4)
+        assert n == 3
+        assert gids[2] == gids[3]
+
+
+class TestYTerms:
+    def test_matches_paper_sql_recipe(self):
+        """Section 6.3's SQL: y_∅ = (Σf)², y_l/y_o via GROUP BY,
+        y_lo = Σ f² when full lineage is unique."""
+        from repro.core.lattice import SubsetLattice
+
+        lat = SubsetLattice(["l", "o"])
+        f = np.array([1.0, 2.0, 3.0])
+        lineage = {
+            "l": np.array([1, 2, 3]),
+            "o": np.array([10, 10, 20]),
+        }
+        y = y_terms(f, lineage, lat)
+        assert y[lat.mask_of([])] == pytest.approx(36.0)
+        assert y[lat.mask_of(["l"])] == pytest.approx(1 + 4 + 9)
+        assert y[lat.mask_of(["o"])] == pytest.approx((1 + 2) ** 2 + 9)
+        assert y[lat.mask_of(["l", "o"])] == pytest.approx(14.0)
+
+    def test_missing_lineage_column_raises(self):
+        from repro.core.lattice import SubsetLattice
+
+        lat = SubsetLattice(["l", "o"])
+        with pytest.raises(EstimationError, match="missing"):
+            y_terms(np.ones(2), {"l": np.array([1, 2])}, lat)
+
+    def test_empty_sample_gives_zero_moments(self):
+        from repro.core.lattice import SubsetLattice
+
+        lat = SubsetLattice(["l"])
+        y = y_terms(np.empty(0), {"l": np.empty(0, dtype=np.int64)}, lat)
+        np.testing.assert_array_equal(y, np.zeros(2))
+
+
+def _single_table_world(values, space):
+    rows = [({"r": i}, v) for i, v in enumerate(values)]
+    return JoinedWorld(rows, {"r": space})
+
+
+class TestSingleTableExact:
+    """Theorem 1 vs. full enumeration on one relation."""
+
+    VALUES = [2.0, -1.0, 5.0, 3.5]
+
+    def test_bernoulli_moments(self):
+        p = 0.3
+        world = _single_table_world(
+            self.VALUES, list(bernoulli_outcomes(range(4), p))
+        )
+        g = bernoulli_gus("r", p)
+        mean, var = world.estimator_moments(g.a)
+        assert mean == pytest.approx(world.total)
+
+        f = np.array(self.VALUES)
+        lineage = {"r": np.arange(4)}
+        total, var_formula = exact_moments(g, f, lineage)
+        assert total == pytest.approx(world.total)
+        assert var_formula == pytest.approx(var, rel=1e-10)
+
+    def test_bernoulli_closed_form(self):
+        """Var = (1−p)/p · Σ f² for Bernoulli(p)."""
+        p = 0.42
+        f = np.array(self.VALUES)
+        g = bernoulli_gus("r", p)
+        _, var = exact_moments(g, f, {"r": np.arange(4)})
+        assert var == pytest.approx((1 - p) / p * float(np.sum(f * f)))
+
+    def test_wor_moments(self):
+        n, pop = 2, 4
+        world = _single_table_world(
+            self.VALUES, list(wor_outcomes(range(pop), n))
+        )
+        g = without_replacement_gus("r", n, pop)
+        mean, var = world.estimator_moments(g.a)
+        assert mean == pytest.approx(world.total)
+
+        _, var_formula = exact_moments(
+            g, np.array(self.VALUES), {"r": np.arange(pop)}
+        )
+        assert var_formula == pytest.approx(var, rel=1e-10)
+
+    def test_wor_classic_closed_form(self):
+        """Var = N²(1−n/N)·S²/n — the classical SRSWOR total variance."""
+        n, pop = 3, 5
+        f = np.array([1.0, 4.0, -2.0, 0.5, 3.0])
+        g = without_replacement_gus("r", n, pop)
+        _, var = exact_moments(g, f, {"r": np.arange(pop)})
+        s2 = float(np.var(f, ddof=1))
+        classic = pop**2 * (1 - n / pop) * s2 / n
+        assert var == pytest.approx(classic, rel=1e-10)
+
+    @given(
+        st.lists(st.floats(-5, 5), min_size=1, max_size=5),
+        st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bernoulli_property(self, values, p):
+        world = _single_table_world(
+            values, list(bernoulli_outcomes(range(len(values)), p))
+        )
+        g = bernoulli_gus("r", p)
+        mean, var = world.estimator_moments(p)
+        total, var_formula = exact_moments(
+            g, np.array(values), {"r": np.arange(len(values))}
+        )
+        assert mean == pytest.approx(total, abs=1e-9)
+        assert var_formula == pytest.approx(var, rel=1e-8, abs=1e-9)
+
+
+class TestJoinExact:
+    """Theorem 1 on a two-relation join, with the GUS from Prop 6."""
+
+    def _world_and_gus(self, p=0.5, n=2, pop=3):
+        tables = {
+            "l": [(0, 1.0), (1, 2.0), (2, -1.5)],
+            "o": [(0, 3.0), (1, 0.5), (2, 1.0)][:pop],
+        }
+        # Join predicate: l-row i matches o-row i mod pop (a skewed
+        # many-to-one pattern exercising shared lineage groups).
+        spaces = {
+            "l": list(bernoulli_outcomes(range(3), p)),
+            "o": list(wor_outcomes(range(pop), n)),
+        }
+        world = cross_join_world(
+            tables, spaces, join_pred=lambda l, o: o == l % pop
+        )
+        gus = join_gus(
+            bernoulli_gus("l", p), without_replacement_gus("o", n, pop)
+        )
+        return world, gus
+
+    def test_unbiased(self):
+        world, gus = self._world_and_gus()
+        mean, _ = world.estimator_moments(gus.a)
+        assert mean == pytest.approx(world.total, abs=1e-12)
+
+    def test_variance_formula(self):
+        world, gus = self._world_and_gus()
+        _, var = world.estimator_moments(gus.a)
+        f = np.array([fv for _, fv in world.rows])
+        lineage = {
+            name: np.array([lin[name] for lin, _ in world.rows])
+            for name in ("l", "o")
+        }
+        _, var_formula = exact_moments(gus, f, lineage)
+        assert var_formula == pytest.approx(var, rel=1e-10)
+
+    def test_many_to_many_join_variance(self):
+        """Shared lineage both ways (each o matches several l)."""
+        tables = {
+            "l": [(0, 1.0), (1, 2.0), (2, 3.0), (3, -1.0)],
+            "o": [(0, 2.0), (1, 0.5)],
+        }
+        spaces = {
+            "l": list(bernoulli_outcomes(range(4), 0.4)),
+            "o": list(bernoulli_outcomes(range(2), 0.7)),
+        }
+        world = cross_join_world(tables, spaces)  # full cross product
+        gus = join_gus(bernoulli_gus("l", 0.4), bernoulli_gus("o", 0.7))
+        mean, var = world.estimator_moments(gus.a)
+        assert mean == pytest.approx(world.total, abs=1e-9)
+        f = np.array([fv for _, fv in world.rows])
+        lineage = {
+            name: np.array([lin[name] for lin, _ in world.rows])
+            for name in ("l", "o")
+        }
+        _, var_formula = exact_moments(gus, f, lineage)
+        assert var_formula == pytest.approx(var, rel=1e-10)
+
+
+class TestUnbiasingRecursion:
+    """E[Ŷ_S] = y_S and E[σ̂²] = σ², exactly."""
+
+    def _check_world(self, world, gus):
+        pruned = gus.project_out_inactive()
+        f_full = np.array([fv for _, fv in world.rows])
+        lineage_full = {
+            d: np.array([lin[d] for lin, _ in world.rows])
+            for d in pruned.lattice.dims
+        }
+        y_true = y_terms(f_full, lineage_full, pruned.lattice)
+
+        def statistic(f, lineage):
+            plugin = y_terms(f, lineage, pruned.lattice)
+            return unbiased_y_terms(pruned, plugin)
+
+        expected_yhat = world.expected_statistic(statistic)
+        np.testing.assert_allclose(expected_yhat, y_true, rtol=1e-9, atol=1e-9)
+
+        # E[σ̂²] = σ² follows by linearity of the variance formula.
+        def var_stat(f, lineage):
+            plugin = y_terms(f, lineage, pruned.lattice)
+            yhat = unbiased_y_terms(pruned, plugin)
+            return np.array([theorem1_variance(pruned, yhat)])
+
+        _, true_var = world.estimator_moments(gus.a)
+        expected_var = world.expected_statistic(var_stat)[0]
+        assert expected_var == pytest.approx(true_var, rel=1e-8, abs=1e-9)
+
+    def test_single_table_bernoulli(self):
+        values = [2.0, -1.0, 4.0]
+        world = _single_table_world(
+            values, list(bernoulli_outcomes(range(3), 0.6))
+        )
+        self._check_world(world, bernoulli_gus("r", 0.6))
+
+    def test_single_table_wor(self):
+        values = [1.0, 3.0, -2.0, 0.5]
+        world = _single_table_world(
+            values, list(wor_outcomes(range(4), 2))
+        )
+        self._check_world(world, without_replacement_gus("r", 2, 4))
+
+    def test_two_table_join(self):
+        tables = {
+            "l": [(0, 1.0), (1, -2.0), (2, 3.0)],
+            "o": [(0, 1.5), (1, 2.0), (2, -1.0)],
+        }
+        spaces = {
+            "l": list(bernoulli_outcomes(range(3), 0.5)),
+            "o": list(wor_outcomes(range(3), 2)),
+        }
+        world = cross_join_world(
+            tables, spaces, join_pred=lambda l, o: o == l % 3
+        )
+        gus = join_gus(
+            bernoulli_gus("l", 0.5), without_replacement_gus("o", 2, 3)
+        )
+        self._check_world(world, gus)
+
+    def test_wor_size_one_cannot_unbias_cross_pairs(self):
+        """WOR(1, N) never keeps two distinct tuples, so b_∅ = 0 and the
+        cross-tuple moment is unrecoverable — a real limitation the
+        estimator must refuse rather than silently mis-handle."""
+        g = without_replacement_gus("r", 1, 2)
+        with pytest.raises(EstimationError, match="b_T = 0"):
+            unbiased_y_terms(g, np.zeros(2))
+
+    def test_unbias_requires_positive_b(self):
+        from repro.core.gus import null_gus
+
+        with pytest.raises(EstimationError, match="b_T = 0"):
+            unbiased_y_terms(null_gus(["r"]), np.zeros(2))
+
+
+class TestEstimateSum:
+    def test_estimate_on_known_sample(self):
+        """End-to-end estimate on a hand-checkable Bernoulli sample."""
+        g = bernoulli_gus("r", 0.5)
+        f = np.array([2.0, 4.0])
+        lineage = {"r": np.array([0, 1])}
+        est = estimate_sum(g, f, lineage)
+        assert est.value == pytest.approx(12.0)
+        # Ŷ_r = Σf²/b_r = 20/0.5 = 40; Ŷ_∅ = (36 − (b_r − b_∅)/b_r·... )
+        # easier: σ̂² = (1−p)/p Σ f²/p = closed form on Ŷ_r.
+        assert est.variance_raw == pytest.approx((1 - 0.5) / 0.5 * 40.0)
+        assert est.n_sample == 2
+        assert not est.clamped
+
+    def test_empty_sample_estimates_zero(self):
+        g = bernoulli_gus("r", 0.5)
+        est = estimate_sum(g, np.empty(0), {"r": np.empty(0, dtype=np.int64)})
+        assert est.value == 0.0
+        assert est.variance == 0.0
+
+    def test_null_sampling_rejected(self):
+        from repro.core.gus import null_gus
+
+        with pytest.raises(EstimationError, match="a = 0"):
+            estimate_sum(null_gus(["r"]), np.ones(1), {"r": np.zeros(1)})
+
+    def test_estimate_prunes_inactive_dims(self):
+        g = join_gus(bernoulli_gus("l", 0.5), bernoulli_gus("o", 1.0))
+        f = np.array([1.0, 2.0])
+        lineage = {"l": np.array([0, 1]), "o": np.array([7, 7])}
+        est = estimate_sum(g, f, lineage)
+        assert est.extras["active_dims"] == ("l",)
+
+    def test_negative_variance_is_clamped_and_flagged(self):
+        est = Estimate(value=1.0, variance_raw=-2.0, n_sample=3)
+        assert est.clamped
+        assert est.variance == 0.0
+        assert est.std == 0.0
+
+    def test_ci_and_quantile_passthrough(self):
+        est = Estimate(value=100.0, variance_raw=25.0, n_sample=10)
+        ci = est.ci(0.95, "normal")
+        assert ci.lo == pytest.approx(100 - 1.96 * 5, abs=0.01)
+        assert ci.hi == pytest.approx(100 + 1.96 * 5, abs=0.01)
+        cheb = est.ci(0.95, "chebyshev")
+        assert cheb.width > ci.width
+        assert est.quantile(0.5) == pytest.approx(100.0)
+        assert est.quantile(0.95) > 100.0
+
+    def test_relative_std(self):
+        est = Estimate(value=10.0, variance_raw=4.0, n_sample=5)
+        assert est.relative_std() == pytest.approx(0.2)
+        zero = Estimate(value=0.0, variance_raw=4.0, n_sample=5)
+        assert zero.relative_std() == float("inf")
+
+
+class TestVarianceSanity:
+    def test_full_sampling_has_zero_variance(self):
+        g = bernoulli_gus("r", 1.0)
+        f = np.array([1.0, 2.0, 3.0])
+        _, var = exact_moments(g, f, {"r": np.arange(3)})
+        assert var == pytest.approx(0.0, abs=1e-12)
+
+    def test_variance_decreases_with_rate(self):
+        f = np.random.default_rng(0).normal(size=50)
+        lineage = {"r": np.arange(50)}
+        variances = [
+            exact_moments(bernoulli_gus("r", p), f, lineage)[1]
+            for p in (0.1, 0.3, 0.5, 0.9)
+        ]
+        assert variances == sorted(variances, reverse=True)
+
+    def test_wor_beats_bernoulli_at_same_rate(self):
+        """Fixed-size designs have no size variance: for equal a the WOR
+        variance is no larger than Bernoulli's for constant f."""
+        f = np.ones(20)
+        lineage = {"r": np.arange(20)}
+        _, var_b = exact_moments(bernoulli_gus("r", 0.25), f, lineage)
+        _, var_w = exact_moments(
+            without_replacement_gus("r", 5, 20), f, lineage
+        )
+        assert var_w < var_b

@@ -1,0 +1,215 @@
+"""Monte-Carlo SOA-equivalence verification (Proposition 3 as a test).
+
+These tests execute original sampled plans thousands of times and check
+that the rewritten single-GUS form predicts the first- and second-order
+inclusion probabilities and the aggregate moments — the operational
+meaning of "the rewrite is SOA-equivalent".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.soa import pair_inclusion_check, soa_check
+from repro.relational.database import Database
+from repro.relational.expressions import col
+from repro.relational.plan import (
+    Join,
+    LineageSample,
+    Scan,
+    Select,
+    TableSample,
+)
+from repro.sampling import (
+    Bernoulli,
+    BiDimensionalBernoulli,
+    BlockBernoulli,
+    WithoutReplacement,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = Database(seed=1)
+    rng = np.random.default_rng(2)
+    n_o, n_l = 12, 40
+    db.create_table(
+        "orders",
+        {
+            "o_orderkey": np.arange(n_o, dtype=np.int64),
+            "o_price": rng.uniform(1, 10, n_o),
+        },
+    )
+    db.create_table(
+        "lineitem",
+        {
+            "l_orderkey": rng.integers(0, n_o, n_l).astype(np.int64),
+            "l_value": rng.uniform(0, 5, n_l),
+        },
+    )
+    return db
+
+
+class TestSelectCommutes:
+    def test_bernoulli_then_select(self, db):
+        plan = Select(
+            TableSample(Scan("lineitem"), Bernoulli(0.4)),
+            col("l_value") > 1.0,
+        )
+        report = soa_check(
+            db.tables, plan, col("l_value"), trials=3000, seed=10
+        )
+        assert report.ok(), report
+
+
+class TestJoinCommutes:
+    def test_query1_shape(self, db):
+        plan = Join(
+            TableSample(Scan("lineitem"), Bernoulli(0.5)),
+            TableSample(Scan("orders"), WithoutReplacement(6)),
+            ["l_orderkey"],
+            ["o_orderkey"],
+        )
+        report = soa_check(
+            db.tables, plan, col("l_value") * col("o_price"),
+            trials=3000, seed=11,
+        )
+        assert report.ok(), report
+
+    def test_pair_inclusion_probabilities(self, db):
+        plan = Join(
+            TableSample(Scan("lineitem"), Bernoulli(0.5)),
+            TableSample(Scan("orders"), WithoutReplacement(6)),
+            ["l_orderkey"],
+            ["o_orderkey"],
+        )
+        worst = pair_inclusion_check(
+            db.tables, plan, trials=3000, seed=12, max_pairs=80
+        )
+        # b values here are ≥ 0.0875; binomial 5σ at 3000 trials ≈ .04.
+        assert worst < 0.05
+
+
+class TestBlockSampling:
+    def test_block_lineage_analysis_holds(self, db):
+        plan = TableSample(Scan("lineitem"), BlockBernoulli(0.5, 8))
+        report = soa_check(
+            db.tables, plan, col("l_value"), trials=3000, seed=13
+        )
+        assert report.ok(), report
+
+
+class TestSetOperations:
+    def test_union_rule_matches_reality(self, db):
+        """Prop 7's parameter map against executed unions."""
+        from repro.relational.plan import Union
+
+        # TableSample draws fresh randomness per execution, so the two
+        # branches are genuinely independent samples of lineitem.
+        plan = Union(
+            TableSample(Scan("lineitem"), Bernoulli(0.4)),
+            TableSample(Scan("lineitem"), Bernoulli(0.5)),
+        )
+        report = soa_check(
+            db.tables, plan, col("l_value"), trials=3000, seed=21
+        )
+        assert report.predicted_a == pytest.approx(0.4 + 0.5 - 0.2)
+        assert report.ok(), report
+
+    def test_intersect_rule_matches_reality(self, db):
+        from repro.relational.plan import Intersect
+
+        plan = Intersect(
+            TableSample(Scan("lineitem"), Bernoulli(0.6)),
+            TableSample(Scan("lineitem"), Bernoulli(0.7)),
+        )
+        report = soa_check(
+            db.tables, plan, col("l_value"), trials=3000, seed=22
+        )
+        assert report.predicted_a == pytest.approx(0.42)
+        assert report.ok(), report
+
+
+class TestSubsampledPlan:
+    def test_fixed_seed_hash_filter_is_deterministic(self, db):
+        """With a fixed seed the hash sub-sampler always keeps the same
+        lineage ids — the consistency Section 7 requires.  (Its
+        statistical behaviour is only Bernoulli across *seeds*, which
+        the fresh-seed test below verifies.)"""
+        sub = BiDimensionalBernoulli(
+            {"lineitem": 0.7, "orders": 0.8}, seed=99
+        )
+        plan = LineageSample(
+            Join(
+                TableSample(Scan("lineitem"), Bernoulli(1.0)),
+                TableSample(Scan("orders"), WithoutReplacement(12)),
+                ["l_orderkey"],
+                ["o_orderkey"],
+            ),
+            sub,
+        )
+        from repro.relational.executor import Executor
+
+        kept = [
+            set(
+                zip(
+                    *[
+                        Executor(db.tables, np.random.default_rng(t))
+                        .execute(plan)
+                        .lineage[r]
+                        .tolist()
+                        for r in ("lineitem", "orders")
+                    ]
+                )
+            )
+            for t in range(5)
+        ]
+        assert all(k == kept[0] for k in kept[1:])
+
+    def test_rewrite_variance_matches_mc_variance(self, db):
+        """With a fresh seed per trial the hash filter behaves like a
+        true Bernoulli process and the full report must hold."""
+        from repro.core.estimator import exact_moments
+        from repro.core.rewrite import rewrite_to_top_gus
+        from repro.relational.executor import Executor
+        from repro.relational.plan import strip_sampling
+
+        base = Join(
+            TableSample(Scan("lineitem"), Bernoulli(0.6)),
+            TableSample(Scan("orders"), WithoutReplacement(8)),
+            ["l_orderkey"],
+            ["o_orderkey"],
+        )
+        sizes = db.sizes()
+        f_expr = col("l_value")
+
+        # Analytic: composed GUS of one representative plan.
+        plan0 = LineageSample(
+            base,
+            BiDimensionalBernoulli({"lineitem": 0.7, "orders": 0.8}, seed=0),
+        )
+        params = rewrite_to_top_gus(plan0, sizes).params
+        full = Executor(db.tables, np.random.default_rng(0)).execute(
+            strip_sampling(plan0)
+        )
+        f_full = np.asarray(f_expr.eval(full), dtype=np.float64)
+        mean_pred, var_pred = exact_moments(params, f_full, full.lineage)
+
+        rng = np.random.default_rng(15)
+        trials = 3000
+        xs = np.empty(trials)
+        for t in range(trials):
+            plan_t = LineageSample(
+                base,
+                BiDimensionalBernoulli(
+                    {"lineitem": 0.7, "orders": 0.8}, seed=int(rng.integers(2**31))
+                ),
+            )
+            sample = Executor(db.tables, rng).execute(plan_t)
+            f = np.asarray(f_expr.eval(sample), dtype=np.float64)
+            xs[t] = f.sum() / params.a
+        assert xs.mean() == pytest.approx(
+            mean_pred, abs=5 * xs.std() / np.sqrt(trials)
+        )
+        assert xs.var() == pytest.approx(var_pred, rel=0.2)

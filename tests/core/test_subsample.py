@@ -1,0 +1,147 @@
+"""Unit tests for the Section 7 sub-sampled variance estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import estimate_sum
+from repro.core.gus import bernoulli_gus, null_gus
+from repro.core.algebra import join_gus
+from repro.core.subsample import (
+    DEFAULT_TARGET_ROWS,
+    SubsampleSpec,
+    subsampled_estimate,
+)
+from repro.errors import EstimationError
+
+from tests.enumeration import JoinedWorld, bernoulli_outcomes
+
+
+class TestSubsampleSpec:
+    def test_uniform_rate(self):
+        spec = SubsampleSpec(rate=0.25)
+        assert spec.rates_for(("a", "b"), 100_000) == {"a": 0.25, "b": 0.25}
+
+    def test_per_dimension_mapping(self):
+        spec = SubsampleSpec(rate={"a": 0.5, "b": 0.25})
+        assert spec.rates_for(("a", "b"), 10) == {"a": 0.5, "b": 0.25}
+
+    def test_missing_dimension_rejected(self):
+        spec = SubsampleSpec(rate={"a": 0.5})
+        with pytest.raises(EstimationError, match="missing"):
+            spec.rates_for(("a", "b"), 10)
+
+    def test_target_rows_auto_rate(self):
+        spec = SubsampleSpec(target_rows=1_000)
+        rates = spec.rates_for(("a", "b"), 100_000)
+        overall = rates["a"] * rates["b"]
+        assert overall == pytest.approx(0.01, rel=1e-6)
+        # Per-dimension rates are the k-th root of the overall rate.
+        assert rates["a"] == pytest.approx(0.1, rel=1e-6)
+
+    def test_small_samples_not_subsampled(self):
+        spec = SubsampleSpec(target_rows=DEFAULT_TARGET_ROWS)
+        rates = spec.rates_for(("a",), 500)
+        assert rates == {"a": 1.0}
+
+    def test_no_dims(self):
+        assert SubsampleSpec().rates_for((), 10) == {}
+
+
+class TestSubsampledEstimate:
+    def _world(self, p=0.6):
+        values = [2.0, -1.0, 4.0, 3.0]
+        rows = [({"r": i}, v) for i, v in enumerate(values)]
+        return JoinedWorld(
+            rows, {"r": list(bernoulli_outcomes(range(4), p))}
+        )
+
+    def test_point_estimate_from_full_sample(self):
+        g = bernoulli_gus("r", 0.5)
+        f = np.array([1.0, 2.0, 3.0])
+        lineage = {"r": np.arange(3, dtype=np.int64)}
+        est = subsampled_estimate(
+            g, f, lineage, SubsampleSpec(rate=0.5, seed=1)
+        )
+        # Point estimate always uses the FULL sample.
+        assert est.value == pytest.approx(12.0)
+        assert est.n_sample == 3
+
+    def test_expected_variance_estimate_is_unbiased(self):
+        """E over both stages (sample AND sub-sample seeds) ≈ σ²."""
+        p = 0.6
+        g = bernoulli_gus("r", p)
+        world = self._world(p)
+        _, true_var = world.estimator_moments(p)
+
+        def statistic(f, lineage):
+            # Average over sub-sampling seeds for the inner stage.
+            inner = [
+                subsampled_estimate(
+                    g,
+                    f,
+                    lineage,
+                    SubsampleSpec(rate=0.7, seed=seed),
+                ).variance_raw
+                for seed in range(40)
+            ]
+            return np.array([np.mean(inner)])
+
+        expected = world.expected_statistic(statistic)[0]
+        # The hash filter is deterministic per (seed, id); averaging 40
+        # seeds approximates the Bernoulli ensemble, so allow a few %.
+        assert expected == pytest.approx(true_var, rel=0.15)
+
+    def test_null_sampling_rejected(self):
+        with pytest.raises(EstimationError, match="a = 0"):
+            subsampled_estimate(
+                null_gus(["r"]),
+                np.ones(1),
+                {"r": np.zeros(1, dtype=np.int64)},
+                SubsampleSpec(),
+            )
+
+    def test_unsampled_plan_gets_zero_variance(self):
+        from repro.core.gus import identity_gus
+
+        g = identity_gus(["r"])
+        est = subsampled_estimate(
+            g,
+            np.array([1.0, 2.0]),
+            {"r": np.arange(2, dtype=np.int64)},
+            SubsampleSpec(rate=0.5),
+        )
+        assert est.value == pytest.approx(3.0)
+        assert est.variance == 0.0
+
+    def test_two_dimensional_subsample(self):
+        g = join_gus(bernoulli_gus("a", 0.5), bernoulli_gus("b", 0.5))
+        rng = np.random.default_rng(3)
+        n = 2000
+        f = rng.uniform(0, 1, n)
+        lineage = {
+            "a": rng.integers(0, 300, n).astype(np.int64),
+            "b": rng.integers(0, 150, n).astype(np.int64),
+        }
+        full = estimate_sum(g, f, lineage)
+        sub = subsampled_estimate(
+            g, f, lineage, SubsampleSpec(rate=0.6, seed=5)
+        )
+        assert sub.value == pytest.approx(full.value)
+        # Same order of magnitude; both estimate the same σ².
+        assert sub.variance_raw == pytest.approx(
+            full.variance_raw, rel=1.0
+        )
+        assert sub.extras["n_subsample"] < n
+
+    def test_deterministic_given_seed(self):
+        g = bernoulli_gus("r", 0.5)
+        rng = np.random.default_rng(0)
+        f = rng.uniform(0, 1, 500)
+        lineage = {"r": np.arange(500, dtype=np.int64)}
+        spec = SubsampleSpec(rate=0.3, seed=9)
+        a = subsampled_estimate(g, f, lineage, spec)
+        b = subsampled_estimate(g, f, lineage, spec)
+        assert a.variance_raw == b.variance_raw
+        assert a.extras["n_subsample"] == b.extras["n_subsample"]

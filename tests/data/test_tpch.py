@@ -1,0 +1,141 @@
+"""Data-generator tests: determinism, integrity, distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import skewed_ints, zipf_ranks
+from repro.data.tpch import TPCH_TABLES, generate_tpch, tpch_database
+from repro.data.workloads import (
+    FIGURE4_SQL,
+    QUERY1_SQL,
+    all_paper_plans,
+    figure4_plan,
+    figure5_plan,
+    query1_plan,
+)
+from repro.errors import ReproError
+
+
+class TestDistributions:
+    def test_zipf_support(self):
+        rng = np.random.default_rng(0)
+        ranks = zipf_ranks(10_000, 50, 1.0, rng)
+        assert ranks.min() >= 0 and ranks.max() < 50
+
+    def test_zipf_skew_increases_with_alpha(self):
+        rng = np.random.default_rng(0)
+        flat = zipf_ranks(20_000, 100, 0.0, rng)
+        skewed = zipf_ranks(20_000, 100, 1.5, rng)
+        # Rank 0 share grows with alpha.
+        assert (skewed == 0).mean() > (flat == 0).mean() * 3
+
+    def test_zipf_alpha_zero_uniform(self):
+        rng = np.random.default_rng(1)
+        ranks = zipf_ranks(50_000, 10, 0.0, rng)
+        counts = np.bincount(ranks, minlength=10)
+        assert np.all(np.abs(counts - 5000) < 400)
+
+    def test_skewed_ints_permutes_popularity(self):
+        rng = np.random.default_rng(2)
+        ids = skewed_ints(10_000, 100, rng, alpha=1.2)
+        top = np.argmax(np.bincount(ids, minlength=100))
+        # With the shuffle the most popular id is rarely id 0.
+        unshuffled = skewed_ints(
+            10_000, 100, np.random.default_rng(2), alpha=1.2, shuffle=False
+        )
+        assert np.argmax(np.bincount(unshuffled, minlength=100)) == 0
+        assert ids.min() >= 0 and ids.max() < 100
+        assert top < 100
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            zipf_ranks(10, 0, 1.0, np.random.default_rng(0))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_tpch(scale=0.01, seed=5)
+        b = generate_tpch(scale=0.01, seed=5)
+        for name in a:
+            np.testing.assert_array_equal(
+                a[name].column(a[name].schema.names[0]),
+                b[name].column(b[name].schema.names[0]),
+            )
+
+    def test_different_seeds_differ(self):
+        a = generate_tpch(scale=0.01, seed=5)
+        b = generate_tpch(scale=0.01, seed=6)
+        assert not np.array_equal(
+            a["orders"].column("o_totalprice"),
+            b["orders"].column("o_totalprice"),
+        )
+
+    def test_cardinalities_scale(self):
+        small = generate_tpch(scale=0.01, seed=0)
+        large = generate_tpch(scale=0.1, seed=0)
+        assert large["orders"].n_rows > 5 * small["orders"].n_rows
+        assert large["orders"].n_rows == round(TPCH_TABLES["orders"] * 0.1)
+
+    def test_foreign_keys_valid(self):
+        tables = generate_tpch(scale=0.02, seed=1)
+        orders = tables["orders"]
+        lineitem = tables["lineitem"]
+        customer = tables["customer"]
+        part = tables["part"]
+        assert orders.column("o_custkey").max() < customer.n_rows
+        assert lineitem.column("l_orderkey").max() < orders.n_rows
+        assert lineitem.column("l_partkey").max() < part.n_rows
+
+    def test_every_order_has_lines(self):
+        tables = generate_tpch(scale=0.02, seed=1)
+        keys = set(tables["lineitem"].column("l_orderkey").tolist())
+        assert keys == set(range(tables["orders"].n_rows))
+
+    def test_lineitem_numbering(self):
+        tables = generate_tpch(scale=0.01, seed=3)
+        ln = tables["lineitem"].column("l_linenumber")
+        assert ln.min() == 1 and ln.max() <= 7
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            generate_tpch(scale=0)
+
+    def test_database_helper(self):
+        db = tpch_database(scale=0.01, seed=0)
+        assert set(db.tables) == set(TPCH_TABLES) | {"lineitem"}
+
+
+class TestWorkloads:
+    def test_query1_sql_runs(self, tpch_db):
+        res = tpch_db.sql(QUERY1_SQL, seed=1)
+        exact = tpch_db.sql_exact(QUERY1_SQL).to_rows()[0][0]
+        est = res.estimates["revenue"]
+        # Single draw: just confirm the right order of magnitude and a
+        # usable interval (full calibration is covered elsewhere).
+        assert est.value > 0
+        assert est.ci(0.999, "chebyshev").contains(exact) or (
+            abs(est.value - exact) / exact < 0.5
+        )
+
+    def test_query1_plan_equals_sql_gus(self, tpch_db):
+        sql_plan = tpch_db.plan_sql(QUERY1_SQL)
+        manual = query1_plan()
+        sql_gus = tpch_db.analyze(sql_plan).params
+        manual_gus = tpch_db.analyze(manual).params
+        assert sql_gus.approx_equal(manual_gus)
+
+    def test_figure4_sql_matches_plan_builder(self, tpch_db):
+        sql_gus = tpch_db.analyze(tpch_db.plan_sql(FIGURE4_SQL)).params
+        manual_gus = tpch_db.analyze(figure4_plan()).params
+        assert sql_gus.approx_equal(manual_gus)
+
+    def test_figure5_plan_runs(self, tpch_db):
+        res = tpch_db.estimate(figure5_plan(seed=4), seed=4)
+        assert "revenue" in res.estimates
+
+    def test_all_paper_plans_analyzable(self, tpch_db):
+        for name, plan in all_paper_plans().items():
+            rewrite = tpch_db.analyze(plan)
+            assert rewrite.params.a > 0, name

@@ -1,0 +1,156 @@
+"""Brute-force sampling-distribution oracles for the test suite.
+
+These helpers enumerate *entire* sampling distributions on tiny inputs
+so the GUS estimator can be checked exactly (not statistically):
+
+* :func:`bernoulli_outcomes` / :func:`wor_outcomes` enumerate every
+  possible sample of a single base relation with its probability;
+* :class:`JoinedWorld` models a multi-relation SPJ result as a list of
+  rows, each carrying its base-relation lineage and an ``f`` value, and
+  exposes exact moments of the Theorem 1 estimator plus the exact
+  expectation of any statistic of the sample.
+
+The enumerations are exponential and are only meant for relations of a
+handful of tuples — which is all an exact oracle needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+def bernoulli_outcomes(ids: Sequence[int], p: float) -> Iterator[tuple[float, frozenset[int]]]:
+    """Yield ``(probability, kept-ids)`` for Bernoulli(p) over ``ids``."""
+    n = len(ids)
+    for bits in range(1 << n):
+        kept = frozenset(ids[i] for i in range(n) if bits >> i & 1)
+        k = len(kept)
+        prob = (p**k) * ((1.0 - p) ** (n - k))
+        if prob > 0.0:
+            yield prob, kept
+
+
+def wor_outcomes(ids: Sequence[int], size: int) -> Iterator[tuple[float, frozenset[int]]]:
+    """Yield ``(probability, kept-ids)`` for a size-``size`` WOR draw."""
+    total = math.comb(len(ids), size)
+    prob = 1.0 / total
+    for combo in itertools.combinations(ids, size):
+        yield prob, frozenset(combo)
+
+
+class JoinedWorld:
+    """Exact oracle for a multi-relation query result under sampling.
+
+    ``rows`` is the *full-data* query result: each row is
+    ``(lineage, f)`` where ``lineage`` maps base-relation names to the
+    lineage id contributed by that relation.  ``outcome_spaces`` maps
+    each sampled relation name to an iterable of ``(prob, kept-ids)``
+    outcomes; unsampled relations are simply absent.
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[tuple[Mapping[str, int], float]],
+        outcome_spaces: Mapping[str, Sequence[tuple[float, frozenset[int]]]],
+    ) -> None:
+        self.rows = list(rows)
+        self.spaces = {name: list(space) for name, space in outcome_spaces.items()}
+
+    @property
+    def total(self) -> float:
+        """The true aggregate ``A = Σ f`` over the full result."""
+        return float(sum(f for _, f in self.rows))
+
+    def outcomes(self) -> Iterator[tuple[float, list[tuple[Mapping[str, int], float]]]]:
+        """Enumerate joint outcomes as ``(prob, surviving rows)``."""
+        names = list(self.spaces)
+        for combo in itertools.product(*(self.spaces[n] for n in names)):
+            prob = math.prod(pr for pr, _ in combo)
+            kept = {name: kept_ids for name, (_, kept_ids) in zip(names, combo)}
+            rows = [
+                (lin, f)
+                for lin, f in self.rows
+                if all(lin[name] in kept[name] for name in names)
+            ]
+            yield prob, rows
+
+    def estimator_moments(self, a: float) -> tuple[float, float]:
+        """Exact ``(E[X], Var[X])`` of ``X = (Σ_sample f)/a``."""
+        mean = 0.0
+        second = 0.0
+        for prob, rows in self.outcomes():
+            x = sum(f for _, f in rows) / a
+            mean += prob * x
+            second += prob * x * x
+        return mean, second - mean * mean
+
+    def expected_statistic(
+        self,
+        statistic: Callable[[np.ndarray, dict[str, np.ndarray]], np.ndarray],
+    ) -> np.ndarray:
+        """Exact expectation of a vector statistic of the sample.
+
+        ``statistic(f_values, lineage_columns)`` is evaluated on every
+        outcome's surviving rows and averaged with the outcome
+        probabilities.  Used to verify ``E[Ŷ_S] = y_S``.
+        """
+        acc: np.ndarray | None = None
+        rel_names = sorted({name for lin, _ in self.rows for name in lin})
+        for prob, rows in self.outcomes():
+            f = np.array([v for _, v in rows], dtype=np.float64)
+            lineage = {
+                name: np.array([lin[name] for lin, _ in rows], dtype=np.int64)
+                for name in rel_names
+            }
+            value = np.asarray(statistic(f, lineage), dtype=np.float64)
+            acc = prob * value if acc is None else acc + prob * value
+        assert acc is not None
+        return acc
+
+    def inclusion_probabilities(self) -> dict[int, float]:
+        """Exact ``P[row i survives]`` for each full-result row index."""
+        probs = {i: 0.0 for i in range(len(self.rows))}
+        for prob, rows in self.outcomes():
+            surviving = {id(r) for r in rows}
+            for i, row in enumerate(self.rows):
+                if id(row) in surviving:
+                    probs[i] += prob
+        return probs
+
+    def pair_inclusion_probabilities(self) -> dict[tuple[int, int], float]:
+        """Exact ``P[rows i and j both survive]`` for every pair."""
+        n = len(self.rows)
+        probs = {(i, j): 0.0 for i in range(n) for j in range(n)}
+        for prob, rows in self.outcomes():
+            surviving = [i for i, row in enumerate(self.rows) if any(r is row for r in rows)]
+            for i in surviving:
+                for j in surviving:
+                    probs[(i, j)] += prob
+        return probs
+
+
+def cross_join_world(
+    tables: Mapping[str, Sequence[tuple[int, float]]],
+    outcome_spaces: Mapping[str, Sequence[tuple[float, frozenset[int]]]],
+    join_pred: Callable[..., bool] | None = None,
+) -> JoinedWorld:
+    """Build a :class:`JoinedWorld` from per-relation ``(id, value)`` rows.
+
+    The full result is the cross product of the tables (optionally
+    filtered by ``join_pred(**{name: id})``); each result row's ``f`` is
+    the product of the constituent values — a simple stand-in for an
+    arbitrary multiplicative aggregate expression.
+    """
+    names = sorted(tables)
+    rows: list[tuple[dict[str, int], float]] = []
+    for combo in itertools.product(*(tables[n] for n in names)):
+        ids = {name: tid for name, (tid, _) in zip(names, combo)}
+        if join_pred is not None and not join_pred(**ids):
+            continue
+        f = math.prod(val for _, val in combo)
+        rows.append((ids, f))
+    return JoinedWorld(rows, outcome_spaces)

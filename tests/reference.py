@@ -1,0 +1,100 @@
+"""A brute-force nested-loop reference engine.
+
+Deliberately slow and simple: operates on Python row dicts so the
+vectorized engine's operators can be validated against obviously
+correct semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+
+Row = dict[str, object]
+
+
+def table_to_rows(table) -> list[Row]:
+    """Convert an engine Table (data + lineage) to reference rows."""
+    rows = []
+    for i in range(table.n_rows):
+        row: Row = {name: table.columns[name][i] for name in table.columns}
+        for rel, ids in table.lineage.items():
+            row[f"__lin_{rel}"] = int(ids[i])
+        rows.append(row)
+    return rows
+
+
+def ref_select(rows: list[Row], predicate: Callable[[Row], bool]) -> list[Row]:
+    return [r for r in rows if predicate(r)]
+
+
+def ref_join(
+    left: list[Row],
+    right: list[Row],
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> list[Row]:
+    out = []
+    for lr in left:
+        for rr in right:
+            if all(lr[a] == rr[b] for a, b in zip(left_keys, right_keys)):
+                merged = dict(lr)
+                merged.update(rr)
+                out.append(merged)
+    return out
+
+
+def ref_cross(left: list[Row], right: list[Row]) -> list[Row]:
+    out = []
+    for lr in left:
+        for rr in right:
+            merged = dict(lr)
+            merged.update(rr)
+            out.append(merged)
+    return out
+
+
+def _lineage_key(row: Row) -> tuple:
+    return tuple(
+        (k, row[k]) for k in sorted(row) if k.startswith("__lin_")
+    )
+
+
+def ref_union(left: list[Row], right: list[Row]) -> list[Row]:
+    seen = set()
+    out = []
+    for row in left + right:
+        key = _lineage_key(row)
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def ref_intersect(left: list[Row], right: list[Row]) -> list[Row]:
+    right_keys = {_lineage_key(r) for r in right}
+    return [r for r in left if _lineage_key(r) in right_keys]
+
+
+def ref_sum(rows: list[Row], f: Callable[[Row], float]) -> float:
+    return float(sum(f(r) for r in rows))
+
+
+def rows_multiset(rows: list[Row]) -> dict:
+    """Multiset view for order-insensitive comparison."""
+    counted: dict = {}
+    for row in rows:
+        key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+        counted[key] = counted.get(key, 0) + 1
+    return counted
+
+
+def _hashable(value):
+    try:
+        hash(value)
+    except TypeError:
+        return str(value)
+    # Normalise numpy scalars to Python for cross-engine comparison.
+    if hasattr(value, "item"):
+        return value.item()
+    return value

@@ -1,0 +1,122 @@
+"""Database façade tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.plan import Scan
+from repro.relational.table import Table
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        db = Database()
+        table = db.create_table("t", {"x": np.arange(3)})
+        assert table.name == "t"
+        assert db.table("t").n_rows == 3
+        assert db.sizes() == {"t": 3}
+
+    def test_duplicate_rejected(self):
+        db = Database()
+        db.create_table("t", {"x": np.arange(3)})
+        with pytest.raises(SchemaError, match="already exists"):
+            db.create_table("t", {"x": np.arange(3)})
+
+    def test_register_renames(self):
+        db = Database()
+        anon = Table(None, {"x": np.arange(2)})
+        named = db.register("foo", anon)
+        assert named.name == "foo"
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", {"x": np.arange(3)})
+        db.drop_table("t")
+        with pytest.raises(SchemaError, match="no table"):
+            db.table("t")
+        with pytest.raises(SchemaError, match="no table"):
+            db.drop_table("t")
+
+    def test_from_tables(self):
+        tables = {"a": Table(None, {"x": np.arange(2)})}
+        db = Database.from_tables(tables)
+        assert db.table("a").n_rows == 2
+
+    def test_repr_lists_tables(self):
+        db = Database()
+        db.create_table("zeta", {"x": np.arange(5)})
+        assert "zeta(5)" in repr(db)
+
+
+class TestExecutionSeeding:
+    def test_seeded_runs_reproduce(self, small_db):
+        from repro.relational.plan import TableSample
+        from repro.sampling import Bernoulli
+
+        plan = TableSample(Scan("lineitem"), Bernoulli(0.5))
+        t1 = small_db.execute(plan, seed=11)
+        t2 = small_db.execute(plan, seed=11)
+        np.testing.assert_array_equal(
+            t1.lineage["lineitem"], t2.lineage["lineitem"]
+        )
+
+    def test_unseeded_runs_advance_stream(self, small_db):
+        from repro.relational.plan import TableSample
+        from repro.sampling import Bernoulli
+
+        plan = TableSample(Scan("lineitem"), Bernoulli(0.5))
+        draws = {
+            tuple(small_db.execute(plan).lineage["lineitem"].tolist())
+            for _ in range(12)
+        }
+        assert len(draws) > 1  # the shared stream moves
+
+
+class TestExplain:
+    def test_explain_shows_both_plans(self, small_db):
+        from repro.data.workloads import query1_plan
+
+        text = small_db.explain(query1_plan(0.5, 2))
+        assert "executable plan" in text
+        assert "SOA-equivalent" in text
+        assert "GUS" in text
+        assert "TableSample" in text
+
+    def test_analyze_accepts_aggregate_or_expression(self, small_db):
+        from repro.data.workloads import query1_plan
+
+        plan = query1_plan(0.5, 2)
+        from_agg = small_db.analyze(plan)
+        from_child = small_db.analyze(plan.child)
+        assert from_agg.params.approx_equal(from_child.params)
+
+
+class TestSQLIntegration:
+    def test_sql_returns_table_for_projection(self, small_db):
+        out = small_db.sql("SELECT l_orderkey FROM lineitem")
+        assert isinstance(out, Table)
+        assert out.n_rows == 6
+
+    def test_sql_returns_result_for_aggregate(self, small_db):
+        out = small_db.sql("SELECT COUNT(*) AS n FROM lineitem")
+        assert out["n"] == pytest.approx(6.0)
+        assert out.estimates["n"].variance == pytest.approx(0.0)
+
+    def test_sql_exact_strips_sampling(self, small_db):
+        exact = small_db.sql_exact(
+            "SELECT SUM(l_extendedprice) AS s FROM lineitem "
+            "TABLESAMPLE (1 PERCENT)"
+        )
+        assert exact.to_rows()[0][0] == pytest.approx(700.0)
+
+    def test_sql_seed_reproducible(self, small_db):
+        text = (
+            "SELECT SUM(l_extendedprice) AS s FROM lineitem "
+            "TABLESAMPLE (50 PERCENT)"
+        )
+        a = small_db.sql(text, seed=5)
+        b = small_db.sql(text, seed=5)
+        assert a["s"] == b["s"]

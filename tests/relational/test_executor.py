@@ -1,0 +1,273 @@
+"""Executor semantics vs. the brute-force reference engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError, PlanError, SchemaError, SelfJoinError
+from repro.relational.database import Database
+from repro.relational.executor import Executor, join_indices
+from repro.relational.expressions import col, lit
+from repro.relational.plan import (
+    Aggregate,
+    AggSpec,
+    CrossProduct,
+    GUSNode,
+    Intersect,
+    Join,
+    Project,
+    Scan,
+    Select,
+    TableSample,
+    Union,
+)
+from repro.sampling import Bernoulli, LineageHashBernoulli
+
+from tests.reference import (
+    ref_cross,
+    ref_join,
+    ref_select,
+    rows_multiset,
+    table_to_rows,
+)
+
+
+class TestJoinIndices:
+    def test_basic_match(self):
+        li, ri = join_indices(np.array([1, 2, 2, 3]), np.array([2, 3, 5]))
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (2, 0), (3, 1)]
+
+    def test_empty_sides(self):
+        li, ri = join_indices(np.empty(0, dtype=np.int64), np.array([1]))
+        assert li.size == 0 and ri.size == 0
+        li, ri = join_indices(np.array([1]), np.empty(0, dtype=np.int64))
+        assert li.size == 0 and ri.size == 0
+
+    def test_no_matches(self):
+        li, ri = join_indices(np.array([1, 2]), np.array([3, 4]))
+        assert li.size == 0
+
+    @given(
+        st.lists(st.integers(0, 8), max_size=40),
+        st.lists(st.integers(0, 8), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_nested_loop(self, left, right):
+        li, ri = join_indices(
+            np.array(left, dtype=np.int64), np.array(right, dtype=np.int64)
+        )
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        want = sorted(
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if lv == rv
+        )
+        assert got == want
+
+
+class TestOperators:
+    def test_scan_attaches_lineage(self, small_db):
+        t = small_db.execute(Scan("orders"))
+        np.testing.assert_array_equal(t.lineage["orders"], np.arange(4))
+
+    def test_unknown_table(self, small_db):
+        with pytest.raises(PlanError, match="unknown table"):
+            small_db.execute(Scan("nope"))
+
+    def test_select_matches_reference(self, small_db):
+        plan = Select(Scan("lineitem"), col("l_extendedprice") > 100.0)
+        got = table_to_rows(small_db.execute(plan))
+        ref = ref_select(
+            table_to_rows(small_db.execute(Scan("lineitem"))),
+            lambda r: r["l_extendedprice"] > 100.0,
+        )
+        assert rows_multiset(got) == rows_multiset(ref)
+
+    def test_join_matches_reference(self, small_db):
+        plan = Join(
+            Scan("lineitem"), Scan("orders"), ["l_orderkey"], ["o_orderkey"]
+        )
+        got = table_to_rows(small_db.execute(plan))
+        ref = ref_join(
+            table_to_rows(small_db.execute(Scan("lineitem"))),
+            table_to_rows(small_db.execute(Scan("orders"))),
+            ["l_orderkey"],
+            ["o_orderkey"],
+        )
+        assert rows_multiset(got) == rows_multiset(ref)
+
+    def test_join_keeps_both_lineages(self, small_db):
+        plan = Join(
+            Scan("lineitem"), Scan("orders"), ["l_orderkey"], ["o_orderkey"]
+        )
+        t = small_db.execute(plan)
+        assert t.lineage_schema == {"lineitem", "orders"}
+        # Row count: orders 1 has 2 items, 2 has 1, 3 has 3, 4 has 0.
+        assert t.n_rows == 6
+
+    def test_cross_product_matches_reference(self, small_db):
+        plan = CrossProduct(Scan("lineitem"), Scan("orders"))
+        got = table_to_rows(small_db.execute(plan))
+        ref = ref_cross(
+            table_to_rows(small_db.execute(Scan("lineitem"))),
+            table_to_rows(small_db.execute(Scan("orders"))),
+        )
+        assert rows_multiset(got) == rows_multiset(ref)
+        assert len(got) == 24
+
+    def test_project_expressions(self, small_db):
+        plan = Project(
+            Scan("orders"), {"double": col("o_totalprice") * 2}
+        )
+        t = small_db.execute(plan)
+        assert t.schema.names == ("double",)
+        np.testing.assert_allclose(t.column("double"), [20, 40, 60, 80])
+        assert t.lineage_schema == {"orders"}
+
+    def test_project_passthrough(self, small_db):
+        t = small_db.execute(Project(Scan("orders"), None))
+        assert t.schema.names == ("o_orderkey", "o_totalprice")
+
+    def test_join_column_collision_rejected(self):
+        db = Database()
+        db.create_table("a", {"k": np.arange(3)})
+        db.create_table("b", {"k": np.arange(3)})
+        with pytest.raises(SchemaError, match="share column"):
+            db.execute(Join(Scan("a"), Scan("b"), ["k"], ["k"]))
+
+    def test_self_join_rejected_at_plan_time(self):
+        with pytest.raises(SelfJoinError):
+            Join(Scan("a"), Scan("a"), ["k"], ["k"])
+        with pytest.raises(SelfJoinError):
+            CrossProduct(Scan("a"), Scan("a"))
+
+    def test_gus_node_refuses_execution(self, small_db):
+        from repro.core.gus import bernoulli_gus
+
+        plan = GUSNode(Scan("orders"), bernoulli_gus("orders", 0.5))
+        with pytest.raises(ExecutionError, match="quasi-operator"):
+            small_db.execute(plan)
+
+    def test_aggregate_exact_values(self, small_db):
+        plan = Aggregate(
+            Scan("lineitem"),
+            [
+                AggSpec("sum", col("l_extendedprice"), "s"),
+                AggSpec("count", None, "c"),
+                AggSpec("avg", col("l_extendedprice"), "a"),
+            ],
+        )
+        t = small_db.execute(plan)
+        row = t.to_rows()[0]
+        assert row[0] == pytest.approx(700.0)
+        assert row[1] == pytest.approx(6.0)
+        assert row[2] == pytest.approx(700.0 / 6)
+
+    def test_aggregate_empty_input(self, small_db):
+        plan = Aggregate(
+            Select(Scan("lineitem"), col("l_extendedprice") > 1e9),
+            [
+                AggSpec("sum", col("l_extendedprice"), "s"),
+                AggSpec("avg", col("l_extendedprice"), "a"),
+            ],
+        )
+        row = small_db.execute(plan).to_rows()[0]
+        assert row[0] == 0.0
+        assert np.isnan(row[1])
+
+
+class TestSetOperators:
+    def _two_samples(self, seed_a=1, seed_b=2):
+        scan = Scan("lineitem")
+        left = TableSample(scan, LineageHashBernoulli(0.6, seed=seed_a))
+        right = TableSample(scan, LineageHashBernoulli(0.6, seed=seed_b))
+        return left, right
+
+    def test_union_deduplicates_by_lineage(self, small_db):
+        left, right = self._two_samples()
+        union = small_db.execute(Union(left, right))
+        l_tab = small_db.execute(left)
+        r_tab = small_db.execute(right)
+        expect = set(l_tab.lineage["lineitem"].tolist()) | set(
+            r_tab.lineage["lineitem"].tolist()
+        )
+        assert set(union.lineage["lineitem"].tolist()) == expect
+        assert union.n_rows == len(expect)
+
+    def test_intersect_by_lineage(self, small_db):
+        left, right = self._two_samples()
+        inter = small_db.execute(Intersect(left, right))
+        l_tab = small_db.execute(left)
+        r_tab = small_db.execute(right)
+        expect = set(l_tab.lineage["lineitem"].tolist()) & set(
+            r_tab.lineage["lineitem"].tolist()
+        )
+        assert set(inter.lineage["lineitem"].tolist()) == expect
+
+    def test_union_of_identical_is_identity(self, small_db):
+        scan = Scan("lineitem")
+        t = small_db.execute(Union(scan, scan))
+        assert t.n_rows == 6
+
+    def test_mismatched_lineage_schema_rejected(self):
+        with pytest.raises(PlanError, match="lineage schemas"):
+            Union(Scan("a"), Scan("b"))
+        with pytest.raises(PlanError, match="lineage schemas"):
+            Intersect(Scan("a"), Scan("b"))
+
+
+class TestSamplingExecution:
+    def test_table_sample_filters(self, small_db):
+        plan = TableSample(Scan("lineitem"), Bernoulli(0.5))
+        t = small_db.execute(plan, seed=3)
+        assert 0 <= t.n_rows <= 6
+        # lineage ids must be a subset of the base row ids
+        assert set(t.lineage["lineitem"].tolist()) <= set(range(6))
+
+    def test_tablesample_must_sit_on_scan(self, small_db):
+        select = Select(Scan("lineitem"), col("l_extendedprice") > 0)
+        with pytest.raises(PlanError, match="base tables"):
+            TableSample(select, Bernoulli(0.5))
+
+    def test_seeded_execution_is_deterministic(self, small_db):
+        plan = TableSample(Scan("lineitem"), Bernoulli(0.5))
+        t1 = small_db.execute(plan, seed=5)
+        t2 = small_db.execute(plan, seed=5)
+        np.testing.assert_array_equal(
+            t1.lineage["lineitem"], t2.lineage["lineitem"]
+        )
+
+
+class TestStripSampling:
+    def test_strip_produces_exact_plan(self, small_db):
+        from repro.data.workloads import query1_plan
+        from repro.relational.plan import contains_sampling, strip_sampling
+
+        plan = query1_plan(0.5, 2)
+        assert contains_sampling(plan)
+        stripped = strip_sampling(plan)
+        assert not contains_sampling(stripped)
+
+    def test_exact_execution_matches_manual(self, small_db):
+        plan = Aggregate(
+            Select(
+                Join(
+                    TableSample(Scan("lineitem"), Bernoulli(0.3)),
+                    Scan("orders"),
+                    ["l_orderkey"],
+                    ["o_orderkey"],
+                ),
+                col("l_extendedprice") > 100.0,
+            ),
+            [AggSpec("sum", col("l_discount") * (lit(1.0) - col("l_tax")), "r")],
+        )
+        exact = small_db.execute_exact(plan).to_rows()[0][0]
+        # Rows with l_extendedprice > 100: prices 150 (d=.05, t=.04),
+        # 200 (d=0), 120 (d=.02, t=.03); every order key matches.
+        expected = 0.05 * (1 - 0.04) + 0.0 + 0.02 * (1 - 0.03)
+        assert exact == pytest.approx(expected)

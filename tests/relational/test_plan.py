@@ -1,0 +1,192 @@
+"""Plan-node structural tests: fingerprints, lineage schemas, walking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gus import bernoulli_gus
+from repro.errors import PlanError
+from repro.relational.expressions import col
+from repro.relational.plan import (
+    Aggregate,
+    AggSpec,
+    CrossProduct,
+    GUSNode,
+    Intersect,
+    Join,
+    LineageSample,
+    Project,
+    Scan,
+    Select,
+    TableSample,
+    Union,
+    contains_sampling,
+    strip_sampling,
+    walk,
+)
+from repro.sampling import Bernoulli, BiDimensionalBernoulli
+
+
+def _query_plan():
+    join = Join(
+        TableSample(Scan("l"), Bernoulli(0.1)),
+        Scan("o"),
+        ["lk"],
+        ["ok"],
+    )
+    return Aggregate(
+        Select(join, col("price") > 10),
+        [AggSpec("sum", col("price"), "s")],
+    )
+
+
+class TestLineageSchema:
+    def test_propagates_through_tree(self):
+        plan = _query_plan()
+        assert plan.lineage_schema() == {"l", "o"}
+        assert plan.child.lineage_schema() == {"l", "o"}
+
+    def test_scan_is_singleton(self):
+        assert Scan("x").lineage_schema() == {"x"}
+
+    def test_gusnode_extends_schema(self):
+        node = GUSNode(Scan("l"), bernoulli_gus("l", 0.5))
+        assert node.lineage_schema() == {"l"}
+
+
+class TestFingerprints:
+    def test_identical_plans_share_fingerprint(self):
+        assert _query_plan().fingerprint() == _query_plan().fingerprint()
+
+    def test_different_predicates_differ(self):
+        a = Select(Scan("l"), col("x") > 1)
+        b = Select(Scan("l"), col("x") > 2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_different_sampling_differs(self):
+        a = TableSample(Scan("l"), Bernoulli(0.1))
+        b = TableSample(Scan("l"), Bernoulli(0.2))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_join_key_order_matters(self):
+        a = Join(Scan("l"), Scan("o"), ["a1"], ["b1"])
+        b = Join(Scan("l"), Scan("o"), ["a2"], ["b1"])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_node_kind_matters(self):
+        left = TableSample(Scan("l"), Bernoulli(0.5))
+        right = TableSample(Scan("l"), Bernoulli(0.5))
+        assert (
+            Union(left, right).fingerprint()
+            != Intersect(left, right).fingerprint()
+        )
+
+
+class TestWalkAndPretty:
+    def test_walk_preorder(self):
+        plan = _query_plan()
+        kinds = [type(n).__name__ for n in walk(plan)]
+        assert kinds == [
+            "Aggregate",
+            "Select",
+            "Join",
+            "TableSample",
+            "Scan",
+            "Scan",
+        ]
+
+    def test_pretty_is_indented(self):
+        text = _query_plan().pretty()
+        lines = text.splitlines()
+        assert lines[0].startswith("Aggregate")
+        assert lines[1].startswith("  Select")
+        assert "BERNOULLI" in text
+
+    def test_contains_sampling(self):
+        assert contains_sampling(_query_plan())
+        assert not contains_sampling(Scan("l"))
+        sub = LineageSample(
+            Scan("l"), BiDimensionalBernoulli({"l": 0.5}, seed=0)
+        )
+        assert contains_sampling(sub)
+
+
+class TestStripSampling:
+    def test_strips_all_node_kinds(self):
+        sub = LineageSample(
+            GUSNode(
+                TableSample(Scan("l"), Bernoulli(0.1)),
+                bernoulli_gus("l", 0.5),
+            ),
+            BiDimensionalBernoulli({"l": 0.5}, seed=0),
+        )
+        plan = Aggregate(
+            Project(Select(sub, col("x") > 0), {"x": col("x")}),
+            [AggSpec("count", None, "n")],
+        )
+        stripped = strip_sampling(plan)
+        assert not contains_sampling(stripped)
+        kinds = [type(n).__name__ for n in walk(stripped)]
+        assert kinds == ["Aggregate", "Project", "Select", "Scan"]
+
+    def test_strips_set_operations(self):
+        left = TableSample(Scan("l"), Bernoulli(0.5))
+        right = TableSample(Scan("l"), Bernoulli(0.5))
+        for ctor in (Union, Intersect):
+            stripped = strip_sampling(ctor(left, right))
+            assert not contains_sampling(stripped)
+
+    def test_strips_cross_product(self):
+        cross = CrossProduct(
+            TableSample(Scan("l"), Bernoulli(0.5)), Scan("o")
+        )
+        assert not contains_sampling(strip_sampling(cross))
+
+
+class TestAggSpecValidation:
+    def test_valid_kinds_only(self):
+        with pytest.raises(PlanError, match="unsupported"):
+            AggSpec("median", col("x"), "m")
+
+    def test_sum_needs_expression(self):
+        with pytest.raises(PlanError, match="argument"):
+            AggSpec("sum", None, "s")
+        with pytest.raises(PlanError, match="argument"):
+            AggSpec("avg", None, "a")
+
+    def test_count_star_allowed(self):
+        spec = AggSpec("count", None, "n")
+        assert spec.expr is None
+
+    def test_quantile_range(self):
+        with pytest.raises(PlanError, match="quantile"):
+            AggSpec("sum", col("x"), "s", quantile=1.5)
+
+    def test_aggregate_needs_specs(self):
+        with pytest.raises(PlanError, match="at least one"):
+            Aggregate(Scan("l"), [])
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(PlanError, match="duplicate"):
+            Aggregate(
+                Scan("l"),
+                [
+                    AggSpec("count", None, "n"),
+                    AggSpec("sum", col("x"), "n"),
+                ],
+            )
+
+
+class TestConstructionGuards:
+    def test_join_needs_keys(self):
+        with pytest.raises(PlanError, match="key"):
+            Join(Scan("a"), Scan("b"), [], [])
+        with pytest.raises(PlanError, match="key"):
+            Join(Scan("a"), Scan("b"), ["x"], ["y", "z"])
+
+    def test_lineage_sample_dimension_check(self):
+        with pytest.raises(PlanError, match="not in child"):
+            LineageSample(
+                Scan("l"),
+                BiDimensionalBernoulli({"other": 0.5}, seed=0),
+            )

@@ -1,0 +1,136 @@
+"""Tests for the columnar Table and Schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.relational.table import Table
+
+
+class TestColumnType:
+    def test_dtype_roundtrip(self):
+        assert ColumnType.from_dtype(np.dtype(np.int32)) is ColumnType.INT64
+        assert ColumnType.from_dtype(np.dtype(np.float64)) is ColumnType.FLOAT64
+        assert ColumnType.from_dtype(np.dtype(np.bool_)) is ColumnType.BOOL
+        assert ColumnType.from_dtype(np.dtype(object)) is ColumnType.STRING
+        assert ColumnType.from_dtype(np.dtype("U5")) is ColumnType.STRING
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_dtype(np.dtype(np.complex128))
+
+    def test_numeric_flag(self):
+        assert ColumnType.INT64.numeric
+        assert ColumnType.FLOAT64.numeric
+        assert not ColumnType.STRING.numeric
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a", ColumnType.INT64), Column("a", ColumnType.BOOL)])
+
+    def test_lookup(self):
+        s = Schema([Column("a", ColumnType.INT64)])
+        assert s["a"].type is ColumnType.INT64
+        assert "a" in s and "b" not in s
+        with pytest.raises(SchemaError, match="no column"):
+            s["b"]
+
+    def test_concat_and_project(self):
+        s1 = Schema([Column("a", ColumnType.INT64)])
+        s2 = Schema([Column("b", ColumnType.FLOAT64)])
+        merged = s1.concat(s2)
+        assert merged.names == ("a", "b")
+        assert merged.project(["b"]).names == ("b",)
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT64)
+
+
+class TestTable:
+    def _table(self):
+        return Table(
+            "t",
+            {"x": np.array([1, 2, 3]), "y": np.array([1.0, 2.0, 3.0])},
+            {"t": np.array([10, 20, 30])},
+        )
+
+    def test_schema_inference(self):
+        t = self._table()
+        assert t.schema["x"].type is ColumnType.INT64
+        assert t.schema["y"].type is ColumnType.FLOAT64
+        assert t.n_rows == 3
+        assert t.lineage_schema == {"t"}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            Table("t", {"x": np.arange(3), "y": np.arange(4)})
+
+    def test_bad_lineage_length_rejected(self):
+        with pytest.raises(SchemaError, match="lineage"):
+            Table("t", {"x": np.arange(3)}, {"t": np.arange(2)})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            Table("t", {"x": np.ones((2, 2))})
+
+    def test_take_gathers_lineage(self):
+        t = self._table().take(np.array([2, 0]))
+        assert t.to_rows() == [(3, 3.0), (1, 1.0)]
+        np.testing.assert_array_equal(t.lineage["t"], [30, 10])
+
+    def test_filter(self):
+        t = self._table().filter(np.array([True, False, True]))
+        assert t.n_rows == 2
+        np.testing.assert_array_equal(t.lineage["t"], [10, 30])
+
+    def test_filter_shape_mismatch(self):
+        with pytest.raises(SchemaError, match="mask"):
+            self._table().filter(np.array([True]))
+
+    def test_from_rows(self):
+        t = Table.from_rows("t", ["a", "b"], [(1, "x"), (2, "y")])
+        assert t.n_rows == 2
+        assert t.column("a").tolist() == [1, 2]
+
+    def test_from_rows_arity_mismatch(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Table.from_rows("t", ["a", "b"], [(1,)])
+
+    def test_empty_table(self):
+        t = Table("t", {})
+        assert t.n_rows == 0
+        assert len(t.schema) == 0
+
+    def test_with_lineage_replaces(self):
+        t = self._table().with_lineage("t", np.array([7, 8, 9]))
+        np.testing.assert_array_equal(t.lineage["t"], [7, 8, 9])
+
+    def test_select_columns_keeps_lineage(self):
+        t = self._table().select_columns(["y"])
+        assert t.schema.names == ("y",)
+        assert t.lineage_schema == {"t"}
+
+    def test_lineage_rows_sorted_by_relation(self):
+        t = Table(
+            None,
+            {"x": np.arange(2)},
+            {"b": np.array([1, 2]), "a": np.array([3, 4])},
+        )
+        assert t.lineage_rows() == [(3, 1), (4, 2)]
+
+    def test_head(self):
+        assert self._table().head(2).n_rows == 2
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError, match="no column"):
+            self._table().column("zzz")
+
+    def test_string_columns_stored_as_object(self):
+        t = Table("t", {"s": np.array(["ab", "cd"])})
+        assert t.column("s").dtype == object

@@ -1,0 +1,82 @@
+"""Lexer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select SELECT Select") == [("kw", "SELECT")] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("l_orderkey FooBar") == [
+            ("ident", "l_orderkey"),
+            ("ident", "FooBar"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 0.05 1e3 2.5E-2") == [
+            ("number", "1"),
+            ("number", "2.5"),
+            ("number", "0.05"),
+            ("number", "1e3"),
+            ("number", "2.5E-2"),
+        ]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [("number", ".5")]
+
+    def test_qualified_name_is_not_a_decimal(self):
+        assert kinds("l.orderkey") == [
+            ("ident", "l"),
+            ("symbol", "."),
+            ("ident", "orderkey"),
+        ]
+
+    def test_strings(self):
+        assert kinds("'BUILDING'") == [("string", "BUILDING")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_multichar_operators(self):
+        assert kinds("<= >= != <>") == [
+            ("symbol", "<="),
+            ("symbol", ">="),
+            ("symbol", "!="),
+            ("symbol", "<"),
+            ("symbol", ">"),
+        ] or kinds("<= >= != <>") == [
+            ("symbol", "<="),
+            ("symbol", ">="),
+            ("symbol", "!="),
+            ("symbol", "<>"),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- a comment\n1") == [
+            ("kw", "SELECT"),
+            ("number", "1"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_eof_sentinel(self):
+        toks = tokenize("x")
+        assert toks[-1].kind == "eof"
+
+    def test_positions_recorded(self):
+        toks = tokenize("SELECT x")
+        assert toks[0].position == 0
+        assert toks[1].position == 7

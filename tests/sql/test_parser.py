@@ -1,0 +1,187 @@
+"""Parser tests, including the paper's exact queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse
+
+
+class TestSelectList:
+    def test_simple_sum(self):
+        q = parse("SELECT SUM(x) FROM t")
+        assert len(q.items) == 1
+        agg = q.items[0].expression
+        assert isinstance(agg, ast.AggCall)
+        assert agg.func == "sum"
+        assert isinstance(agg.argument, ast.ColumnRef)
+
+    def test_count_star_and_expr(self):
+        q = parse("SELECT COUNT(*) AS n, COUNT(x) AS nx FROM t")
+        star, expr = q.items
+        assert star.expression.argument is None
+        assert star.alias == "n"
+        assert isinstance(expr.expression.argument, ast.ColumnRef)
+
+    def test_quantile_call(self):
+        q = parse("SELECT QUANTILE(SUM(x), 0.95) AS hi FROM t")
+        item = q.items[0].expression
+        assert isinstance(item, ast.QuantileCall)
+        assert item.q == pytest.approx(0.95)
+        assert item.aggregate.func == "sum"
+
+    def test_alias_without_as(self):
+        q = parse("SELECT SUM(x) total FROM t")
+        assert q.items[0].alias == "total"
+
+    def test_arithmetic_precedence(self):
+        q = parse("SELECT a + b * c FROM t")
+        expr = q.items[0].expression
+        assert isinstance(expr, ast.Arithmetic)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.Arithmetic)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        q = parse("SELECT (a + b) * c FROM t")
+        expr = q.items[0].expression
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        q = parse("SELECT -x FROM t")
+        expr = q.items[0].expression
+        assert isinstance(expr, ast.Arithmetic)
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.NumberLit)
+
+    def test_paper_revenue_expression(self):
+        q = parse("SELECT SUM(l_discount * (1.0 - l_tax)) FROM lineitem")
+        arg = q.items[0].expression.argument
+        assert isinstance(arg, ast.Arithmetic)
+        assert arg.op == "*"
+
+
+class TestFromClause:
+    def test_plain_tables(self):
+        q = parse("SELECT SUM(x) FROM a, b")
+        assert [t.name for t in q.tables] == ["a", "b"]
+        assert all(t.sample is None for t in q.tables)
+
+    def test_alias(self):
+        q = parse("SELECT SUM(x) FROM lineitem l")
+        assert q.tables[0].alias == "l"
+
+    def test_percent_sample(self):
+        q = parse("SELECT SUM(x) FROM t TABLESAMPLE (10 PERCENT)")
+        s = q.tables[0].sample
+        assert s.kind == "percent"
+        assert s.amount == pytest.approx(10.0)
+
+    def test_rows_sample(self):
+        q = parse("SELECT SUM(x) FROM t TABLESAMPLE (1000 ROWS)")
+        s = q.tables[0].sample
+        assert s.kind == "rows"
+        assert s.amount == 1000
+
+    def test_system_percent(self):
+        q = parse("SELECT SUM(x) FROM t TABLESAMPLE (SYSTEM (5 PERCENT, 64))")
+        s = q.tables[0].sample
+        assert s.kind == "system_percent"
+        assert s.rows_per_block == 64
+
+    def test_system_blocks(self):
+        q = parse("SELECT SUM(x) FROM t TABLESAMPLE (SYSTEM (20 BLOCKS, 32))")
+        s = q.tables[0].sample
+        assert s.kind == "system_blocks"
+        assert s.amount == 20
+
+    def test_repeatable(self):
+        q = parse(
+            "SELECT SUM(x) FROM t TABLESAMPLE (10 PERCENT) REPEATABLE (42)"
+        )
+        assert q.tables[0].sample.repeatable_seed == 42
+
+    def test_missing_unit_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="PERCENT or ROWS"):
+            parse("SELECT SUM(x) FROM t TABLESAMPLE (10)")
+
+
+class TestWhere:
+    def test_join_and_filter(self):
+        q = parse(
+            "SELECT SUM(x) FROM a, b "
+            "WHERE a_k = b_k AND a_price > 100.0"
+        )
+        assert isinstance(q.where, ast.BoolOp)
+        assert q.where.op == "AND"
+
+    def test_or_and_not(self):
+        q = parse("SELECT SUM(x) FROM t WHERE NOT a = 1 OR b < 2")
+        assert isinstance(q.where, ast.BoolOp)
+        assert q.where.op == "OR"
+        assert isinstance(q.where.left, ast.NotOp)
+
+    def test_parenthesized_boolean(self):
+        q = parse("SELECT SUM(x) FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert q.where.op == "AND"
+        assert q.where.left.op == "OR"
+
+    def test_string_literal_comparison(self):
+        q = parse("SELECT SUM(x) FROM t WHERE seg = 'BUILDING'")
+        assert isinstance(q.where.right, ast.StringLit)
+
+    def test_inequality_spellings(self):
+        for text in ("a != 1", "a <> 1"):
+            q = parse(f"SELECT SUM(x) FROM t WHERE {text}")
+            assert q.where.op == "!="
+
+    def test_comparison_required(self):
+        with pytest.raises(SQLSyntaxError, match="comparison"):
+            parse("SELECT SUM(x) FROM t WHERE a")
+
+
+class TestCreateView:
+    def test_paper_approx_view(self):
+        q = parse(
+            """
+            CREATE VIEW APPROX (lo, hi) AS
+            SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05),
+                   QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95)
+            FROM lineitem TABLESAMPLE (10 PERCENT),
+                 orders TABLESAMPLE (1000 ROWS)
+            WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0
+            """
+        )
+        assert q.view_name == "APPROX"
+        assert q.view_columns == ("lo", "hi")
+        assert len(q.items) == 2
+        assert q.items[0].expression.q == pytest.approx(0.05)
+        assert q.tables[0].sample.kind == "percent"
+        assert q.tables[1].sample.kind == "rows"
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError, match="FROM"):
+            parse("SELECT SUM(x)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse("SELECT SUM(x) FROM t extra stuff ; ")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT SUM(x FROM t")
+
+    def test_empty_input(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("")
+
+    def test_qualified_column(self):
+        q = parse("SELECT SUM(l.discount) FROM lineitem l")
+        arg = q.items[0].expression.argument
+        assert arg.name == "discount"
+        assert arg.qualifier == "l"

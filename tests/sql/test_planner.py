@@ -1,0 +1,220 @@
+"""Planner tests: AST → logical plan semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SQLError
+from repro.relational.database import Database
+from repro.relational.plan import (
+    Aggregate,
+    CrossProduct,
+    Join,
+    Project,
+    Select,
+    TableSample,
+    walk,
+)
+from repro.sampling import (
+    Bernoulli,
+    BlockBernoulli,
+    BlockWithoutReplacement,
+    LineageHashBernoulli,
+    WithoutReplacement,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database(seed=0)
+    db.create_table(
+        "lineitem",
+        {
+            "l_orderkey": np.arange(10, dtype=np.int64),
+            "l_partkey": np.arange(10, dtype=np.int64) % 3,
+            "l_price": np.linspace(1, 10, 10),
+        },
+    )
+    db.create_table(
+        "orders",
+        {
+            "o_orderkey": np.arange(10, dtype=np.int64),
+            "o_custkey": np.arange(10, dtype=np.int64) % 4,
+        },
+    )
+    db.create_table(
+        "customer", {"c_custkey": np.arange(4, dtype=np.int64)}
+    )
+    db.create_table("part", {"p_partkey": np.arange(3, dtype=np.int64)})
+    return db
+
+
+def _nodes_of(plan, node_type):
+    return [n for n in walk(plan) if isinstance(n, node_type)]
+
+
+class TestSamplingMethods:
+    def test_percent_becomes_bernoulli(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem TABLESAMPLE (10 PERCENT)"
+        )
+        (ts,) = _nodes_of(plan, TableSample)
+        assert isinstance(ts.method, Bernoulli)
+        assert ts.method.p == pytest.approx(0.1)
+
+    def test_rows_becomes_wor(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem TABLESAMPLE (5 ROWS)"
+        )
+        (ts,) = _nodes_of(plan, TableSample)
+        assert isinstance(ts.method, WithoutReplacement)
+        assert ts.method.size == 5
+
+    def test_repeatable_becomes_hash(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem "
+            "TABLESAMPLE (10 PERCENT) REPEATABLE (7)"
+        )
+        (ts,) = _nodes_of(plan, TableSample)
+        assert isinstance(ts.method, LineageHashBernoulli)
+        assert ts.method.seed == 7
+
+    def test_repeatable_rows_rejected(self, db):
+        with pytest.raises(SQLError, match="REPEATABLE"):
+            db.plan_sql(
+                "SELECT SUM(l_price) FROM lineitem "
+                "TABLESAMPLE (5 ROWS) REPEATABLE (7)"
+            )
+
+    def test_system_variants(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem "
+            "TABLESAMPLE (SYSTEM (25 PERCENT, 4))"
+        )
+        (ts,) = _nodes_of(plan, TableSample)
+        assert isinstance(ts.method, BlockBernoulli)
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem "
+            "TABLESAMPLE (SYSTEM (2 BLOCKS, 4))"
+        )
+        (ts,) = _nodes_of(plan, TableSample)
+        assert isinstance(ts.method, BlockWithoutReplacement)
+
+
+class TestJoinExtraction:
+    def test_two_table_join(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem, orders "
+            "WHERE l_orderkey = o_orderkey"
+        )
+        (join,) = _nodes_of(plan, Join)
+        assert join.left_keys == ("l_orderkey",)
+        assert not _nodes_of(plan, Select)
+
+    def test_filter_separated_from_join(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem, orders "
+            "WHERE l_orderkey = o_orderkey AND l_price > 5"
+        )
+        assert len(_nodes_of(plan, Join)) == 1
+        assert len(_nodes_of(plan, Select)) == 1
+
+    def test_same_table_equality_is_filter(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem WHERE l_orderkey = l_partkey"
+        )
+        assert not _nodes_of(plan, Join)
+        assert len(_nodes_of(plan, Select)) == 1
+
+    def test_four_table_chain(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem, orders, customer, part "
+            "WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey "
+            "AND l_partkey = p_partkey"
+        )
+        assert len(_nodes_of(plan, Join)) == 3
+        assert not _nodes_of(plan, CrossProduct)
+
+    def test_unconnected_tables_cross_product(self, db):
+        plan = db.plan_sql("SELECT SUM(l_price) FROM lineitem, part")
+        assert len(_nodes_of(plan, CrossProduct)) == 1
+
+    def test_or_condition_stays_filter(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) FROM lineitem, orders "
+            "WHERE l_orderkey = o_orderkey OR l_price > 5"
+        )
+        # The OR can't be split into a join condition.
+        assert not _nodes_of(plan, Join)
+        assert len(_nodes_of(plan, CrossProduct)) == 1
+        assert len(_nodes_of(plan, Select)) == 1
+
+
+class TestResolution:
+    def test_unknown_table(self, db):
+        with pytest.raises(SQLError, match="unknown table"):
+            db.plan_sql("SELECT SUM(x) FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SQLError, match="unknown column"):
+            db.plan_sql("SELECT SUM(zzz) FROM lineitem")
+
+    def test_self_join_rejected(self, db):
+        with pytest.raises(SQLError, match="self-join"):
+            db.plan_sql("SELECT SUM(l_price) FROM lineitem, lineitem")
+
+    def test_qualifier_validation(self, db):
+        with pytest.raises(SQLError, match="belongs to"):
+            db.plan_sql(
+                "SELECT SUM(o.l_price) FROM lineitem l, orders o "
+                "WHERE l_orderkey = o_orderkey"
+            )
+
+    def test_alias_qualifier_accepted(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l.l_price) FROM lineitem l, orders o "
+            "WHERE l.l_orderkey = o.o_orderkey"
+        )
+        assert isinstance(plan, Aggregate)
+
+    def test_mixed_agg_and_plain_rejected(self, db):
+        with pytest.raises(SQLError, match="GROUP BY"):
+            db.plan_sql("SELECT SUM(l_price), l_orderkey FROM lineitem")
+
+
+class TestProjectionQueries:
+    def test_plain_select_becomes_project(self, db):
+        plan = db.plan_sql("SELECT l_price * 2 AS dbl FROM lineitem")
+        assert isinstance(plan, Project)
+        assert "dbl" in plan.outputs
+
+    def test_default_output_names(self, db):
+        plan = db.plan_sql("SELECT l_price, l_price + 1 FROM lineitem")
+        assert list(plan.outputs) == ["l_price", "col_2"]
+
+    def test_duplicate_output_rejected(self, db):
+        with pytest.raises(SQLError, match="duplicate"):
+            db.plan_sql("SELECT l_price, l_price FROM lineitem")
+
+
+class TestAggregateSpecs:
+    def test_quantile_spec(self, db):
+        plan = db.plan_sql(
+            "SELECT QUANTILE(SUM(l_price), 0.9) AS hi FROM lineitem "
+            "TABLESAMPLE (50 PERCENT)"
+        )
+        assert isinstance(plan, Aggregate)
+        assert plan.specs[0].quantile == pytest.approx(0.9)
+        assert plan.specs[0].kind == "sum"
+
+    def test_default_aliases_unique(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price), SUM(l_price), COUNT(*) FROM lineitem"
+        )
+        aliases = [s.alias for s in plan.specs]
+        assert len(set(aliases)) == 3
+
+    def test_count_expr_maps_to_sum_of_indicator(self, db):
+        plan = db.plan_sql("SELECT COUNT(l_price) FROM lineitem")
+        assert plan.specs[0].kind == "count"

@@ -1,0 +1,101 @@
+"""CLI shell tests (driven in-process through run_statement/main)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, run_statement
+from repro.data.tpch import tpch_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_database(scale=0.01, seed=0)
+
+
+class TestRunStatement:
+    def test_aggregate_query_prints_interval(self, db):
+        out = run_statement(
+            db,
+            "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (50 PERCENT)",
+        )
+        assert "n = " in out
+        assert "@95%" in out
+        assert "sample rows" in out
+
+    def test_projection_prints_rows(self, db):
+        out = run_statement(db, "SELECT o_orderkey FROM orders")
+        lines = out.splitlines()
+        assert lines[0] == "o_orderkey"
+        assert "rows total" in lines[-1]
+
+    def test_tables_command(self, db):
+        out = run_statement(db, "\\tables")
+        assert "lineitem" in out and "orders" in out
+
+    def test_explain_command(self, db):
+        out = run_statement(
+            db,
+            "\\explain SELECT SUM(l_tax) AS s FROM lineitem "
+            "TABLESAMPLE (10 PERCENT)",
+        )
+        assert "SOA-equivalent" in out
+        assert "GUS" in out
+
+    def test_exact_command(self, db):
+        out = run_statement(
+            db,
+            "\\exact SELECT COUNT(*) AS n FROM lineitem "
+            "TABLESAMPLE (10 PERCENT)",
+        )
+        n = db.table("lineitem").n_rows
+        assert out.splitlines()[0] == "n"
+        assert str(float(n)) in out
+
+    def test_quit_raises_eof(self, db):
+        with pytest.raises(EOFError):
+            run_statement(db, "\\quit")
+
+    def test_unknown_command(self, db):
+        assert "unknown command" in run_statement(db, "\\frobnicate")
+
+    def test_empty_line(self, db):
+        assert run_statement(db, "   ") == ""
+
+
+class TestMain:
+    def test_single_command_mode(self, capsys):
+        code = main(
+            [
+                "--scale",
+                "0.01",
+                "-c",
+                "SELECT COUNT(*) AS n FROM orders",
+            ]
+        )
+        assert code == 0
+        assert "n = " in capsys.readouterr().out
+
+    def test_sql_error_returns_nonzero(self, capsys):
+        code = main(["--scale", "0.01", "-c", "SELECT FROM"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_csv_loading(self, tmp_path, capsys):
+        path = tmp_path / "inventory.csv"
+        path.write_text("item_id,qty\n1,5\n2,7\n")
+        code = main(
+            [
+                "--load",
+                f"inventory={path}",
+                "-c",
+                "SELECT SUM(qty) AS total FROM inventory",
+            ]
+        )
+        assert code == 0
+        assert "total = 12" in capsys.readouterr().out
+
+    def test_bad_load_spec(self, capsys):
+        code = main(["--load", "nonsense", "-c", "SELECT 1 FROM x"])
+        assert code == 2
+        assert "name=path" in capsys.readouterr().err
