@@ -18,7 +18,11 @@ from repro.apps.advisor import (
     recommend,
 )
 from repro.apps.cardinality import CardinalityEstimate, estimate_cardinality
-from repro.apps.load_shedding import LoadShedder, StreamJoinShedder
+from repro.apps.load_shedding import (
+    LoadShedder,
+    StreamJoinShedder,
+    combine_independent,
+)
 from repro.apps.robustness import RobustnessReport, robustness_report
 
 __all__ = [
@@ -32,4 +36,5 @@ __all__ = [
     "CardinalityEstimate",
     "LoadShedder",
     "StreamJoinShedder",
+    "combine_independent",
 ]

@@ -6,16 +6,21 @@ minimizing the error.  While such analysis was done for single
 relations, our theory provides for similar analysis with multiple
 relations."
 
-Two shedders:
+Both shedders are built on the streaming engine (:mod:`repro.stream`):
+windowed answers come from mergeable moment sketches, never from
+re-scanning kept tuples.
 
 * :class:`LoadShedder` — single stream: pick the Bernoulli keep-rate
-  from the capacity/arrival ratio, keep tuples with the deterministic
-  lineage hash, and answer windowed SUM queries with Theorem 1
-  confidence intervals.
+  from the capacity/arrival ratio and keep tuples with the
+  deterministic lineage hash.  Each window's rate is its own GUS, so
+  windows get independent :class:`~repro.stream.StreamingEstimator`
+  instances whose estimates — totals *and* variances — add up into a
+  whole-session estimate (:meth:`LoadShedder.session_estimate`).
 * :class:`StreamJoinShedder` — the multi-relation case the paper
-  highlights: two independently shed streams joined in the window; the
-  join's GUS is Proposition 6's composition of the two shed rates, so
-  the estimate *and its error* come out of the same algebra.
+  highlights: two independently shed streams joined per window.  The
+  shed rates are fixed, so one GUS (Proposition 6's composition)
+  governs every window and the per-window sketches merge exactly into
+  cumulative and sliding-window estimates.
 """
 
 from __future__ import annotations
@@ -23,12 +28,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.algebra import join_gus
-from repro.core.estimator import Estimate, estimate_sum
+from repro.core.estimator import Estimate
 from repro.core.gus import bernoulli_gus
 from repro.errors import EstimationError
 from repro.relational.executor import join_indices
 from repro.sampling.pseudorandom import LineageHashBernoulli
 from repro.stats.moments import RunningMoments
+from repro.stream import SlidingWindow, StreamingEstimator
+
+
+def combine_independent(estimates: list[Estimate], label: str = "SUM") -> Estimate:
+    """Sum independent estimates: values add, variances add.
+
+    The windows of a shed stream are disjoint sets of tuples sampled by
+    independent filters, so the session total is the sum of the window
+    estimators and its variance the sum of their variances — valid even
+    when every window used a different rate (a different GUS).
+    """
+    if not estimates:
+        raise EstimationError("no estimates to combine")
+    return Estimate(
+        value=float(sum(e.value for e in estimates)),
+        variance_raw=float(sum(e.variance_raw for e in estimates)),
+        n_sample=int(sum(e.n_sample for e in estimates)),
+        label=label,
+        extras={"windows": len(estimates)},
+    )
 
 
 class LoadShedder:
@@ -47,6 +72,8 @@ class LoadShedder:
         self.min_rate = float(min_rate)
         self.arrivals = RunningMoments()
         self._next_id = 0
+        #: Per-window estimates recorded so far, oldest first.
+        self.window_estimates: list[Estimate] = []
 
     def rate_for(self, arrival_count: int) -> float:
         """Keep-rate for a window of ``arrival_count`` tuples."""
@@ -72,32 +99,63 @@ class LoadShedder:
     def estimate_window(
         self, kept_values: np.ndarray, kept_ids: np.ndarray, rate: float
     ) -> Estimate:
-        """Windowed SUM estimate with Theorem 1 error bounds."""
-        params = bernoulli_gus("stream", rate)
-        return estimate_sum(
-            params,
-            kept_values,
-            {"stream": np.asarray(kept_ids, dtype=np.int64)},
-            label="SUM",
+        """Windowed SUM estimate with Theorem 1 error bounds.
+
+        The window gets its own streaming estimator because its rate is
+        its own GUS.  Pure — safe to call repeatedly on the same
+        window; only :meth:`process_window` records the estimate for
+        :meth:`session_estimate`.
+        """
+        window = StreamingEstimator(bernoulli_gus("stream", rate))
+        window.update(
+            kept_values, {"stream": np.asarray(kept_ids, dtype=np.int64)}
         )
+        return window.estimate()
 
     def process_window(self, values: np.ndarray) -> Estimate:
-        """Shed + estimate in one call (the common usage)."""
+        """Shed + estimate in one call (the common usage).
+
+        Each processed window is recorded exactly once for
+        :meth:`session_estimate`.
+        """
         kept, ids, rate = self.shed_window(values)
-        return self.estimate_window(kept, ids, rate)
+        est = self.estimate_window(kept, ids, rate)
+        self.window_estimates.append(est)
+        return est
+
+    def session_estimate(self) -> Estimate:
+        """The running SUM over *all* windows processed so far.
+
+        Exact composition of the per-window estimators: disjoint,
+        independently sampled windows mean both the points and the
+        variances simply add.
+        """
+        return combine_independent(self.window_estimates)
 
 
 class StreamJoinShedder:
     """Load shedding over a two-stream windowed equi-join.
 
-    Each stream is shed independently at its own rate; the windowed
-    join of the kept tuples is governed by the GUS
-    ``B(rate_left) ⋈ B(rate_right)`` (Proposition 6), which yields both
-    the unbiased join-SUM estimate and its variance.
+    Each stream is shed independently at its own *fixed* rate; the
+    windowed join of the kept tuples is governed by the GUS
+    ``B(rate_left) ⋈ B(rate_right)`` (Proposition 6).  Because that GUS
+    never changes, every window's moment sketch merges exactly into
+
+    * a cumulative estimator over the whole session
+      (:meth:`cumulative_estimate`), and
+    * an optional sliding window of the last ``sliding_length`` windows
+      (:meth:`sliding_estimate`),
+
+    neither of which ever re-scans a kept tuple.  Lineage ids advance
+    across windows so cross-window tuples never collide in the sketch.
     """
 
     def __init__(
-        self, rate_left: float, rate_right: float, seed: int = 0
+        self,
+        rate_left: float,
+        rate_right: float,
+        seed: int = 0,
+        sliding_length: int | None = None,
     ) -> None:
         for rate in (rate_left, rate_right):
             if not 0.0 < rate <= 1.0:
@@ -106,6 +164,18 @@ class StreamJoinShedder:
         self.rate_right = float(rate_right)
         self.left_filter = LineageHashBernoulli(rate_left, seed)
         self.right_filter = LineageHashBernoulli(rate_right, seed + 1)
+        self.gus = join_gus(
+            bernoulli_gus("left", self.rate_left),
+            bernoulli_gus("right", self.rate_right),
+        )
+        self._cumulative = StreamingEstimator(self.gus, label="JOIN-SUM")
+        self._sliding = (
+            SlidingWindow(self.gus, sliding_length, label="JOIN-SUM")
+            if sliding_length is not None
+            else None
+        )
+        self._next_left = 0
+        self._next_right = 0
 
     def process_window(
         self,
@@ -119,8 +189,15 @@ class StreamJoinShedder:
         right_keys = np.asarray(right_keys)
         lv = np.asarray(left_values, dtype=np.float64)
         rv = np.asarray(right_values, dtype=np.float64)
-        lid = np.arange(left_keys.shape[0], dtype=np.int64)
-        rid = np.arange(right_keys.shape[0], dtype=np.int64)
+        lid = np.arange(
+            self._next_left, self._next_left + left_keys.shape[0], dtype=np.int64
+        )
+        rid = np.arange(
+            self._next_right, self._next_right + right_keys.shape[0],
+            dtype=np.int64,
+        )
+        self._next_left += left_keys.shape[0]
+        self._next_right += right_keys.shape[0]
 
         lkeep = self.left_filter.keep(lid)
         rkeep = self.right_filter.keep(rid)
@@ -131,8 +208,22 @@ class StreamJoinShedder:
             "left": lid[lkeep][li],
             "right": rid[rkeep][ri],
         }
-        params = join_gus(
-            bernoulli_gus("left", self.rate_left),
-            bernoulli_gus("right", self.rate_right),
-        )
-        return estimate_sum(params, f, lineage, label="JOIN-SUM")
+        window = StreamingEstimator(self.gus, label="JOIN-SUM")
+        window.update(f, lineage)
+        self._cumulative.merge(window)
+        if self._sliding is not None:
+            self._sliding.append(window)
+        return window.estimate()
+
+    def cumulative_estimate(self) -> Estimate:
+        """The join-SUM over every window processed so far (one merge tree)."""
+        return self._cumulative.estimate()
+
+    def sliding_estimate(self) -> Estimate:
+        """The join-SUM over the last ``sliding_length`` windows."""
+        if self._sliding is None:
+            raise EstimationError(
+                "shedder was created without sliding_length; "
+                "pass sliding_length=k to enable sliding estimates"
+            )
+        return self._sliding.estimate()

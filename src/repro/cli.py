@@ -1,4 +1,4 @@
-"""Interactive SQL shell and batch runner.
+"""Interactive SQL shell, batch runner, and streaming demo.
 
 Usage::
 
@@ -6,6 +6,7 @@ Usage::
     python -m repro --scale 0.5 --seed 7     # bigger instance
     python -m repro --load orders=o.csv --load lineitem=l.csv
     python -m repro -c "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (10 PERCENT)"
+    python -m repro stream --windows 8 --shards 4   # streaming engine demo
 
 Shell commands:
 
@@ -94,6 +95,126 @@ def run_statement(db, text: str, level: float = 0.95) -> str:
     return _format_result(db.sql(stripped), level)
 
 
+def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
+    """Register ``repro stream`` — the streaming-engine demo.
+
+    Simulates ``--windows`` micro-batches of a value stream, sheds each
+    tuple with a lineage-keyed Bernoulli filter at a fixed ``--rate``
+    (one GUS for the whole session), routes the kept tuples through a
+    :class:`~repro.stream.ShardCoordinator`, and prints per-window,
+    sliding, and cumulative SUM estimates with their error bounds next
+    to the ground truth the simulator knows.
+    """
+    subcommands = parser.add_subparsers(dest="subcommand", metavar="{stream}")
+    stream = subcommands.add_parser(
+        "stream",
+        help="streaming engine demo: sharded, windowed estimates "
+        "over a load-shed stream",
+        description="Streaming GUS estimation demo: sharded, windowed "
+        "SUM estimates over a load-shed synthetic stream.",
+    )
+    stream.add_argument(
+        "--windows", type=int, default=8, help="number of micro-batches"
+    )
+    stream.add_argument(
+        "--arrivals", type=int, default=5_000,
+        help="mean tuples arriving per window",
+    )
+    stream.add_argument(
+        "--rate", type=float, default=0.25,
+        help="Bernoulli keep-rate of the shedder (default 0.25)",
+    )
+    stream.add_argument(
+        "--shards", type=int, default=4,
+        help="shard sketches to partition ingestion across",
+    )
+    stream.add_argument(
+        "--policy", choices=("lineage-hash", "round-robin"),
+        default="lineage-hash", help="shard routing policy",
+    )
+    stream.add_argument(
+        "--sliding", type=int, default=3,
+        help="sliding-window length in batches",
+    )
+    # --seed/--level also exist on the main parser; SUPPRESS keeps the
+    # subparser from clobbering a value given before the subcommand
+    # (``repro --seed 9 stream``) with its own default.
+    stream.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
+    )
+    stream.add_argument(
+        "--level", type=float, default=argparse.SUPPRESS,
+        help="confidence level for printed intervals",
+    )
+
+
+def _run_stream(args) -> int:
+    import numpy as np
+
+    from repro.core.gus import bernoulli_gus
+    from repro.sampling.pseudorandom import LineageHashBernoulli
+    from repro.stream import ShardCoordinator, SlidingWindow, StreamingEstimator
+
+    if not 0.0 < args.rate <= 1.0:
+        print(f"error: --rate {args.rate} not in (0, 1]", file=sys.stderr)
+        return 2
+    if not 0.0 < args.level < 1.0:
+        print(f"error: --level {args.level} not in (0, 1)", file=sys.stderr)
+        return 2
+    if args.windows < 1 or args.arrivals < 1:
+        print("error: --windows and --arrivals must be >= 1", file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    try:
+        gus = bernoulli_gus("stream", args.rate)
+        shedder = LineageHashBernoulli(args.rate, args.seed)
+        shards = ShardCoordinator(
+            gus, args.shards, policy=args.policy, seed=args.seed
+        )
+        sliding = SlidingWindow(gus, args.sliding)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    next_id = 0
+    true_total = 0.0
+    print(
+        f"shedding at rate {args.rate:g}, {args.shards} shard(s) "
+        f"[{args.policy}], sliding window of {args.sliding}"
+    )
+    print(
+        f"{'window':>7}{'arrivals':>10}{'kept':>8}{'true sum':>12}"
+        f"{'window est':>12}{'±':>9}{'sliding est':>13}{'cumulative':>13}"
+    )
+    for window in range(args.windows):
+        n = max(1, int(args.arrivals * (0.5 + rng.random())))
+        values = rng.gamma(2.0, 5.0, n)
+        ids = np.arange(next_id, next_id + n, dtype=np.int64)
+        next_id += n
+        true_total += float(values.sum())
+        keep = shedder.keep(ids)
+        kept, kept_ids = values[keep], ids[keep]
+        batch = StreamingEstimator(gus).update(kept, {"stream": kept_ids})
+        shards.ingest(kept, {"stream": kept_ids})
+        sliding.append(batch)
+        est = batch.estimate()
+        print(
+            f"{window:>7}{n:>10}{kept.size:>8}{values.sum():>12,.0f}"
+            f"{est.value:>12,.0f}{est.ci(args.level).width / 2:>9,.0f}"
+            f"{sliding.estimate().value:>13,.0f}"
+            f"{shards.estimate().value:>13,.0f}"
+        )
+    final = shards.estimate()
+    ci = final.ci(args.level)
+    print(
+        f"\nsession: true {true_total:,.0f}, estimated {final.value:,.0f} "
+        f"[{ci.lo:,.0f}, {ci.hi:,.0f}] @{args.level:.0%} "
+        f"(hit: {ci.contains(true_total)})"
+    )
+    print(f"shard sizes: {shards.shard_sizes()} ({final.n_sample} rows kept)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -118,7 +239,11 @@ def main(argv=None) -> int:
         "--level", type=float, default=0.95,
         help="confidence level for printed intervals",
     )
+    _add_stream_subcommand(parser)
     args = parser.parse_args(argv)
+
+    if args.subcommand == "stream":
+        return _run_stream(args)
 
     try:
         db = _build_database(args)

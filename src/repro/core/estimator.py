@@ -47,13 +47,35 @@ from repro.errors import EstimationError
 
 __all__ = [
     "group_ids",
+    "group_reduce",
     "y_terms",
+    "y_terms_from_groups",
     "theorem1_variance",
     "exact_moments",
     "unbiased_y_terms",
+    "estimate_from_moments",
     "estimate_sum",
     "Estimate",
 ]
+
+
+def _sorted_boundaries(
+    columns: Sequence[np.ndarray], n_rows: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lexsort ``columns`` and mark where a new key starts.
+
+    Returns ``(order, boundary)``: ``order`` sorts the rows by key and
+    ``boundary[i]`` is True when sorted row ``i`` opens a new group.
+    The single sort here is the workhorse behind both :func:`group_ids`
+    and :func:`group_reduce`.
+    """
+    order = np.lexsort(tuple(columns))
+    boundary = np.zeros(n_rows, dtype=bool)
+    boundary[0] = True
+    for col in columns:
+        sorted_col = col[order]
+        boundary[1:] |= sorted_col[1:] != sorted_col[:-1]
+    return order, boundary
 
 
 def group_ids(columns: Sequence[np.ndarray], n_rows: int) -> tuple[np.ndarray, int]:
@@ -66,16 +88,77 @@ def group_ids(columns: Sequence[np.ndarray], n_rows: int) -> tuple[np.ndarray, i
         return np.empty(0, dtype=np.int64), 0
     if not columns:
         return np.zeros(n_rows, dtype=np.int64), 1
-    order = np.lexsort(tuple(columns))
-    boundary = np.zeros(n_rows, dtype=bool)
-    boundary[0] = True
-    for col in columns:
-        sorted_col = col[order]
-        boundary[1:] |= sorted_col[1:] != sorted_col[:-1]
+    order, boundary = _sorted_boundaries(columns, n_rows)
     gids_sorted = np.cumsum(boundary) - 1
     gids = np.empty(n_rows, dtype=np.int64)
     gids[order] = gids_sorted
     return gids, int(gids_sorted[-1]) + 1
+
+
+def group_reduce(
+    columns: Sequence[np.ndarray], weights: np.ndarray
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Compact rows to their distinct keys, summing ``weights`` per key.
+
+    Returns ``(key_columns, sums)``: one array per input column holding
+    each distinct key combination once (in sorted key order), and the
+    total weight that fell on it.  This is the accumulator core shared
+    by the batch :func:`y_terms` and the streaming
+    :class:`repro.stream.MomentSketch`: a group-sum table is additive,
+    so two tables (from two batches, shards, or sketches) merge exactly
+    by concatenating and reducing again.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n_rows = weights.shape[0]
+    if n_rows == 0:
+        return [np.empty(0, dtype=c.dtype) for c in columns], np.empty(0)
+    if not columns:
+        return [], np.array([float(np.sum(weights))])
+    order, boundary = _sorted_boundaries(columns, n_rows)
+    gids_sorted = np.cumsum(boundary) - 1
+    n_groups = int(gids_sorted[-1]) + 1
+    firsts = order[boundary]
+    keys = [np.asarray(col)[firsts] for col in columns]
+    sums = np.bincount(gids_sorted, weights=weights[order], minlength=n_groups)
+    return keys, sums
+
+
+def y_terms_from_groups(
+    group_sums: np.ndarray,
+    key_columns: Sequence[np.ndarray],
+    lattice: SubsetLattice,
+) -> np.ndarray:
+    """``y_S`` for every ``S``, from a compacted full-lineage group table.
+
+    ``key_columns`` holds one distinct full-lineage key per row (column
+    ``i`` is ``lattice.dims[i]``) and ``group_sums`` the per-group sum
+    of ``f``.  Because a lineage group on ``S ⊂ L`` is a union of
+    full-lineage groups, grouping the *compacted* table on the ``S``
+    columns gives the same sums as grouping the raw rows — so each
+    per-mask lexsort runs over ``#groups`` rows, not ``#rows``, and the
+    full-lineage sort was paid exactly once.
+    """
+    group_sums = np.asarray(group_sums, dtype=np.float64)
+    if len(key_columns) != lattice.n:
+        raise EstimationError(
+            f"{len(key_columns)} key columns for a lattice of {lattice.n} dims"
+        )
+    n_groups = group_sums.shape[0]
+    out = np.zeros(lattice.size, dtype=np.float64)
+    if n_groups == 0:
+        return out
+    total = float(np.sum(group_sums))
+    for mask in lattice.masks():
+        if mask == 0:
+            out[0] = total * total
+        elif mask == lattice.full_mask:
+            out[mask] = float(np.dot(group_sums, group_sums))
+        else:
+            cols = [key_columns[i] for i in range(lattice.n) if mask >> i & 1]
+            gids, n_sub = group_ids(cols, n_groups)
+            sums = np.bincount(gids, weights=group_sums, minlength=n_sub)
+            out[mask] = float(np.dot(sums, sums))
+    return out
 
 
 def y_terms(
@@ -89,22 +172,19 @@ def y_terms(
     base-relation name in the lattice to its int64 lineage column.
     Applied to the full data this yields the exact data moments; applied
     to a sample it yields the plug-in ``Y_S``.
+
+    Thin batch wrapper over the accumulator core: one
+    :func:`group_reduce` pass compacts the rows on the full lineage, and
+    :func:`y_terms_from_groups` derives every submask moment from the
+    compacted table.
     """
     f = np.asarray(f, dtype=np.float64)
-    n_rows = f.shape[0]
     missing = [d for d in lattice.dims if d not in lineage]
     if missing:
         raise EstimationError(f"lineage columns missing for {missing}")
-    out = np.empty(lattice.size, dtype=np.float64)
-    for mask in lattice.masks():
-        cols = [lineage[d] for i, d in enumerate(lattice.dims) if mask >> i & 1]
-        gids, n_groups = group_ids(cols, n_rows)
-        if n_groups == 0:
-            out[mask] = 0.0
-            continue
-        sums = np.bincount(gids, weights=f, minlength=n_groups)
-        out[mask] = float(np.dot(sums, sums))
-    return out
+    cols = [np.asarray(lineage[d]) for d in lattice.dims]
+    keys, sums = group_reduce(cols, f)
+    return y_terms_from_groups(sums, keys, lattice)
 
 
 def theorem1_variance(params: GUSParams, y: np.ndarray) -> float:
@@ -208,6 +288,37 @@ class Estimate:
         return self.std / abs(self.value)
 
 
+def estimate_from_moments(
+    params: GUSParams,
+    plugin_y: np.ndarray,
+    sample_total: float,
+    n_sample: int,
+    *,
+    label: str = "SUM",
+) -> Estimate:
+    """Finish an estimate from already-accumulated plug-in moments.
+
+    ``params`` must be the (pruned) GUS whose lattice indexes
+    ``plugin_y``; ``sample_total`` is ``Σ f`` over the sample and
+    ``n_sample`` its row count.  This is the single finishing step
+    shared by the batch :func:`estimate_sum` and the streaming
+    :class:`repro.stream.StreamingEstimator` — both feed the same
+    unbiasing recursion and variance formula, they only accumulate the
+    moments differently.
+    """
+    if params.a <= 0.0:
+        raise EstimationError("cannot estimate from a = 0 (null sampling)")
+    yhat = unbiased_y_terms(params, np.asarray(plugin_y, dtype=np.float64))
+    var_raw = theorem1_variance(params, yhat)
+    return Estimate(
+        value=float(sample_total) / params.a,
+        variance_raw=var_raw,
+        n_sample=int(n_sample),
+        label=label,
+        extras={"a": params.a, "active_dims": params.lattice.dims},
+    )
+
+
 def estimate_sum(
     params: GUSParams,
     f_sample: np.ndarray,
@@ -228,14 +339,11 @@ def estimate_sum(
         raise EstimationError("cannot estimate from a = 0 (null sampling)")
     f_sample = np.asarray(f_sample, dtype=np.float64)
     pruned = params.project_out_inactive()
-    value = float(np.sum(f_sample)) / params.a
     plugin = y_terms(f_sample, lineage_sample, pruned.lattice)
-    yhat = unbiased_y_terms(pruned, plugin)
-    var_raw = theorem1_variance(pruned, yhat)
-    return Estimate(
-        value=value,
-        variance_raw=var_raw,
-        n_sample=int(f_sample.shape[0]),
+    return estimate_from_moments(
+        pruned,
+        plugin,
+        float(np.sum(f_sample)),
+        int(f_sample.shape[0]),
         label=label,
-        extras={"a": params.a, "active_dims": pruned.lattice.dims},
     )

@@ -1,0 +1,171 @@
+"""Mergeable moment sketches: the streaming form of the ``Y_S`` moments.
+
+Theorem 1 needs, per subset ``S`` of the lineage schema, the moment
+``Y_S = Σ_{groups g on S} (Σ_{t∈g} f(t))²``.  The square is not
+additive, but the *per-group sums* underneath it are: a table mapping
+each distinct full-lineage key to its running ``Σ f`` is a commutative
+monoid under "concatenate and re-reduce".  Every coarser moment
+``Y_S`` (``S ⊂ L``) is then a pure function of that one table, because
+a lineage group on ``S`` is a union of full-lineage groups.
+
+:class:`MomentSketch` maintains exactly that table — compacted after
+every update so its size is the number of *distinct lineage keys seen*,
+not the number of rows ingested — plus the sample row count.  It
+supports three operations, all exact:
+
+* ``update(f, lineage)`` — absorb a batch in one vectorized pass;
+* ``merge(other)``       — combine two sketches (shards, windows,
+  machines) with no approximation;
+* ``moments()``          — emit the full ``(Y_S)_{S⊆L}`` vector.
+
+The heavy lifting lives in :func:`repro.core.estimator.group_reduce`
+and :func:`repro.core.estimator.y_terms_from_groups`, the same
+accumulator core the batch ``y_terms`` is built on — one source of
+truth for the moment arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.estimator import group_reduce, y_terms_from_groups
+from repro.core.lattice import SubsetLattice
+from repro.errors import EstimationError
+
+__all__ = ["MomentSketch"]
+
+
+class MomentSketch:
+    """Incremental, mergeable accumulator of the lattice moments.
+
+    The state is a compact group table: ``_keys[i]`` holds the value of
+    lineage dimension ``lattice.dims[i]`` for each distinct full-lineage
+    key, ``_sums`` the running ``Σ f`` of that key's rows, and
+    ``_n_rows`` the total rows absorbed.  Lineage ids are coerced to
+    int64 so tables from different batches always concatenate cleanly.
+    """
+
+    __slots__ = ("lattice", "_keys", "_sums", "_n_rows")
+
+    def __init__(self, lattice: SubsetLattice) -> None:
+        self.lattice = lattice
+        self._keys: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(lattice.n)
+        ]
+        self._sums = np.empty(0, dtype=np.float64)
+        self._n_rows = 0
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Rows absorbed so far (the sample size for the estimator)."""
+        return self._n_rows
+
+    @property
+    def n_groups(self) -> int:
+        """Distinct full-lineage keys seen — the size of the state."""
+        return int(self._sums.shape[0])
+
+    @property
+    def total(self) -> float:
+        """The running sample sum ``Σ f``."""
+        return float(np.sum(self._sums)) if self._sums.size else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MomentSketch(dims={list(self.lattice.dims)}, "
+            f"n_rows={self._n_rows}, n_groups={self.n_groups}, "
+            f"total={self.total:.6g})"
+        )
+
+    # -- mutation -------------------------------------------------------
+
+    def _coerce_batch(
+        self, f: np.ndarray, lineage: Mapping[str, np.ndarray]
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        f = np.asarray(f, dtype=np.float64)
+        if f.ndim != 1:
+            raise EstimationError(f"f must be 1-d, got shape {f.shape}")
+        missing = [d for d in self.lattice.dims if d not in lineage]
+        if missing:
+            raise EstimationError(f"lineage columns missing for {missing}")
+        cols = []
+        for d in self.lattice.dims:
+            col = np.asarray(lineage[d], dtype=np.int64)
+            if col.shape != f.shape:
+                raise EstimationError(
+                    f"lineage column {d!r} has shape {col.shape}; "
+                    f"f has shape {f.shape}"
+                )
+            cols.append(col)
+        return f, cols
+
+    def _absorb(
+        self, keys: Sequence[np.ndarray], sums: np.ndarray, n_rows: int
+    ) -> None:
+        """Fold an already-compacted group table into the state."""
+        if n_rows == 0 and sums.size == 0:
+            return
+        if self._sums.size == 0:
+            self._keys = [np.asarray(k, dtype=np.int64) for k in keys]
+            self._sums = np.asarray(sums, dtype=np.float64)
+        else:
+            merged_cols = [
+                np.concatenate([mine, np.asarray(theirs, dtype=np.int64)])
+                for mine, theirs in zip(self._keys, keys)
+            ]
+            merged_sums = np.concatenate([self._sums, sums])
+            self._keys, self._sums = group_reduce(merged_cols, merged_sums)
+        self._n_rows += int(n_rows)
+
+    def update(self, f: np.ndarray, lineage: Mapping[str, np.ndarray]) -> "MomentSketch":
+        """Absorb one batch of rows; returns ``self`` for chaining.
+
+        One :func:`group_reduce` pass compacts the batch, a second folds
+        it into the state — ``O((G + B) log (G + B))`` for state size
+        ``G`` and batch size ``B``, independent of the rows already
+        ingested when lineage keys repeat.
+        """
+        f, cols = self._coerce_batch(f, lineage)
+        if f.shape[0] == 0:
+            return self
+        keys, sums = group_reduce(cols, f)
+        self._absorb(keys, sums, f.shape[0])
+        return self
+
+    def merge(self, other: "MomentSketch") -> "MomentSketch":
+        """Fold ``other`` into ``self`` (exact); returns ``self``.
+
+        Merge is commutative and associative up to floating-point
+        summation order, so shard sketches can be combined in any
+        topology — pairwise trees, sequential folds, or one big
+        concatenate — with the same group table as a single-pass build.
+        """
+        if self.lattice != other.lattice:
+            raise EstimationError(
+                f"cannot merge sketches over different lattices: "
+                f"{self.lattice.dims} vs {other.lattice.dims}"
+            )
+        self._absorb(other._keys, other._sums, other._n_rows)
+        return self
+
+    def copy(self) -> "MomentSketch":
+        """An independent snapshot (state arrays are copied)."""
+        dup = MomentSketch(self.lattice)
+        dup._keys = [k.copy() for k in self._keys]
+        dup._sums = self._sums.copy()
+        dup._n_rows = self._n_rows
+        return dup
+
+    # -- emission -------------------------------------------------------
+
+    def moments(self) -> np.ndarray:
+        """The plug-in moment vector ``(Y_S)_{S⊆L}`` right now.
+
+        Cost is ``O(2^n)`` groupings over the *compacted* table — the
+        raw rows are never rescanned.
+        """
+        return y_terms_from_groups(self._sums, self._keys, self.lattice)

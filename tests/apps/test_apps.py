@@ -305,6 +305,45 @@ class TestLoadShedder:
         with pytest.raises(EstimationError):
             LoadShedder(capacity_per_window=0)
 
+    def test_session_estimate_sums_windows(self):
+        shedder = LoadShedder(capacity_per_window=500, seed=4)
+        rng = np.random.default_rng(6)
+        window_ests = [
+            shedder.process_window(rng.uniform(0, 10, n))
+            for n in (300, 2000, 900)
+        ]
+        session = shedder.session_estimate()
+        assert session.value == pytest.approx(
+            sum(e.value for e in window_ests)
+        )
+        assert session.variance_raw == pytest.approx(
+            sum(e.variance_raw for e in window_ests)
+        )
+        assert session.n_sample == sum(e.n_sample for e in window_ests)
+        assert session.extras["windows"] == 3
+
+    def test_session_estimate_requires_windows(self):
+        from repro.apps import combine_independent
+
+        with pytest.raises(EstimationError, match="no estimates"):
+            combine_independent([])
+        with pytest.raises(EstimationError, match="no estimates"):
+            LoadShedder(capacity_per_window=10).session_estimate()
+
+    def test_session_estimate_covers_truth(self):
+        rng = np.random.default_rng(8)
+        hits = 0
+        for trial in range(30):
+            shedder = LoadShedder(capacity_per_window=400, seed=trial)
+            truth = 0.0
+            for _ in range(5):
+                values = rng.uniform(0, 10, 1500)
+                truth += values.sum()
+                shedder.process_window(values)
+            if shedder.session_estimate().ci(0.95).contains(truth):
+                hits += 1
+        assert hits >= 24  # ~95% nominal; generous slack for 30 trials
+
 
 class TestStreamJoinShedder:
     def test_join_estimate_unbiased(self):
@@ -343,3 +382,64 @@ class TestStreamJoinShedder:
             StreamJoinShedder(0.0, 0.5)
         with pytest.raises(EstimationError):
             StreamJoinShedder(0.5, 1.5)
+
+    def _windows(self, rng, n_windows, n_keys=30):
+        out = []
+        for _ in range(n_windows):
+            out.append(
+                (
+                    rng.integers(0, n_keys, 400),
+                    rng.uniform(0, 2, 400),
+                    rng.integers(0, n_keys, 250),
+                    rng.uniform(0, 2, 250),
+                )
+            )
+        return out
+
+    def test_cumulative_estimate_tracks_running_truth(self):
+        rng = np.random.default_rng(12)
+        shedder = StreamJoinShedder(0.6, 0.7, seed=3)
+        truth = 0.0
+        for lk, lv, rk, rv in self._windows(rng, 6):
+            truth += float(
+                np.bincount(lk, weights=lv, minlength=30)
+                @ np.bincount(rk, weights=rv, minlength=30)
+            )
+            shedder.process_window(lk, lv, rk, rv)
+        cumulative = shedder.cumulative_estimate()
+        assert cumulative.ci(0.99).contains(truth)
+        # Cross-window lineage ids must not collide: the cumulative
+        # sample is the union of the windows' samples.
+        assert cumulative.n_sample > 0
+        assert cumulative.label == "JOIN-SUM"
+
+    def test_cumulative_is_exact_merge_of_windows(self):
+        """Cumulative value = sum of window values (merge is exact and
+        the point estimate is linear in the sketch total)."""
+        rng = np.random.default_rng(13)
+        shedder = StreamJoinShedder(0.5, 0.5, seed=1)
+        window_values = [
+            shedder.process_window(lk, lv, rk, rv).value
+            for lk, lv, rk, rv in self._windows(rng, 4)
+        ]
+        assert shedder.cumulative_estimate().value == pytest.approx(
+            sum(window_values), rel=1e-9
+        )
+
+    def test_sliding_estimate_requires_opt_in(self):
+        shedder = StreamJoinShedder(0.5, 0.5)
+        with pytest.raises(EstimationError, match="sliding_length"):
+            shedder.sliding_estimate()
+
+    def test_sliding_estimate_covers_recent_windows(self):
+        rng = np.random.default_rng(14)
+        shedder = StreamJoinShedder(0.6, 0.6, seed=2, sliding_length=2)
+        windows = self._windows(rng, 5)
+        window_values = [
+            shedder.process_window(*w).value for w in windows
+        ]
+        sliding = shedder.sliding_estimate()
+        assert sliding.value == pytest.approx(
+            sum(window_values[-2:]), rel=1e-9
+        )
+        assert sliding.n_sample < shedder.cumulative_estimate().n_sample

@@ -99,3 +99,45 @@ class TestMain:
         code = main(["--load", "nonsense", "-c", "SELECT 1 FROM x"])
         assert code == 2
         assert "name=path" in capsys.readouterr().err
+
+
+class TestStreamSubcommand:
+    def test_runs_and_reports_session(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--windows", "3",
+                "--arrivals", "800",
+                "--shards", "2",
+                "--seed", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "session:" in out
+        assert "shard sizes:" in out
+        # One table row per window.
+        assert sum(line.strip().startswith(d) for d in "012" for line in out.splitlines()) >= 3
+
+    def test_round_robin_policy(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--windows", "2",
+                "--arrivals", "300",
+                "--shards", "3",
+                "--policy", "round-robin",
+            ]
+        )
+        assert code == 0
+        assert "round-robin" in capsys.readouterr().out
+
+    def test_invalid_rate_rejected(self, capsys):
+        code = main(["stream", "--rate", "1.5"])
+        assert code == 2
+        assert "not in (0, 1]" in capsys.readouterr().err
+
+    def test_invalid_windows_rejected(self, capsys):
+        code = main(["stream", "--windows", "0"])
+        assert code == 2
+        assert ">= 1" in capsys.readouterr().err
