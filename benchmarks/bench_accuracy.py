@@ -14,6 +14,8 @@ accuracy axis on the TPC-H workload:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -104,6 +106,73 @@ class TestErrorScaling:
         assert 1.5 < ratio < 10.0
         plan = query1_plan(lineitem_rate=0.2, orders_rows=3000)
         benchmark(lambda: bench_db.estimate(plan, seed=1))
+
+
+class TestLatticeTransformMemoization:
+    """The memoized per-arity transform matrices vs the per-call sweep.
+
+    Advisor/optimizer scoring evaluates ``c = µ(b)`` once per candidate
+    — hundreds of Möbius transforms over the *same* lattice arity per
+    query.  The LRU'd dense matrix turns each into a single matmul;
+    this measures the win at the optimizer's working arity.
+    """
+
+    N_CANDIDATES = 2000
+    ARITY = 4
+
+    def _candidate_vectors(self):
+        rng = np.random.default_rng(7)
+        size = 1 << self.ARITY
+        return rng.uniform(0.0, 1.0, (self.N_CANDIDATES, size))
+
+    def test_memoized_scoring_beats_sweep(self, benchmark, repro_report):
+        from repro.core.lattice import (
+            _sweep,
+            mobius_subsets,
+            subset_transform_matrix,
+        )
+
+        vectors = self._candidate_vectors()
+        subset_transform_matrix(self.ARITY, True)  # warm the cache
+
+        def run_memoized():
+            return [mobius_subsets(v, self.ARITY) for v in vectors]
+
+        def run_sweep():
+            return [
+                _sweep(v, self.ARITY, sign=-1.0, supersets=False)
+                for v in vectors
+            ]
+
+        # Identical numerics first — the speedup must be free.
+        for got, want in zip(run_memoized()[:50], run_sweep()[:50]):
+            assert np.allclose(got, want)
+        memoized_s = min(_timed(run_memoized) for _ in range(3))
+        sweep_s = min(_timed(run_sweep) for _ in range(3))
+        speedup = sweep_s / memoized_s
+        repro_report.add(
+            "Eval-D",
+            f"µ-transform memoized speedup (n={self.ARITY}, "
+            f"{self.N_CANDIDATES} candidates)",
+            ">1x",
+            f"{speedup:.1f}x",
+        )
+        assert speedup > 1.0
+        benchmark(lambda: mobius_subsets(vectors[0], self.ARITY))
+
+    def test_cache_hit_on_repeated_scoring(self):
+        from repro.core.lattice import mobius_subsets, subset_transform_matrix
+
+        before = subset_transform_matrix.cache_info().hits
+        for v in self._candidate_vectors()[:100]:
+            mobius_subsets(v, self.ARITY)
+        assert subset_transform_matrix.cache_info().hits >= before + 99
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 class TestVarianceEstimateAccuracy:

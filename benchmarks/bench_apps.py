@@ -9,7 +9,6 @@ for plan selection, and stream load shedding.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.apps import (
     LoadShedder,
@@ -19,7 +18,6 @@ from repro.apps import (
     robustness_report,
 )
 from repro.data.workloads import REVENUE_EXPR, query1_plan
-from repro.relational.expressions import col
 from repro.relational.plan import (
     Aggregate,
     AggSpec,

@@ -1,0 +1,114 @@
+"""Eval-D: the cost-based sampling-plan optimizer.
+
+Measures the subsystem's two contractual claims on the TPC-H workloads:
+
+* **budget satisfaction** — ``optimize(query, budget)`` returns a plan
+  whose *realized* 95% CI half-width meets the requested budget in
+  ≥ 90% of seeded trials (the escalation loop is the enforcement
+  mechanism);
+* **cost** — the chosen plan is measurably cheaper under the cost
+  model than the naive uniform-rate plan meeting the same predicted
+  budget (the cost ratio is recorded in the reproduction report).
+
+Runs in smoke mode (1 trial per workload, for CI) when the
+``REPRO_BENCH_SMOKE`` environment variable is set.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.data.workloads import figure4_plan, query1_plan
+from repro.optimizer import ErrorBudget, SamplingPlanOptimizer
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+TRIALS = 1 if SMOKE else 20
+
+WORKLOADS = {
+    "query1": (query1_plan, ErrorBudget.from_percent(10.0)),
+    "figure4": (figure4_plan, ErrorBudget.from_percent(10.0)),
+}
+
+
+@pytest.fixture(scope="module")
+def optimizer(bench_db):
+    return SamplingPlanOptimizer(bench_db, seed=0)
+
+
+class TestBudgetSatisfaction:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_realized_interval_meets_budget(
+        self, optimizer, bench_db, repro_report, name
+    ):
+        plan_fn, budget = WORKLOADS[name]
+        truth = bench_db.execute_exact(plan_fn()).to_rows()[0][0]
+        met = 0
+        covered = 0
+        start = time.perf_counter()
+        for seed in range(TRIALS):
+            result = optimizer.optimize(plan_fn(), budget, seed=seed)
+            met += result.met
+            estimate = result.result.estimates["revenue"]
+            covered += estimate.ci(budget.level).contains(truth)
+        elapsed = time.perf_counter() - start
+        repro_report.add(
+            "Eval-D",
+            f"{name}: budget met ({TRIALS} trials)",
+            "≥90%",
+            f"{met / TRIALS:.0%} ({elapsed / TRIALS:.2f}s/trial)",
+        )
+        repro_report.add(
+            "Eval-D",
+            f"{name}: CI covers truth",
+            "≈95%",
+            f"{covered / TRIALS:.0%}",
+        )
+        assert met >= 0.9 * TRIALS
+        if not SMOKE:
+            assert covered >= 0.8 * TRIALS
+
+
+class TestCostVersusUniform:
+    def test_chosen_plan_cheaper_than_uniform(
+        self, optimizer, repro_report
+    ):
+        """The plan-choice regression guard: on Query 1 the optimizer
+        must find rate asymmetry that beats every uniform-rate plan
+        meeting the same budget."""
+        budget = ErrorBudget.from_percent(10.0)
+        report = optimizer.report(query1_plan(), budget, seed=0)
+        assert report.chosen.feasible
+        assert report.naive is not None, (
+            "a uniform Bernoulli rate must meet a 10% budget on Query 1"
+        )
+        ratio = report.cost_ratio
+        repro_report.add(
+            "Eval-D",
+            "query1: chosen/uniform cost ratio",
+            "<1 (cheaper)",
+            f"{ratio:.2f}",
+        )
+        assert ratio <= 1.0
+        if not SMOKE:
+            # "Measurably lower": at least 5% cheaper at this scale.
+            assert ratio < 0.95
+
+    def test_figure4_report_ranks_and_chooses(
+        self, optimizer, repro_report
+    ):
+        budget = ErrorBudget.from_percent(10.0)
+        report = optimizer.report(figure4_plan(), budget, seed=0)
+        feasible = [sc for sc in report.scored if sc.feasible]
+        repro_report.add(
+            "Eval-D",
+            "figure4: candidates scored / feasible",
+            "dozens / >0",
+            f"{len(report.scored)} / {len(feasible)}",
+        )
+        assert len(report.scored) > 50
+        assert report.chosen is report.scored[0]
+        text = report.table()
+        assert "chosen:" in text

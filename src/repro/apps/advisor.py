@@ -16,17 +16,12 @@ import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
-from repro.core.algebra import join_gus, lift_gus
-from repro.core.estimator import (
-    theorem1_variance,
-    unbiased_y_terms,
-    y_terms,
-)
-from repro.core.gus import GUSParams, identity_gus
-from repro.core.lattice import SubsetLattice
+from repro.core.algebra import lift_gus
+from repro.core.estimator import theorem1_variance
+from repro.core.gus import GUSParams
 from repro.core.sbox import QueryResult
 from repro.errors import EstimationError
-from repro.relational.aggregates import aggregate_input_vector
+from repro.optimizer.predictor import combined_gus, pilot_moments
 from repro.sampling.base import SamplingMethod
 
 
@@ -85,17 +80,13 @@ def candidate_params(
     """Combined GUS of a per-relation strategy over ``schema``.
 
     Relations absent from ``methods`` stay unsampled (identity GUS).
+    Thin alias of :func:`repro.optimizer.predictor.combined_gus`, kept
+    for the advisor's public API.
     """
-    params: GUSParams | None = None
-    for rel in sorted(schema):
-        if rel in methods:
-            dim = methods[rel].gus(rel, table_sizes[rel])
-        else:
-            dim = identity_gus([rel])
-        params = dim if params is None else join_gus(params, dim)
-    if params is None:
-        raise EstimationError("advisor needs at least one relation")
-    return params
+    try:
+        return combined_gus(methods, table_sizes, schema)
+    except EstimationError:
+        raise EstimationError("advisor needs at least one relation") from None
 
 
 def advise(
@@ -131,18 +122,14 @@ def advise(
             "the advisor predicts variances of SUM-like aggregates; "
             "AVG is a ratio (use its SUM and COUNT components)"
         )
-    f = aggregate_input_vector(result.sample, spec)
-
     # Ŷ over the *full* query schema: candidates may sample relations
     # the observed strategy left unsampled, so data moments must cover
-    # every subset of the participating relations.
+    # every subset of the participating relations.  Shared with the
+    # cost-based optimizer, which scores enumerated candidates the
+    # same way.
+    yhat, value = pilot_moments(result, spec)
     schema = sorted(result.rewrite.params.schema)
-    full_lattice = SubsetLattice(schema)
-    observed = lift_gus(result.rewrite.params, frozenset(schema))
-    plugin = y_terms(f, result.sample.lineage, full_lattice)
-    yhat = unbiased_y_terms(observed, plugin)
 
-    value = result.estimates[alias].value
     outcomes = []
     for name, methods in strategies.items():
         params = candidate_params(methods, table_sizes, schema)

@@ -11,7 +11,9 @@ Usage::
 Shell commands:
 
 * any SQL statement — runs it; aggregate queries print estimates with
-  95% intervals, others print rows;
+  95% intervals, others print rows; a ``WITHIN 5 % CONFIDENCE 0.95``
+  suffix routes through the sampling-plan optimizer, and an
+  ``EXPLAIN SAMPLING`` prefix prints the ranked candidate plans;
 * ``\\explain <sql>`` — show the executable plan and its SOA-equivalent
   single-GUS analysis plan;
 * ``\\exact <sql>`` — run with sampling stripped (ground truth);
@@ -49,7 +51,16 @@ def _build_database(args):
 
 def _format_result(result, level: float) -> str:
     from repro.core.sbox import QueryResult
+    from repro.optimizer import OptimizedResult, OptimizerReport
 
+    if isinstance(result, OptimizerReport):
+        return result.table()
+    if isinstance(result, OptimizedResult):
+        return (
+            _format_result(result.result, result.report.budget.level)
+            + "\n-- "
+            + result.outcome_line()
+        )
     if isinstance(result, QueryResult):
         lines = []
         for alias, value in result.values.items():

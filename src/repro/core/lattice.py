@@ -20,6 +20,7 @@ bitmask; bit ``i`` corresponds to ``lattice.dims[i]``.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from functools import lru_cache
 
 import numpy as np
 
@@ -28,6 +29,11 @@ from repro.errors import LatticeError
 #: Largest supported lineage schema.  2**16 lattice cells is already far
 #: beyond any realistic query (the paper's largest example has 4).
 MAX_DIMS = 16
+
+#: Largest arity for which the transforms use a memoized dense matrix.
+#: At ``n = 8`` each matrix is 256×256 (0.5 MB); beyond that the
+#: per-axis sweep wins on memory and the matmul stops being faster.
+MATRIX_MAX_DIMS = 8
 
 
 class SubsetLattice:
@@ -155,18 +161,65 @@ def validate_vector(lattice: SubsetLattice, vec: Sequence[float]) -> np.ndarray:
     return arr
 
 
-def zeta_subsets(vec: np.ndarray, n: int) -> np.ndarray:
-    """Subset-sum (zeta) transform: ``out[S] = Σ_{T⊆S} vec[T]``.
+def _mask_popcounts(masks: np.ndarray) -> np.ndarray:
+    """Vectorized popcount over an int64 mask array."""
+    out = np.zeros(masks.shape, dtype=np.int64)
+    work = masks.copy()
+    while work.any():
+        out += work & 1
+        work >>= 1
+    return out
 
-    O(n·2ⁿ) via the standard per-axis sweep on the hypercube view.
+
+@lru_cache(maxsize=2 * (MATRIX_MAX_DIMS + 1))
+def subset_transform_matrix(n: int, signed: bool) -> np.ndarray:
+    """Memoized dense ``2ⁿ×2ⁿ`` zeta (``signed=False``) or Möbius
+    (``signed=True``) subset-transform matrix.
+
+    ``M[S, T]`` is nonzero iff ``T ⊆ S``; the signed variant carries
+    ``(−1)^{|S|−|T|}``.  Advisor/optimizer scoring evaluates Theorem 1
+    for hundreds of candidate GUS vectors over the *same* lattice arity,
+    so the matrix is built once per arity and every transform becomes a
+    single matmul.  Superset transforms use the transpose (``T ⊆ S``
+    read backwards).  Returned arrays are read-only — never mutate them.
     """
+    size = 1 << n
+    s = np.arange(size, dtype=np.int64)[:, None]
+    t = np.arange(size, dtype=np.int64)[None, :]
+    is_subset = (t & ~s) == 0
+    if signed:
+        odd = (_mask_popcounts(s ^ t) & 1).astype(bool)
+        matrix = np.where(is_subset, np.where(odd, -1.0, 1.0), 0.0)
+    else:
+        matrix = is_subset.astype(np.float64)
+    matrix.setflags(write=False)
+    return matrix
+
+
+def _sweep(vec: np.ndarray, n: int, *, sign: float, supersets: bool) -> np.ndarray:
+    """Per-axis O(n·2ⁿ) transform sweep (fallback for large arities)."""
     out = np.array(vec, dtype=np.float64, copy=True).reshape((2,) * n)
     for axis in range(n):
         hi = [slice(None)] * n
         lo = [slice(None)] * n
         hi[axis], lo[axis] = 1, 0
-        out[tuple(hi)] += out[tuple(lo)]
+        if supersets:
+            out[tuple(lo)] += sign * out[tuple(hi)]
+        else:
+            out[tuple(hi)] += sign * out[tuple(lo)]
     return out.reshape(-1)
+
+
+def zeta_subsets(vec: np.ndarray, n: int) -> np.ndarray:
+    """Subset-sum (zeta) transform: ``out[S] = Σ_{T⊆S} vec[T]``.
+
+    One matmul against the memoized per-arity matrix for small ``n``,
+    the standard per-axis hypercube sweep beyond
+    :data:`MATRIX_MAX_DIMS`.
+    """
+    if n <= MATRIX_MAX_DIMS:
+        return subset_transform_matrix(n, False) @ np.asarray(vec, dtype=np.float64)
+    return _sweep(vec, n, sign=1.0, supersets=False)
 
 
 def mobius_subsets(vec: np.ndarray, n: int) -> np.ndarray:
@@ -175,24 +228,16 @@ def mobius_subsets(vec: np.ndarray, n: int) -> np.ndarray:
     Inverse of :func:`zeta_subsets`.  Theorem 1's ``c_S`` coefficients
     are ``mobius_subsets(b)``.
     """
-    out = np.array(vec, dtype=np.float64, copy=True).reshape((2,) * n)
-    for axis in range(n):
-        hi = [slice(None)] * n
-        lo = [slice(None)] * n
-        hi[axis], lo[axis] = 1, 0
-        out[tuple(hi)] -= out[tuple(lo)]
-    return out.reshape(-1)
+    if n <= MATRIX_MAX_DIMS:
+        return subset_transform_matrix(n, True) @ np.asarray(vec, dtype=np.float64)
+    return _sweep(vec, n, sign=-1.0, supersets=False)
 
 
 def zeta_supersets(vec: np.ndarray, n: int) -> np.ndarray:
     """Superset-sum transform: ``out[S] = Σ_{T⊇S} vec[T]``."""
-    out = np.array(vec, dtype=np.float64, copy=True).reshape((2,) * n)
-    for axis in range(n):
-        hi = [slice(None)] * n
-        lo = [slice(None)] * n
-        hi[axis], lo[axis] = 1, 0
-        out[tuple(lo)] += out[tuple(hi)]
-    return out.reshape(-1)
+    if n <= MATRIX_MAX_DIMS:
+        return subset_transform_matrix(n, False).T @ np.asarray(vec, dtype=np.float64)
+    return _sweep(vec, n, sign=1.0, supersets=True)
 
 
 def mobius_supersets(vec: np.ndarray, n: int) -> np.ndarray:
@@ -203,13 +248,9 @@ def mobius_supersets(vec: np.ndarray, n: int) -> np.ndarray:
     *at-least-agreement* data moments ``y_S`` (``y = ζ⁺(d)``), the
     identity at the heart of Theorem 1's proof.
     """
-    out = np.array(vec, dtype=np.float64, copy=True).reshape((2,) * n)
-    for axis in range(n):
-        hi = [slice(None)] * n
-        lo = [slice(None)] * n
-        hi[axis], lo[axis] = 1, 0
-        out[tuple(lo)] -= out[tuple(hi)]
-    return out.reshape(-1)
+    if n <= MATRIX_MAX_DIMS:
+        return subset_transform_matrix(n, True).T @ np.asarray(vec, dtype=np.float64)
+    return _sweep(vec, n, sign=-1.0, supersets=True)
 
 
 def kappa(b: np.ndarray, s_mask: int, t_mask: int) -> float:

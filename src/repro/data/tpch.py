@@ -12,8 +12,6 @@ seed, so any scale/seed pair regenerates identical data.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
-
 import numpy as np
 
 from repro.data.distributions import skewed_ints

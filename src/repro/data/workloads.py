@@ -54,6 +54,18 @@ WHERE l_orderkey = o_orderkey
   AND l_partkey = p_partkey
 """
 
+#: Query 1 as an error-budget query: the optimizer picks the rates.
+QUERY1_BUDGET_SQL = """
+SELECT SUM(l_discount * (1.0 - l_tax)) AS revenue
+FROM lineitem TABLESAMPLE (10 PERCENT),
+     orders TABLESAMPLE (1000 ROWS)
+WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0
+WITHIN 10 % CONFIDENCE 0.95
+"""
+
+#: The same, asking for the ranked candidate table instead of execution.
+QUERY1_EXPLAIN_SAMPLING_SQL = "EXPLAIN SAMPLING " + QUERY1_BUDGET_SQL.strip()
+
 #: The revenue expression used throughout the paper.
 REVENUE_EXPR = col("l_discount") * (lit(1.0) - col("l_tax"))
 

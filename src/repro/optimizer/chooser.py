@@ -1,0 +1,377 @@
+"""The plan chooser: budget in, cheapest qualifying plan out.
+
+Ties the subsystem together, closing the loop from a planned query to
+a guaranteed-accuracy answer:
+
+1. :func:`~repro.optimizer.candidates.decompose` the query into its
+   skeleton and enumerate (method assignment × join order) variants;
+2. execute one cheap **pilot** (hash-Bernoulli on every sampled
+   relation) and build a
+   :class:`~repro.optimizer.predictor.VariancePredictor` from it;
+3. score every candidate — predicted relative CI half-width from the
+   predictor, predicted cost from the calibrated
+   :class:`~repro.optimizer.cost.CostModel` — and choose the cheapest
+   candidate whose prediction meets the
+   :class:`~repro.optimizer.budget.ErrorBudget`;
+4. execute the chosen plan through the SBox; if the *realized* interval
+   misses the budget (pilot noise, unlucky draw), **escalate**: retry
+   at geometrically increased rates, with hash-keyed filters reusing
+   every already-drawn tuple (nested samples), until the budget is met
+   or the plan has escalated to a full scan.
+
+``EXPLAIN SAMPLING`` is step 1–3 without execution:
+:meth:`SamplingPlanOptimizer.report` returns the ranked candidate
+table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import PlanError
+from repro.optimizer.budget import ErrorBudget
+from repro.optimizer.candidates import (
+    PlanCandidate,
+    QuerySkeleton,
+    methods_label,
+    decompose,
+    enumerate_assignments,
+    escalate_methods,
+    is_fully_escalated,
+    join_orders,
+    relation_seed,
+    reusable_methods,
+)
+from repro.optimizer.cost import CostEstimate, CostModel
+from repro.optimizer.predictor import VariancePredictor, combined_gus
+from repro.core.gus import GUSParams
+from repro.core.sbox import QueryResult
+from repro.relational.plan import Aggregate
+from repro.sampling import LineageHashBernoulli
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.database import Database
+
+#: Default pilot sampling rate (per relation, hash-Bernoulli).
+DEFAULT_PILOT_RATE = 0.1
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """One candidate with its predictions attached."""
+
+    candidate: PlanCandidate
+    params: GUSParams
+    predicted_relative_half_width: float
+    cost: CostEstimate
+    feasible: bool
+
+    @property
+    def name(self) -> str:
+        return self.candidate.name
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution of the escalation loop."""
+
+    attempt: int
+    methods_label: str
+    n_sample: int
+    realized_relative_half_width: float
+    met: bool
+
+
+@dataclass(frozen=True)
+class OptimizerReport:
+    """The ranked candidate table (the ``EXPLAIN SAMPLING`` payload).
+
+    ``scored`` is ranked best-first: feasible candidates by predicted
+    cost, then infeasible ones by predicted interval width.  ``naive``
+    is the baseline the optimizer must beat — the cheapest *uniform*
+    Bernoulli assignment (same rate everywhere, original join order)
+    predicted to meet the same budget.
+    """
+
+    budget: ErrorBudget
+    scored: tuple[ScoredCandidate, ...]
+    chosen: ScoredCandidate
+    naive: ScoredCandidate | None
+    pilot_rows: int
+
+    @property
+    def cost_ratio(self) -> float:
+        """Chosen cost / naive-uniform cost (< 1 means the win is real)."""
+        if self.naive is None or self.naive.cost.seconds <= 0.0:
+            return math.nan
+        return self.chosen.cost.seconds / self.naive.cost.seconds
+
+    def table(self, limit: int = 15) -> str:
+        """Plain-text ranking for ``EXPLAIN SAMPLING`` output."""
+        header = (
+            f"{'rank':<6}{'candidate':<44}{'join order':<28}"
+            f"{'pred. cost rows':>16}{'pred. ±':>10}{'meets':>7}"
+        )
+        lines = [
+            f"budget: {self.budget.describe()}  "
+            f"(pilot: {self.pilot_rows} rows)",
+            header,
+            "-" * len(header),
+        ]
+        for rank, sc in enumerate(self.scored[:limit], start=1):
+            marker = "*" if sc is self.chosen else " "
+            width = sc.predicted_relative_half_width
+            width_text = f"{width:>10.2%}" if math.isfinite(width) else f"{'inf':>10}"
+            lines.append(
+                f"{marker}{rank:<5}{sc.name:<44}"
+                f"{'⋈'.join(sc.candidate.order):<28}"
+                f"{sc.cost.rows_total:>16,.0f}{width_text}"
+                f"{'yes' if sc.feasible else 'no':>7}"
+            )
+        if len(self.scored) > limit:
+            lines.append(f"... ({len(self.scored)} candidates scored)")
+        lines.append(
+            f"chosen: {self.chosen.name} "
+            f"[{'⋈'.join(self.chosen.candidate.order)}]"
+            + (
+                f", {1.0 / self.cost_ratio:.1f}x cheaper than uniform"
+                if math.isfinite(self.cost_ratio) and self.cost_ratio < 1.0
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OptimizedResult:
+    """Everything an error-budget query returns."""
+
+    report: OptimizerReport
+    result: QueryResult
+    attempts: tuple[AttemptRecord, ...] = field(repr=False)
+
+    @property
+    def met(self) -> bool:
+        return self.attempts[-1].met
+
+    def __getitem__(self, alias: str) -> float:
+        return self.result.values[alias]
+
+    def outcome_line(self) -> str:
+        """The one-line verdict shared by :meth:`summary` and the CLI."""
+        last = self.attempts[-1]
+        chosen = self.report.chosen
+        return (
+            f"plan: {chosen.name} [{'⋈'.join(chosen.candidate.order)}]; "
+            f"budget {self.report.budget.describe()} "
+            f"{'met' if last.met else 'MISSED'} after "
+            f"{len(self.attempts)} attempt(s), realized "
+            f"±{last.realized_relative_half_width:.2%}"
+        )
+
+    def summary(self) -> str:
+        return (
+            self.result.summary(self.report.budget.level)
+            + "\n"
+            + self.outcome_line()
+        )
+
+
+class SamplingPlanOptimizer:
+    """Cost-based sampling-plan optimizer over one database."""
+
+    def __init__(
+        self,
+        db: "Database",
+        *,
+        cost_model: CostModel | None = None,
+        pilot_rate: float = DEFAULT_PILOT_RATE,
+        seed: int = 0,
+        max_escalations: int = 4,
+        escalation_factor: float = 2.0,
+        order_limit: int = 12,
+    ) -> None:
+        self.db = db
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else CostModel.calibrate(db.tables)
+        )
+        self.pilot_rate = float(pilot_rate)
+        self.seed = int(seed)
+        self.max_escalations = int(max_escalations)
+        self.escalation_factor = float(escalation_factor)
+        self.order_limit = int(order_limit)
+
+    # -- pilot ------------------------------------------------------------
+
+    def _column_owner(self) -> dict[str, str]:
+        owner: dict[str, str] = {}
+        for name, table in self.db.tables.items():
+            for column in table.schema.names:
+                owner[column] = name
+        return owner
+
+    def _pilot(self, skeleton: QuerySkeleton, seed: int) -> VariancePredictor:
+        # Per-relation rates multiply through the join (Prop 6), so take
+        # the k-th root: the pilot retains ~pilot_rate of the *joined*
+        # result however many relations are sampled.
+        per_rel = self.pilot_rate ** (1.0 / max(1, len(skeleton.sampled)))
+        pilot_methods = {
+            rel: LineageHashBernoulli(
+                per_rel, seed=relation_seed(seed + 1, rel)
+            )
+            for rel in skeleton.sampled
+        }
+        pilot_plan = skeleton.build(methods=pilot_methods)
+        result = self.db.sbox().run(pilot_plan, rng=self.db.rng(seed))
+        return VariancePredictor.from_pilot(result)
+
+    # -- scoring ----------------------------------------------------------
+
+    def report(
+        self,
+        plan: Aggregate,
+        budget: ErrorBudget,
+        *,
+        seed: int | None = None,
+    ) -> OptimizerReport:
+        """Enumerate, score, and rank — the ``EXPLAIN SAMPLING`` path."""
+        seed = self.seed if seed is None else int(seed)
+        skeleton = decompose(plan, self._column_owner())
+        if not skeleton.sampled:
+            raise PlanError(
+                "the query samples nothing; an exact plan trivially meets "
+                "any budget (run it directly)"
+            )
+        predictor = self._pilot(skeleton, seed)
+        sizes = self.db.sizes()
+        schema = frozenset(skeleton.relations)
+        orders = join_orders(skeleton, limit=self.order_limit)
+        target = budget.target_relative_std
+        critical = budget.critical_value
+
+        scored: list[ScoredCandidate] = []
+        naive: ScoredCandidate | None = None
+        for assignment in enumerate_assignments(skeleton, sizes, seed=seed):
+            label, methods = assignment.label, assignment.methods
+            params = combined_gus(methods, sizes, sorted(schema))
+            rel_std = predictor.predicted_relative_std(params)
+            feasible = rel_std <= target
+            # Variance is join-order independent; cost is not.  Keep the
+            # cheapest order per assignment (the ranking only ever needs
+            # the per-assignment winner).
+            best: ScoredCandidate | None = None
+            for order in orders:
+                candidate = PlanCandidate(label, order, methods, skeleton)
+                cost = self.cost_model.estimate(candidate.plan())
+                sc = ScoredCandidate(
+                    candidate=candidate,
+                    params=params,
+                    predicted_relative_half_width=rel_std * critical,
+                    cost=cost,
+                    feasible=feasible,
+                )
+                if best is None or cost.seconds < best.cost.seconds:
+                    best = sc
+                # The naive baseline is what a rate-knob-only system
+                # would run: uniform Bernoulli, the query's own join
+                # order.  Track it before the cheapest-order pruning so
+                # reordering wins don't erase the comparison point.
+                if (
+                    feasible
+                    and order == skeleton.relations
+                    and assignment.uniform_bernoulli
+                    and (naive is None or cost.seconds < naive.cost.seconds)
+                ):
+                    naive = sc
+            assert best is not None
+            scored.append(best)
+
+        scored.sort(
+            key=lambda sc: (
+                not sc.feasible,
+                sc.cost.seconds if sc.feasible
+                else sc.predicted_relative_half_width,
+            )
+        )
+        return OptimizerReport(
+            budget=budget,
+            scored=tuple(scored),
+            chosen=scored[0],
+            naive=naive,
+            pilot_rows=predictor.pilot.sample.n_rows,
+        )
+
+    # -- optimization -----------------------------------------------------
+
+    def optimize(
+        self,
+        plan: Aggregate,
+        budget: ErrorBudget,
+        *,
+        seed: int | None = None,
+    ) -> OptimizedResult:
+        """Choose, execute, and escalate until the budget is realized."""
+        seed = self.seed if seed is None else int(seed)
+        report = self.report(plan, budget, seed=seed)
+        skeleton = report.chosen.candidate.skeleton
+        order = report.chosen.candidate.order
+        sizes = self.db.sizes()
+        methods = reusable_methods(report.chosen.candidate.methods, seed)
+
+        attempts: list[AttemptRecord] = []
+        for attempt in range(self.max_escalations + 1):
+            executable = skeleton.build(order, methods)
+            result = self.db.sbox().run(
+                executable, rng=self.db.rng(seed + attempt)
+            )
+            realized = self._realized(result, budget)
+            met = all(
+                budget.met_by(result.estimates[alias])
+                for alias in self._budget_aliases(result)
+            )
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    methods_label=methods_label(methods),
+                    n_sample=result.sample.n_rows,
+                    realized_relative_half_width=realized,
+                    met=met,
+                )
+            )
+            if met or is_fully_escalated(methods, sizes):
+                break
+            methods = escalate_methods(
+                methods, self.escalation_factor, sizes
+            )
+        return OptimizedResult(
+            report=report, result=result, attempts=tuple(attempts)
+        )
+
+    @staticmethod
+    def _budget_aliases(result: QueryResult) -> list[str]:
+        assert result.plan is not None
+        return [s.alias for s in result.plan.specs if s.kind != "avg"]
+
+    def _realized(self, result: QueryResult, budget: ErrorBudget) -> float:
+        return max(
+            budget.realized_fraction(result.estimates[alias])
+            for alias in self._budget_aliases(result)
+        )
+
+
+def optimize(
+    db: "Database",
+    plan: Aggregate,
+    budget: ErrorBudget,
+    *,
+    seed: int | None = None,
+    **kwargs,
+) -> OptimizedResult:
+    """One-shot convenience: build an optimizer and run the full loop."""
+    return SamplingPlanOptimizer(db, **kwargs).optimize(
+        plan, budget, seed=seed
+    )

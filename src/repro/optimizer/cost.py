@@ -1,0 +1,200 @@
+"""Plan cost model, calibrated per database with micro-probes.
+
+Candidates are compared on a simple but honest model of this engine's
+executor: every base table is scanned in full (Bernoulli/WOR filters
+still read every row), every intermediate row costs one unit of
+row-processing work, and joins pay for both inputs plus the output
+they materialize.  Cardinalities flow bottom-up — sampling scales rows
+by the method's first-order inclusion probability ``a``, equi-joins use
+the classic ``|L|·|R| / max(ndv(k_L), ndv(k_R))`` uniform-containment
+estimate with distinct counts measured on the actual base tables.
+
+Two machine-specific constants turn row counts into predicted seconds:
+the per-row cost of a vectorized scan/filter pass and of a sort-based
+join probe.  They are measured **once per database** by timing two
+small numpy micro-probes (:meth:`CostModel.calibrate`), so cost
+rankings reflect the hardware the query will actually run on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.relational import plan as p
+from repro.relational.executor import join_indices
+from repro.relational.table import Table
+
+#: Rows used by each calibration micro-probe.
+PROBE_ROWS = 65_536
+
+#: Selectivity charged per residual (non-join) predicate.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted work for one candidate plan."""
+
+    rows_scanned: float
+    rows_joined: float
+    seconds: float
+
+    @property
+    def rows_total(self) -> float:
+        return self.rows_scanned + self.rows_joined
+
+    def describe(self) -> str:
+        return (
+            f"{self.rows_total:,.0f} rows "
+            f"(~{self.seconds * 1e3:.2f} ms predicted)"
+        )
+
+
+class CostModel:
+    """Cardinality + calibrated-constant cost estimates for plans."""
+
+    def __init__(
+        self,
+        table_sizes: Mapping[str, int],
+        column_ndv: Mapping[str, int],
+        *,
+        scan_seconds_per_row: float = 5e-9,
+        join_seconds_per_row: float = 3e-8,
+        selectivity: float = DEFAULT_SELECTIVITY,
+    ) -> None:
+        self.table_sizes = dict(table_sizes)
+        self.column_ndv = dict(column_ndv)
+        self.scan_seconds_per_row = float(scan_seconds_per_row)
+        self.join_seconds_per_row = float(join_seconds_per_row)
+        self.selectivity = float(selectivity)
+
+    # -- calibration -----------------------------------------------------
+
+    @classmethod
+    def calibrate(
+        cls,
+        tables: Mapping[str, Table],
+        *,
+        probe_rows: int = PROBE_ROWS,
+        repeats: int = 3,
+    ) -> "CostModel":
+        """Measure per-row constants and collect base-table statistics.
+
+        The scan probe times a vectorized compare-and-filter pass; the
+        join probe times :func:`~repro.relational.executor.join_indices`
+        on foreign-key-shaped data.  Taking the best of ``repeats``
+        keeps scheduler noise out of the constants.
+        """
+        values = np.linspace(0.0, 1.0, probe_rows)
+        keys = np.arange(probe_rows, dtype=np.int64) % (probe_rows // 8)
+
+        def best(fn) -> float:
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        scan_s = best(lambda: values[values > 0.5]) / probe_rows
+        right = keys[: probe_rows // 4]
+        join_s = best(lambda: join_indices(keys, right))
+        # Charge the constant per touched row: both inputs plus the
+        # output the probe actually emits (measured, not assumed — the
+        # key repetition factor makes the output much larger than the
+        # right side).
+        out_rows = int(join_indices(keys, right)[0].size)
+        join_rows = probe_rows + right.size + out_rows
+        ndv = {
+            col: int(np.unique(np.asarray(table.columns[col])).size)
+            for table in tables.values()
+            for col in table.schema.names
+        }
+        return cls(
+            {name: t.n_rows for name, t in tables.items()},
+            ndv,
+            scan_seconds_per_row=max(scan_s, 1e-12),
+            join_seconds_per_row=max(join_s / join_rows, 1e-12),
+        )
+
+    # -- estimation ------------------------------------------------------
+
+    def estimate(self, plan: p.PlanNode) -> CostEstimate:
+        """Walk the plan bottom-up, accumulating predicted work."""
+        state = {"scanned": 0.0, "joined": 0.0}
+        self._rows(plan, state)
+        seconds = (
+            state["scanned"] * self.scan_seconds_per_row
+            + state["joined"] * self.join_seconds_per_row
+        )
+        return CostEstimate(state["scanned"], state["joined"], seconds)
+
+    def _rows(self, node: p.PlanNode, state: dict[str, float]) -> float:
+        if isinstance(node, p.Scan):
+            n = float(self.table_sizes.get(node.table_name, 0))
+            state["scanned"] += n
+            return n
+        if isinstance(node, p.TableSample):
+            n = self._rows(node.child, state)
+            a = node.method.gus(
+                node.child.table_name,
+                self.table_sizes.get(node.child.table_name, 0),
+            ).a
+            state["scanned"] += n  # the filter pass touches every row
+            return n * a
+        if isinstance(node, p.LineageSample):
+            n = self._rows(node.child, state)
+            state["scanned"] += n
+            return n * node.sampler.gus().a
+        if isinstance(node, p.Select):
+            n = self._rows(node.child, state)
+            state["scanned"] += n
+            return n * self.selectivity
+        if isinstance(node, p.Project):
+            n = self._rows(node.child, state)
+            state["scanned"] += n
+            return n
+        if isinstance(node, p.Aggregate):
+            n = self._rows(node.child, state)
+            state["scanned"] += n
+            return 1.0
+        if isinstance(node, p.Join):
+            left = self._rows(node.left, state)
+            right = self._rows(node.right, state)
+            out = self._join_rows(left, right, node.left_keys, node.right_keys)
+            state["joined"] += left + right + out
+            return out
+        if isinstance(node, p.CrossProduct):
+            left = self._rows(node.left, state)
+            right = self._rows(node.right, state)
+            out = left * right
+            state["joined"] += left + right + out
+            return out
+        if isinstance(node, (p.Union, p.Intersect)):
+            left = self._rows(node.left, state)
+            right = self._rows(node.right, state)
+            state["joined"] += left + right
+            return left + right if isinstance(node, p.Union) else min(left, right)
+        raise PlanError(f"cost model cannot walk {type(node).__name__}")
+
+    def _join_rows(
+        self,
+        left_rows: float,
+        right_rows: float,
+        left_keys: tuple[str, ...],
+        right_keys: tuple[str, ...],
+    ) -> float:
+        """Uniform-containment estimate, ndv from the base tables."""
+        denom = 1.0
+        for lk, rk in zip(left_keys, right_keys):
+            denom = max(
+                denom,
+                float(self.column_ndv.get(lk, 1)),
+                float(self.column_ndv.get(rk, 1)),
+            )
+        return left_rows * right_rows / denom

@@ -26,6 +26,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.rewrite import RewriteResult
     from repro.core.sbox import QueryResult, SBox
     from repro.core.subsample import SubsampleSpec
+    from repro.optimizer import (
+        CostModel,
+        ErrorBudget,
+        OptimizedResult,
+        OptimizerReport,
+        SamplingPlanOptimizer,
+    )
 
 
 class Database:
@@ -34,6 +41,7 @@ class Database:
     def __init__(self, seed: int | None = None) -> None:
         self.tables: dict[str, Table] = {}
         self._rng = np.random.default_rng(seed)
+        self._cost_model: "CostModel | None" = None
 
     # -- catalog -----------------------------------------------------------
 
@@ -52,6 +60,7 @@ class Database:
             raise SchemaError(f"table {name!r} already exists")
         named = table.rename(name)
         self.tables[name] = named
+        self._cost_model = None  # statistics are stale
         return named
 
     def create_table(self, name: str, columns: Mapping[str, Any]) -> Table:
@@ -63,6 +72,7 @@ class Database:
             del self.tables[name]
         except KeyError:
             raise SchemaError(f"no table {name!r} to drop") from None
+        self._cost_model = None
 
     def table(self, name: str) -> Table:
         try:
@@ -130,6 +140,33 @@ class Database:
             + repr(rewrite.params)
         )
 
+    # -- optimization ----------------------------------------------------------
+
+    def cost_model(self) -> "CostModel":
+        """The micro-probe-calibrated cost model (cached per catalog)."""
+        from repro.optimizer import CostModel
+
+        if self._cost_model is None:
+            self._cost_model = CostModel.calibrate(self.tables)
+        return self._cost_model
+
+    def optimizer(self, **kwargs) -> "SamplingPlanOptimizer":
+        """A sampling-plan optimizer sharing this database's cost model."""
+        from repro.optimizer import SamplingPlanOptimizer
+
+        kwargs.setdefault("cost_model", self.cost_model())
+        return SamplingPlanOptimizer(self, **kwargs)
+
+    def optimize(
+        self,
+        plan: Aggregate,
+        budget: "ErrorBudget",
+        *,
+        seed: int | None = None,
+    ) -> "OptimizedResult":
+        """Run the full choose-execute-escalate loop for a budget."""
+        return self.optimizer().optimize(plan, budget, seed=seed)
+
     # -- SQL -----------------------------------------------------------------
 
     def plan_sql(self, text: str) -> PlanNode:
@@ -145,14 +182,44 @@ class Database:
         *,
         seed: int | None = None,
         subsample: "SubsampleSpec | None" = None,
-    ) -> "QueryResult | Table":
+    ) -> "QueryResult | Table | OptimizedResult | OptimizerReport":
         """Parse and run SQL.
 
-        Aggregate queries return a :class:`QueryResult` with estimates
-        and confidence machinery; non-aggregate queries return the
-        result :class:`Table` directly.
+        Aggregate queries return a :class:`QueryResult`; non-aggregate
+        queries return the result :class:`Table`.  A ``WITHIN ... %
+        CONFIDENCE ...`` budget routes through the sampling-plan
+        optimizer and returns an
+        :class:`~repro.optimizer.OptimizedResult`; an ``EXPLAIN
+        SAMPLING`` prefix skips execution of the final plan and returns
+        the ranked :class:`~repro.optimizer.OptimizerReport`.
         """
-        plan = self.plan_sql(text)
+        from repro.sql.parser import parse
+        from repro.sql.planner import plan_query
+
+        query = parse(text)
+        plan = plan_query(query, self)
+        if query.explain_sampling or query.budget is not None:
+            from repro.errors import SQLError
+            from repro.optimizer import ErrorBudget
+
+            if subsample is not None:
+                raise SQLError(
+                    "subsample applies to the plain estimate path; the "
+                    "optimizer controls its own sampling design (drop "
+                    "the WITHIN/EXPLAIN SAMPLING clause or the "
+                    "subsample spec)"
+                )
+            assert isinstance(plan, Aggregate)
+            clause = query.budget
+            budget = (
+                ErrorBudget.from_percent(clause.percent, clause.level)
+                if clause is not None
+                else ErrorBudget.from_percent(5.0)
+            )
+            optimizer = self.optimizer()
+            if query.explain_sampling:
+                return optimizer.report(plan, budget, seed=seed)
+            return optimizer.optimize(plan, budget, seed=seed)
         if isinstance(plan, Aggregate):
             return self.estimate(plan, seed=seed, subsample=subsample)
         return self.execute(plan, seed=seed)

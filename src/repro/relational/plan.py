@@ -446,6 +446,61 @@ class Aggregate(PlanNode):
         return f"Aggregate({inner})"
 
 
+def left_deep_join_tree(
+    order: Sequence[str],
+    leaves: dict[str, PlanNode],
+    joins: Sequence[tuple[str, str, str, str]],
+) -> PlanNode:
+    """Build a left-deep tree over ``leaves`` in the given relation order.
+
+    ``joins`` holds equi-join conditions ``(rel_a, col_a, rel_b, col_b)``.
+    At each step the next relation *connected* to the joined prefix is
+    picked (preserving ``order`` among the connected ones); unconnected
+    relations fall back to cross products.  Shared by the SQL planner
+    and the sampling-plan optimizer's candidate enumerator, so the two
+    always agree on what a join order means.
+    """
+    if not order:
+        raise PlanError("join tree needs at least one relation")
+    pending = list(joins)
+    current = leaves[order[0]]
+    joined = {order[0]}
+    remaining = list(order[1:])
+    while remaining:
+        chosen_idx = None
+        for idx, name in enumerate(remaining):
+            if any(
+                (a in joined and c == name) or (c in joined and a == name)
+                for a, _, c, _ in pending
+            ):
+                chosen_idx = idx
+                break
+        if chosen_idx is None:
+            name = remaining.pop(0)
+            current = CrossProduct(current, leaves[name])
+            joined.add(name)
+            continue
+        name = remaining.pop(chosen_idx)
+        left_keys, right_keys = [], []
+        still_pending = []
+        for a, a_col, c, c_col in pending:
+            if a in joined and c == name:
+                left_keys.append(a_col)
+                right_keys.append(c_col)
+            elif c in joined and a == name:
+                left_keys.append(c_col)
+                right_keys.append(a_col)
+            else:
+                still_pending.append((a, a_col, c, c_col))
+        pending = still_pending
+        current = Join(current, leaves[name], left_keys, right_keys)
+        joined.add(name)
+    if pending:
+        leftover = [f"{a}.{ac} = {c}.{cc}" for a, ac, c, cc in pending]
+        raise PlanError(f"unusable join conditions: {leftover}")
+    return current
+
+
 def walk(plan: PlanNode):
     """Yield every node of the plan, pre-order."""
     yield plan

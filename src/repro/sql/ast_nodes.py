@@ -111,6 +111,21 @@ class TableRef:
     sample: SampleClause | None = None
 
 
+# -- error budget ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorBudgetClause:
+    """``WITHIN <percent> % CONFIDENCE <level>`` on an aggregate query.
+
+    ``percent`` is the relative CI half-width target (5.0 means ±5%);
+    ``level`` is the confidence level normalized to (0, 1).
+    """
+
+    percent: float
+    level: float = 0.95
+
+
 # -- whole query -------------------------------------------------------------
 
 
@@ -121,6 +136,8 @@ class SelectQuery:
     where: SqlExpr | None = None
     view_name: str | None = None
     view_columns: tuple[str, ...] = field(default=())
+    budget: ErrorBudgetClause | None = None
+    explain_sampling: bool = False
 
     @property
     def has_aggregates(self) -> bool:

@@ -26,10 +26,14 @@ KEYWORDS = {
     "REPEATABLE",
     "CREATE",
     "VIEW",
+    "WITHIN",
+    "CONFIDENCE",
+    "EXPLAIN",
+    "SAMPLING",
 }
 
 #: Multi-character operators first so maximal munch applies.
-SYMBOLS = ["<=", ">=", "!=", "<>", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">", ".", ";"]
+SYMBOLS = ["<=", ">=", "!=", "<>", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">", ".", ";", "%"]
 
 
 @dataclass(frozen=True)

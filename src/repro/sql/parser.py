@@ -2,7 +2,9 @@
 
 Grammar (EBNF, keywords case-insensitive)::
 
-    query        := [create_view] SELECT items FROM tables [WHERE bool_expr]
+    query        := [EXPLAIN SAMPLING] [create_view]
+                    SELECT items FROM tables [WHERE bool_expr] [budget]
+    budget       := WITHIN number ["%"] CONFIDENCE number
     create_view  := CREATE VIEW ident ["(" ident ("," ident)* ")"] AS
     items        := item ("," item)*
     item         := expr [AS ident]
@@ -32,6 +34,7 @@ from repro.sql.ast_nodes import (
     BoolOp,
     ColumnRef,
     Compare,
+    ErrorBudgetClause,
     NotOp,
     NumberLit,
     QuantileCall,
@@ -107,6 +110,10 @@ class _Parser:
     # -- grammar ------------------------------------------------------------
 
     def parse_query(self) -> SelectQuery:
+        explain_sampling = False
+        if self.accept_kw("EXPLAIN"):
+            self.expect_kw("SAMPLING")
+            explain_sampling = True
         view_name: str | None = None
         view_columns: tuple[str, ...] = ()
         if self.accept_kw("CREATE"):
@@ -130,6 +137,9 @@ class _Parser:
         where = None
         if self.accept_kw("WHERE"):
             where = self.parse_bool_expr()
+        budget = None
+        if self.current.is_kw("WITHIN"):
+            budget = self.parse_budget()
         self.accept_symbol(";")
         if self.current.kind != "eof":
             raise SQLSyntaxError(
@@ -142,7 +152,42 @@ class _Parser:
             where=where,
             view_name=view_name,
             view_columns=view_columns,
+            budget=budget,
+            explain_sampling=explain_sampling,
         )
+
+    def parse_budget(self) -> ErrorBudgetClause:
+        """``WITHIN <pct> ["%"] CONFIDENCE <level>`` — the error budget.
+
+        ``level`` is a fraction in (0, 1), or a percentage in
+        [50, 100) (``CONFIDENCE 95`` ≡ ``CONFIDENCE 0.95``).
+        """
+        self.expect_kw("WITHIN")
+        position = self.current.position
+        percent = self.expect_number()
+        self.accept_symbol("%")
+        if not 0.0 < percent < 100.0:
+            raise SQLSyntaxError(
+                f"WITHIN percentage {percent:g} must be in (0, 100)",
+                position,
+            )
+        self.expect_kw("CONFIDENCE")
+        position = self.current.position
+        level = self.expect_number()
+        # Values ≥ 1 are only read as percentages in the range real
+        # confidence levels live in (90, 95, 99...).  Accepting any
+        # number > 1 would turn typos like CONFIDENCE 1.96 (a z-value)
+        # or CONFIDENCE 1 into near-zero levels that trivially "meet"
+        # every budget.
+        if 50.0 <= level < 100.0:
+            level /= 100.0
+        if not 0.0 < level < 1.0:
+            raise SQLSyntaxError(
+                "confidence level must be a fraction in (0, 1) or a "
+                f"percentage in [50, 100), got {level:g}",
+                position,
+            )
+        return ErrorBudgetClause(percent=percent, level=level)
 
     def parse_item(self) -> SelectItem:
         expr = self.parse_select_expr()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import SQLError
+from repro.errors import PlanError, SQLError
 from repro.relational import expressions as e
 from repro.relational import plan as p
 from repro.sampling import (
@@ -30,7 +30,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def plan_query(query: ast.SelectQuery, db: "Database") -> p.PlanNode:
-    """Turn a parsed query into an executable plan."""
+    """Turn a parsed query into an executable plan.
+
+    The error-budget clause and ``EXPLAIN SAMPLING`` prefix are not part
+    of the plan — the database routes them to the sampling-plan
+    optimizer — but they only make sense on aggregate queries, which is
+    validated here.
+    """
+    if (query.budget is not None or query.explain_sampling) and (
+        not query.has_aggregates
+    ):
+        raise SQLError(
+            "WITHIN/CONFIDENCE budgets and EXPLAIN SAMPLING apply to "
+            "aggregate queries only"
+        )
     return _Planner(query, db).plan()
 
 
@@ -176,48 +189,14 @@ class _Planner:
     ) -> p.PlanNode:
         """Left-deep tree in FROM order, joining on every applicable
         condition; unconnected tables fall back to cross products."""
-        pending = list(joins)
         order = [ref.name for ref in self.query.tables]
         trees: dict[str, p.PlanNode] = {
             ref.name: self._leaf(ref) for ref in self.query.tables
         }
-        current = trees[order[0]]
-        joined = {order[0]}
-        remaining = order[1:]
-        while remaining:
-            # Pick the next table connected to the joined set, if any.
-            chosen_idx = None
-            for idx, name in enumerate(remaining):
-                if any(
-                    (a in joined and c == name) or (c in joined and a == name)
-                    for a, _, c, _ in pending
-                ):
-                    chosen_idx = idx
-                    break
-            if chosen_idx is None:
-                name = remaining.pop(0)
-                current = p.CrossProduct(current, trees[name])
-                joined.add(name)
-                continue
-            name = remaining.pop(chosen_idx)
-            left_keys, right_keys = [], []
-            still_pending = []
-            for a, a_col, c, c_col in pending:
-                if a in joined and c == name:
-                    left_keys.append(a_col)
-                    right_keys.append(c_col)
-                elif c in joined and a == name:
-                    left_keys.append(c_col)
-                    right_keys.append(a_col)
-                else:
-                    still_pending.append((a, a_col, c, c_col))
-            pending = still_pending
-            current = p.Join(current, trees[name], left_keys, right_keys)
-            joined.add(name)
-        if pending:
-            leftover = [f"{a}.{ac} = {c}.{cc}" for a, ac, c, cc in pending]
-            raise SQLError(f"unusable join conditions: {leftover}")
-        return current
+        try:
+            return p.left_deep_join_tree(order, trees, joins)
+        except PlanError as exc:
+            raise SQLError(str(exc)) from exc
 
     # -- expressions ------------------------------------------------------------
 

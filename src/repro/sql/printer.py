@@ -14,6 +14,21 @@ from repro.sql import ast_nodes as ast
 _PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
 
 
+def number_to_sql(value: float) -> str:
+    """Render a float so the lexer reads back the *exact* value.
+
+    ``repr`` produces the shortest digit string that round-trips the
+    IEEE double; ``%g``-style formatting truncates to 6 significant
+    digits and silently breaks ``parse ∘ print`` idempotence (e.g.
+    ``TABLESAMPLE (12.3456789 PERCENT)`` would reparse as 12.3457).
+    Integral values drop the trailing ``.0`` to match the lexer's
+    number grammar.
+    """
+    if float(value).is_integer():
+        return repr(int(value))
+    return repr(float(value))
+
+
 def expr_to_sql(node: ast.SqlExpr, parent_prec: int = 0) -> str:
     """Render a scalar/boolean expression."""
     if isinstance(node, ast.ColumnRef):
@@ -21,8 +36,7 @@ def expr_to_sql(node: ast.SqlExpr, parent_prec: int = 0) -> str:
             return f"{node.qualifier}.{node.name}"
         return node.name
     if isinstance(node, ast.NumberLit):
-        value = node.as_python
-        return repr(value)
+        return number_to_sql(node.value)
     if isinstance(node, ast.StringLit):
         return "'" + node.value + "'"
     if isinstance(node, ast.Arithmetic):
@@ -51,7 +65,8 @@ def expr_to_sql(node: ast.SqlExpr, parent_prec: int = 0) -> str:
         return f"{node.func.upper()}({expr_to_sql(node.argument)})"
     if isinstance(node, ast.QuantileCall):
         return (
-            f"QUANTILE({expr_to_sql(node.aggregate)}, {node.q:g})"
+            f"QUANTILE({expr_to_sql(node.aggregate)}, "
+            f"{number_to_sql(node.q)})"
         )
     raise SQLError(f"cannot render {type(node).__name__}")
 
@@ -72,15 +87,16 @@ def _bool_to_sql(node: ast.SqlExpr, parent_prec: int) -> str:
 
 
 def sample_to_sql(clause: ast.SampleClause) -> str:
-    """Render a TABLESAMPLE clause."""
+    """Render a TABLESAMPLE clause (numbers round-trip exactly)."""
+    amount = number_to_sql(clause.amount)
     if clause.kind == "percent":
-        inner = f"{clause.amount:g} PERCENT"
+        inner = f"{amount} PERCENT"
     elif clause.kind == "rows":
-        inner = f"{clause.amount:g} ROWS"
+        inner = f"{amount} ROWS"
     elif clause.kind == "system_percent":
-        inner = f"SYSTEM ({clause.amount:g} PERCENT, {clause.rows_per_block})"
+        inner = f"SYSTEM ({amount} PERCENT, {clause.rows_per_block})"
     elif clause.kind == "system_blocks":
-        inner = f"SYSTEM ({clause.amount:g} BLOCKS, {clause.rows_per_block})"
+        inner = f"SYSTEM ({amount} BLOCKS, {clause.rows_per_block})"
     else:
         raise SQLError(f"unknown sample kind {clause.kind!r}")
     text = f"TABLESAMPLE ({inner})"
@@ -92,6 +108,8 @@ def sample_to_sql(clause: ast.SampleClause) -> str:
 def query_to_sql(query: ast.SelectQuery) -> str:
     """Render a full query."""
     parts = []
+    if query.explain_sampling:
+        parts.append("EXPLAIN SAMPLING")
     if query.view_name:
         cols = (
             " (" + ", ".join(query.view_columns) + ")"
@@ -117,4 +135,9 @@ def query_to_sql(query: ast.SelectQuery) -> str:
     parts.append("FROM " + ", ".join(tables))
     if query.where is not None:
         parts.append("WHERE " + expr_to_sql(query.where))
+    if query.budget is not None:
+        parts.append(
+            f"WITHIN {number_to_sql(query.budget.percent)} % "
+            f"CONFIDENCE {number_to_sql(query.budget.level)}"
+        )
     return "\n".join(parts)

@@ -349,7 +349,6 @@ class TestStreamJoinShedder:
     def test_join_estimate_unbiased(self):
         rng = np.random.default_rng(4)
         n_keys = 50
-        shedder = StreamJoinShedder(0.5, 0.6, seed=8)
         errors = []
         for trial in range(40):
             lk = rng.integers(0, n_keys, 800)

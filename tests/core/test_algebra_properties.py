@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the GUS algebra's monoid laws.
+
+The numeric tests in ``test_algebra.py`` pin the paper's worked
+examples; these probe the *laws* over randomly drawn parameter vectors
+(``validate=False`` — the maps are defined on all of parameter space,
+and exploring it freely is exactly how the paper's Theorem 2 is
+stated): compose/compact associativity and join/compact commutativity,
+up to the canonical schema alignment the lattice's sorted dimension
+order provides.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import compact_gus, compose_gus, join_gus, union_gus
+from repro.core.gus import GUSParams, identity_gus, null_gus
+from repro.core.lattice import SubsetLattice
+
+_PROB = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _gus(draw, schema: tuple[str, ...]) -> GUSParams:
+    """An arbitrary (not necessarily consistent) GUS over ``schema``.
+
+    ``b_L`` is pinned to ``a`` (the one constraint every real sampling
+    process satisfies: a pair with identical lineage is a single
+    tuple); everything else roams the unit cube.
+    """
+    lattice = SubsetLattice(schema)
+    a = draw(_PROB)
+    b = [draw(_PROB) for _ in range(lattice.size)]
+    b[lattice.full_mask] = a
+    return GUSParams(lattice, a, b, validate=False)
+
+
+class TestComposeAndJoin:
+    @given(_gus(("r1",)), _gus(("r2",)), _gus(("r3", "r4")))
+    @settings(max_examples=100, deadline=None)
+    def test_compose_is_associative(self, g1, g2, g3):
+        left = compose_gus(compose_gus(g1, g2), g3)
+        right = compose_gus(g1, compose_gus(g2, g3))
+        assert left.approx_equal(right, tol=1e-9)
+
+    @given(_gus(("r1", "r2")), _gus(("s1",)))
+    @settings(max_examples=100, deadline=None)
+    def test_join_is_commutative_up_to_alignment(self, g1, g2):
+        """The lattice's sorted dimension order is the alignment: both
+        sides land on the same canonical schema and must agree cell by
+        cell."""
+        forward = join_gus(g1, g2)
+        backward = join_gus(g2, g1)
+        assert forward.lattice == backward.lattice
+        assert forward.approx_equal(backward, tol=1e-9)
+
+    @given(_gus(("r1",)), _gus(("r2",)))
+    @settings(max_examples=100, deadline=None)
+    def test_compose_agrees_with_join(self, g1, g2):
+        assert compose_gus(g1, g2).approx_equal(join_gus(g1, g2))
+
+
+class TestCompaction:
+    @given(_gus(("r1", "r2")), _gus(("r2",)), _gus(("r1", "r3")))
+    @settings(max_examples=100, deadline=None)
+    def test_compact_is_associative_across_schemas(self, g1, g2, g3):
+        """Operands are lifted onto the union schema first, so the law
+        must hold even when the three lineage schemas differ."""
+        left = compact_gus(compact_gus(g1, g2), g3)
+        right = compact_gus(g1, compact_gus(g2, g3))
+        assert left.approx_equal(right, tol=1e-9)
+
+    @given(_gus(("r1", "r2")), _gus(("r2", "r3")))
+    @settings(max_examples=100, deadline=None)
+    def test_compact_is_commutative(self, g1, g2):
+        assert compact_gus(g1, g2).approx_equal(compact_gus(g2, g1))
+
+    @given(_gus(("r1", "r2")))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_and_null_elements(self, g):
+        schema = tuple(sorted(g.schema))
+        assert compact_gus(g, identity_gus(schema)).approx_equal(g)
+        assert compact_gus(g, null_gus(schema)).approx_equal(
+            null_gus(schema)
+        )
+        assert union_gus(g, null_gus(schema)).approx_equal(g)
+
+
+class TestUnion:
+    @given(_gus(("r1",)), _gus(("r1",)), _gus(("r1",)))
+    @settings(max_examples=100, deadline=None)
+    def test_union_is_associative(self, g1, g2, g3):
+        left = union_gus(union_gus(g1, g2), g3)
+        right = union_gus(g1, union_gus(g2, g3))
+        assert left.approx_equal(right, tol=1e-8)
+
+    @given(_gus(("r1", "r2")), _gus(("r1", "r2")))
+    @settings(max_examples=100, deadline=None)
+    def test_union_is_commutative(self, g1, g2):
+        assert union_gus(g1, g2).approx_equal(union_gus(g2, g1), tol=1e-9)

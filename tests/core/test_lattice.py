@@ -230,3 +230,76 @@ class TestKappa:
             total = sum(kappa(b, s_mask, t) for t in iter_submasks(comp))
             # Σ_T Σ_{U⊆T} (−1)^{|T|−|U|} b_{S∪U} = b_{S∪comp} = b_full
             assert total == pytest.approx(float(b[full]), abs=1e-9)
+
+
+class TestMemoizedTransformMatrices:
+    """The per-arity LRU matrices must agree exactly with the sweep."""
+
+    @given(
+        st.integers(0, 6),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_matches_sweep(self, n, data):
+        from repro.core.lattice import _sweep
+
+        vec = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-10.0, 10.0, allow_nan=False),
+                    min_size=1 << n,
+                    max_size=1 << n,
+                )
+            )
+        )
+        assert np.allclose(
+            zeta_subsets(vec, n), _sweep(vec, n, sign=1.0, supersets=False)
+        )
+        assert np.allclose(
+            mobius_subsets(vec, n), _sweep(vec, n, sign=-1.0, supersets=False)
+        )
+        assert np.allclose(
+            zeta_supersets(vec, n), _sweep(vec, n, sign=1.0, supersets=True)
+        )
+        assert np.allclose(
+            mobius_supersets(vec, n),
+            _sweep(vec, n, sign=-1.0, supersets=True),
+        )
+
+    def test_matrices_are_cached_per_arity(self):
+        from repro.core.lattice import subset_transform_matrix
+
+        subset_transform_matrix.cache_clear()
+        vec = np.arange(16, dtype=np.float64)
+        mobius_subsets(vec, 4)
+        hits_before = subset_transform_matrix.cache_info().hits
+        for _ in range(5):
+            mobius_subsets(vec, 4)
+        info = subset_transform_matrix.cache_info()
+        assert info.hits >= hits_before + 5
+        assert info.misses >= 1
+
+    def test_cached_matrices_are_readonly(self):
+        from repro.core.lattice import subset_transform_matrix
+
+        matrix = subset_transform_matrix(3, True)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 99.0
+
+    def test_large_arity_falls_back_to_sweep(self):
+        from repro.core.lattice import MATRIX_MAX_DIMS
+
+        n = MATRIX_MAX_DIMS + 1
+        vec = np.zeros(1 << n)
+        vec[0] = 1.0
+        out = zeta_subsets(vec, n)  # ζ(δ_∅) = 1 everywhere
+        assert np.all(out == 1.0)
+
+    def test_transforms_stay_mutual_inverses(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 3, 5, 8):
+            vec = rng.normal(size=1 << n)
+            assert np.allclose(mobius_subsets(zeta_subsets(vec, n), n), vec)
+            assert np.allclose(
+                zeta_supersets(mobius_supersets(vec, n), n), vec
+            )

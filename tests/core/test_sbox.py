@@ -17,7 +17,7 @@ from repro.relational.plan import (
     Select,
     TableSample,
 )
-from repro.sampling import Bernoulli, WithoutReplacement
+from repro.sampling import Bernoulli
 
 
 def _mk_db(n_orders=300, n_lines=2000, seed=5):

@@ -1,0 +1,71 @@
+"""ErrorBudget semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.estimator import Estimate
+from repro.errors import EstimationError
+from repro.optimizer import ErrorBudget
+
+
+class TestConstruction:
+    def test_from_percent(self):
+        budget = ErrorBudget.from_percent(5.0, 0.9)
+        assert budget.relative_half_width == pytest.approx(0.05)
+        assert budget.level == 0.9
+        assert budget.percent == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1])
+    def test_rejects_nonpositive_width(self, bad):
+        with pytest.raises(EstimationError):
+            ErrorBudget(bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, 1.5])
+    def test_rejects_bad_level(self, bad):
+        with pytest.raises(EstimationError):
+            ErrorBudget(0.05, bad)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(EstimationError):
+            ErrorBudget(0.05, 0.95, "bootstrap")
+
+
+class TestTargets:
+    def test_normal_critical_value(self):
+        budget = ErrorBudget(0.05, 0.95)
+        assert budget.critical_value == pytest.approx(1.959964, rel=1e-5)
+        assert budget.target_relative_std == pytest.approx(
+            0.05 / 1.959964, rel=1e-5
+        )
+
+    def test_chebyshev_is_wider(self):
+        normal = ErrorBudget(0.05, 0.95, "normal")
+        cheb = ErrorBudget(0.05, 0.95, "chebyshev")
+        assert cheb.critical_value > normal.critical_value
+        assert cheb.target_relative_std < normal.target_relative_std
+
+
+class TestMetBy:
+    def test_met_when_interval_tight(self):
+        est = Estimate(value=100.0, variance_raw=1.0, n_sample=50)
+        budget = ErrorBudget(0.05, 0.95)  # ±5 absolute; z·σ ≈ 1.96
+        assert budget.met_by(est)
+        assert budget.realized_fraction(est) == pytest.approx(
+            1.959964 / 100.0, rel=1e-5
+        )
+
+    def test_missed_when_interval_wide(self):
+        est = Estimate(value=100.0, variance_raw=100.0, n_sample=50)
+        assert not ErrorBudget(0.05, 0.95).met_by(est)
+
+    def test_clamped_variance_never_counts_as_met(self):
+        est = Estimate(value=100.0, variance_raw=-1.0, n_sample=3)
+        assert est.clamped
+        assert not ErrorBudget(0.5, 0.95).met_by(est)
+
+    def test_zero_value_with_spread_is_infinite(self):
+        est = Estimate(value=0.0, variance_raw=4.0, n_sample=10)
+        assert math.isinf(ErrorBudget(0.05).realized_fraction(est))

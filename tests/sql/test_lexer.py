@@ -80,3 +80,24 @@ class TestTokenize:
         toks = tokenize("SELECT x")
         assert toks[0].position == 0
         assert toks[1].position == 7
+
+
+class TestBudgetTokens:
+    def test_new_keywords(self):
+        kws = [
+            t.value
+            for t in tokenize("WITHIN CONFIDENCE EXPLAIN SAMPLING")
+            if t.kind == "kw"
+        ]
+        assert kws == ["WITHIN", "CONFIDENCE", "EXPLAIN", "SAMPLING"]
+
+    def test_percent_symbol(self):
+        toks = tokenize("5 % CONFIDENCE")
+        assert toks[0].kind == "number"
+        assert toks[1].is_symbol("%")
+
+    def test_percent_glued_to_number(self):
+        toks = tokenize("WITHIN 5% CONFIDENCE 0.95")
+        assert [t.value for t in toks[:-1]] == [
+            "WITHIN", "5", "%", "CONFIDENCE", "0.95",
+        ]

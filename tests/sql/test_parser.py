@@ -185,3 +185,73 @@ class TestErrors:
         arg = q.items[0].expression.argument
         assert arg.name == "discount"
         assert arg.qualifier == "l"
+
+
+class TestErrorBudgetClause:
+    def test_within_confidence(self):
+        q = parse(
+            "SELECT SUM(x) AS s FROM t TABLESAMPLE (10 PERCENT) "
+            "WITHIN 5 % CONFIDENCE 0.95"
+        )
+        assert q.budget == ast.ErrorBudgetClause(percent=5.0, level=0.95)
+        assert not q.explain_sampling
+
+    def test_percent_sign_optional(self):
+        q = parse("SELECT SUM(x) AS s FROM t WITHIN 2.5 CONFIDENCE 0.9")
+        assert q.budget.percent == pytest.approx(2.5)
+
+    def test_confidence_as_percentage(self):
+        q = parse("SELECT SUM(x) AS s FROM t WITHIN 5 % CONFIDENCE 95")
+        assert q.budget.level == pytest.approx(0.95)
+
+    def test_no_budget_is_none(self):
+        assert parse("SELECT SUM(x) FROM t").budget is None
+
+    def test_out_of_range_percent(self):
+        with pytest.raises(SQLSyntaxError, match="WITHIN percentage"):
+            parse("SELECT SUM(x) FROM t WITHIN 150 % CONFIDENCE 0.95")
+        with pytest.raises(SQLSyntaxError, match="WITHIN percentage"):
+            parse("SELECT SUM(x) FROM t WITHIN 0 % CONFIDENCE 0.95")
+
+    def test_out_of_range_level(self):
+        with pytest.raises(SQLSyntaxError, match="confidence level"):
+            parse("SELECT SUM(x) FROM t WITHIN 5 % CONFIDENCE 100")
+
+    def test_budget_must_follow_where(self):
+        q = parse(
+            "SELECT SUM(x) AS s FROM t WHERE x > 3 "
+            "WITHIN 5 % CONFIDENCE 0.95"
+        )
+        assert q.where is not None
+        assert q.budget is not None
+
+
+class TestExplainSampling:
+    def test_prefix_sets_flag(self):
+        q = parse(
+            "EXPLAIN SAMPLING SELECT SUM(x) AS s FROM t "
+            "TABLESAMPLE (10 PERCENT) WITHIN 5 % CONFIDENCE 0.95"
+        )
+        assert q.explain_sampling
+        assert q.budget is not None
+
+    def test_explain_without_budget(self):
+        q = parse("EXPLAIN SAMPLING SELECT SUM(x) AS s FROM t")
+        assert q.explain_sampling
+        assert q.budget is None
+
+    def test_explain_needs_sampling_keyword(self):
+        with pytest.raises(SQLSyntaxError, match="SAMPLING"):
+            parse("EXPLAIN SELECT SUM(x) FROM t")
+
+    def test_confidence_exactly_one_rejected(self):
+        # 1 is ambiguous (certainty? 1%?) — refuse rather than guess.
+        with pytest.raises(SQLSyntaxError, match="confidence level"):
+            parse("SELECT SUM(x) FROM t WITHIN 5 % CONFIDENCE 1")
+
+    def test_confidence_z_value_typo_rejected(self):
+        # 1.96 is a z-value, not a level; refuse the (1, 50) dead zone.
+        with pytest.raises(SQLSyntaxError, match="confidence level"):
+            parse("SELECT SUM(x) FROM t WITHIN 5 % CONFIDENCE 1.96")
+        with pytest.raises(SQLSyntaxError, match="confidence level"):
+            parse("SELECT SUM(x) FROM t WITHIN 5 % CONFIDENCE 20")

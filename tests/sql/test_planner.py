@@ -218,3 +218,20 @@ class TestAggregateSpecs:
     def test_count_expr_maps_to_sum_of_indicator(self, db):
         plan = db.plan_sql("SELECT COUNT(l_price) FROM lineitem")
         assert plan.specs[0].kind == "count"
+
+
+class TestBudgetValidation:
+    def test_budget_on_projection_rejected(self, db):
+        with pytest.raises(SQLError, match="aggregate queries only"):
+            db.plan_sql("SELECT l_price FROM lineitem WITHIN 5 % CONFIDENCE 0.95")
+
+    def test_explain_sampling_on_projection_rejected(self, db):
+        with pytest.raises(SQLError, match="aggregate queries only"):
+            db.plan_sql("EXPLAIN SAMPLING SELECT l_price FROM lineitem")
+
+    def test_budget_on_aggregate_plans_fine(self, db):
+        plan = db.plan_sql(
+            "SELECT SUM(l_price) AS s FROM lineitem "
+            "TABLESAMPLE (50 PERCENT) WITHIN 5 % CONFIDENCE 0.95"
+        )
+        assert isinstance(plan, Aggregate)

@@ -237,3 +237,108 @@ class TestRoundTrip:
         text = "SELECT SUM(" + expr_to_sql(expr) + ") AS s FROM t"
         reparsed = parse(text)
         assert reparsed.items[0].expression.argument == expr, text
+
+
+def _exact_sample_clause():
+    """Sample clauses with arbitrary float amounts (the regression
+    surface: %g-style printing used to truncate these to 6 digits)."""
+    percent_amount = st.floats(
+        min_value=1e-6, max_value=99.999999, allow_nan=False,
+        allow_infinity=False,
+    )
+    rows_amount = st.integers(1, 10**9).map(float)
+    return st.one_of(
+        st.builds(
+            ast.SampleClause,
+            st.just("percent"),
+            percent_amount,
+            st.none(),
+            st.one_of(st.none(), st.integers(0, 2**31 - 1)),
+        ),
+        st.builds(ast.SampleClause, st.just("rows"), rows_amount),
+        st.builds(
+            ast.SampleClause,
+            st.just("system_percent"),
+            percent_amount,
+            st.integers(1, 4096),
+        ),
+        st.builds(
+            ast.SampleClause,
+            st.just("system_blocks"),
+            st.integers(1, 10**6).map(float),
+            st.integers(1, 4096),
+        ),
+    )
+
+
+class TestTablesampleExactRoundTrip:
+    def test_high_precision_percent_regression(self):
+        # 12.3456789 used to reparse as 12.3457 (6-digit %g truncation).
+        text = "SELECT SUM(x) AS s FROM t TABLESAMPLE (12.3456789 PERCENT)"
+        q1 = parse(text)
+        q2 = parse(query_to_sql(q1))
+        assert q1 == q2
+        assert q2.tables[0].sample.amount == pytest.approx(
+            12.3456789, abs=0.0
+        )
+
+    @given(_exact_sample_clause())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_print_parse_is_fixed_point(self, clause):
+        text = (
+            "SELECT SUM(x) AS s FROM t " + sample_to_sql(clause)
+        )
+        q1 = parse(text)
+        rendered = query_to_sql(q1)
+        q2 = parse(rendered)
+        assert q1 == q2, rendered
+        assert q2.tables[0].sample == clause
+
+    @given(
+        st.floats(
+            min_value=1e-9, max_value=1e12, allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_number_rendering_is_exact(self, value):
+        from repro.sql.printer import number_to_sql
+        from repro.sql.lexer import tokenize
+
+        token = tokenize(number_to_sql(value))[0]
+        assert token.kind == "number"
+        assert float(token.value) == value
+
+
+class TestBudgetRoundTrip:
+    def test_budget_clause_rendered(self):
+        q = parse(
+            "EXPLAIN SAMPLING SELECT SUM(x) AS s FROM t "
+            "TABLESAMPLE (10 PERCENT) WITHIN 5 % CONFIDENCE 0.95"
+        )
+        text = query_to_sql(q)
+        assert text.startswith("EXPLAIN SAMPLING")
+        assert "WITHIN 5 % CONFIDENCE 0.95" in text
+        assert parse(text) == q
+
+    @given(
+        st.floats(
+            min_value=1e-3, max_value=99.0, allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.floats(
+            min_value=0.01, max_value=0.999, allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_budget_roundtrip(self, percent, level, explain):
+        query = ast.SelectQuery(
+            items=(ast.SelectItem(ast.AggCall("sum", ast.ColumnRef("x")), "s"),),
+            tables=(ast.TableRef("t"),),
+            budget=ast.ErrorBudgetClause(percent=percent, level=level),
+            explain_sampling=explain,
+        )
+        rendered = query_to_sql(query)
+        assert parse(rendered) == query, rendered

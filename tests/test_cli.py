@@ -52,6 +52,30 @@ class TestRunStatement:
         assert out.splitlines()[0] == "n"
         assert str(float(n)) in out
 
+    def test_error_budget_query(self, db):
+        out = run_statement(
+            db,
+            "SELECT SUM(l_extendedprice) AS rev "
+            "FROM lineitem TABLESAMPLE (30 PERCENT) "
+            "WITHIN 10 % CONFIDENCE 0.95",
+        )
+        assert "rev = " in out
+        assert "plan:" in out
+        assert "budget ±10%" in out
+        assert "attempt" in out
+
+    def test_explain_sampling_statement(self, db):
+        out = run_statement(
+            db,
+            "EXPLAIN SAMPLING SELECT SUM(l_extendedprice) AS rev "
+            "FROM lineitem TABLESAMPLE (30 PERCENT) "
+            "WITHIN 10 % CONFIDENCE 0.95",
+        )
+        assert "candidate" in out and "pred. ±" in out
+        assert "chosen:" in out
+        # EXPLAIN never executes the final plan, only ranks candidates.
+        assert "rev = " not in out
+
     def test_quit_raises_eof(self, db):
         with pytest.raises(EOFError):
             run_statement(db, "\\quit")
