@@ -1,0 +1,69 @@
+"""Grouped quickstart: TPC-H Q1 with per-group confidence intervals.
+
+Runs the classic pricing-summary query — per (returnflag, linestatus)
+SUMs, AVGs, and COUNTs — on a 10% Bernoulli sample of lineitem, then
+lines the per-group estimates and 95% intervals up against the exact
+answers computed on the full data.
+
+Run:  python examples/grouped_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.data import tpch_database
+
+Q1 = """
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       COUNT(*) AS count_order
+FROM lineitem TABLESAMPLE (10 PERCENT)
+WHERE l_shipdate <= 2400
+GROUP BY l_returnflag, l_linestatus
+"""
+
+
+def main() -> None:
+    print("Generating TPC-H data (scale 0.5 ≈ 30k lineitem rows)...")
+    db = tpch_database(scale=0.5, seed=42)
+    print(f"  lineitem: {db.table('lineitem').n_rows} rows")
+
+    print("\nRunning Q1 on a 10% sample...")
+    result = db.sql(Q1, seed=1)
+    exact = {
+        (flag, status): rest
+        for flag, status, *rest in db.sql_exact(Q1).to_rows()
+    }
+
+    aggs = ("sum_qty", "sum_base_price", "sum_disc_price",
+            "avg_qty", "avg_price", "count_order")
+    for g, key in enumerate(result.group_rows()):
+        flag, status = key
+        print(f"\n  group ({flag}, {status}) — "
+              f"{result.estimates['count_order'].n_samples[g]} sample rows")
+        for i, agg in enumerate(aggs):
+            est = result.estimates[agg]
+            lo, hi = est.ci_bounds(0.95)
+            truth = exact[key][i]
+            covered = "ok " if lo[g] <= truth <= hi[g] else "MISS"
+            print(f"    {agg:<15} {result.values[agg][g]:>14,.2f}   "
+                  f"[{lo[g]:>14,.2f}, {hi[g]:>14,.2f}]  "
+                  f"exact {truth:>14,.2f}  {covered}")
+
+    print("\nHAVING filters groups by their *estimated* aggregates:")
+    filtered = db.sql(
+        Q1.strip() + "\nHAVING SUM(l_quantity) > 100000", seed=1
+    )
+    print(f"  groups surviving HAVING sum_qty > 100000: "
+          f"{filtered.group_rows()}")
+
+    print("\nThe same result as a table with interval columns:")
+    table = result.table(level=0.95)
+    print("  " + ", ".join(table.schema.names))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,9 @@ Usage::
 Shell commands:
 
 * any SQL statement — runs it; aggregate queries print estimates with
-  95% intervals, others print rows; a ``WITHIN 5 % CONFIDENCE 0.95``
-  suffix routes through the sampling-plan optimizer, and an
+  95% intervals (GROUP BY queries one row per group, each aggregate as
+  ``value [lo, hi]``), others print rows; a ``WITHIN 5 % CONFIDENCE
+  0.95`` suffix routes through the sampling-plan optimizer, and an
   ``EXPLAIN SAMPLING`` prefix prints the ranked candidate plans;
 * ``\\explain <sql>`` — show the executable plan and its SOA-equivalent
   single-GUS analysis plan;
@@ -49,8 +50,35 @@ def _build_database(args):
     return tpch_database(scale=args.scale, seed=args.seed)
 
 
+def _format_grouped(result, level: float) -> str:
+    """Per-group table: key columns, then ``value [lo, hi]`` per alias."""
+    key_names = list(result.keys)
+    aliases = list(result.values)
+    bounds = {
+        alias: result.estimates[alias].ci_bounds(level)
+        for alias in aliases
+    }
+    lines = ["\t".join(key_names + [f"{a} [lo, hi]" for a in aliases])]
+    shown = min(result.n_groups, 50)
+    for g in range(shown):
+        cells = [str(result.keys[k][g]) for k in key_names]
+        for alias in aliases:
+            lo, hi = bounds[alias][0][g], bounds[alias][1][g]
+            cells.append(
+                f"{result.values[alias][g]:.6g} [{lo:.6g}, {hi:.6g}]"
+            )
+        lines.append("\t".join(cells))
+    if result.n_groups > shown:
+        lines.append(f"... ({result.n_groups} groups total)")
+    lines.append(
+        f"-- {result.n_groups} groups @{level:.0%}, "
+        f"{result.sample.n_rows} sample rows, a = {result.gus.a:.4g}"
+    )
+    return "\n".join(lines)
+
+
 def _format_result(result, level: float) -> str:
-    from repro.core.sbox import QueryResult
+    from repro.core.sbox import GroupedQueryResult, QueryResult
     from repro.optimizer import OptimizedResult, OptimizerReport
 
     if isinstance(result, OptimizerReport):
@@ -61,6 +89,8 @@ def _format_result(result, level: float) -> str:
             + "\n-- "
             + result.outcome_line()
         )
+    if isinstance(result, GroupedQueryResult):
+        return _format_grouped(result, level)
     if isinstance(result, QueryResult):
         lines = []
         for alias, value in result.values.items():

@@ -23,15 +23,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.estimator import Estimate, estimate_sum
+from repro.core.estimator import (
+    Estimate,
+    GroupedEstimates,
+    estimate_sum,
+    estimate_sums_grouped_multi,
+    group_firsts,
+    group_ids,
+)
 from repro.core.gus import GUSParams
 from repro.core.rewrite import RewriteResult, rewrite_to_top_gus
 from repro.core.subsample import SubsampleSpec, subsampled_estimate
-from repro.errors import PlanError
+from repro.errors import EstimationError, PlanError
 from repro.relational.aggregates import aggregate_input_vector
-from repro.relational.plan import Aggregate, AggSpec, PlanNode
+from repro.relational.plan import Aggregate, AggSpec, GroupAggregate, PlanNode
 from repro.relational.table import Table
-from repro.stats.delta import covariance_estimate, ratio_estimate
+from repro.stats.delta import (
+    covariance_estimate,
+    ratio_estimate,
+    ratio_estimates_grouped,
+)
 
 
 @dataclass(frozen=True)
@@ -71,6 +82,89 @@ class QueryResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class GroupedQueryResult:
+    """Everything an approximate GROUP BY query returns.
+
+    ``keys`` holds one array per GROUP BY column, parallel over the
+    realized groups (in sorted key order); ``values`` the per-alias
+    answer arrays; ``estimates`` the full per-group estimator bundles
+    so any interval can be derived afterwards.  Only groups the sample
+    *observed* appear — a sample carries no information about groups it
+    missed, so their absence is the honest output (compare against
+    ground truth accordingly).  When the plan carried a HAVING clause
+    it was applied to the *estimated* values, so group membership in
+    the output is itself approximate.
+    """
+
+    keys: dict[str, np.ndarray]
+    values: dict[str, np.ndarray]
+    estimates: dict[str, GroupedEstimates]
+    gus: GUSParams
+    sample: Table
+    rewrite: RewriteResult = field(repr=False)
+    plan: GroupAggregate | None = field(default=None, repr=False)
+
+    def __getitem__(self, alias: str) -> np.ndarray:
+        return self.values[alias]
+
+    @property
+    def n_groups(self) -> int:
+        first = next(iter(self.keys.values()))
+        return int(first.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_groups
+
+    def group_rows(self) -> list[tuple]:
+        """The group key tuples, in output order."""
+        names = list(self.keys)
+        return [
+            tuple(self.keys[n][g] for n in names)
+            for g in range(self.n_groups)
+        ]
+
+    def table(
+        self, level: float | None = None, method: str = "normal"
+    ) -> Table:
+        """Materialize as a result table, one row per group.
+
+        With ``level`` given, each aggregate column is flanked by
+        ``<alias>_lo`` / ``<alias>_hi`` interval-bound columns
+        (``NaN`` for singleton groups — see
+        :class:`~repro.core.estimator.GroupedEstimates`).
+        """
+        columns: dict[str, np.ndarray] = dict(self.keys)
+        for alias, vals in self.values.items():
+            columns[alias] = vals
+            if level is not None:
+                lo, hi = self.estimates[alias].ci_bounds(level, method)
+                columns[f"{alias}_lo"] = lo
+                columns[f"{alias}_hi"] = hi
+        return Table(None, columns)
+
+    def summary(self, level: float = 0.95, method: str = "normal") -> str:
+        """Human-readable per-group report."""
+        lines = []
+        key_names = list(self.keys)
+        bounds = {
+            alias: est.ci_bounds(level, method)
+            for alias, est in self.estimates.items()
+        }
+        for g in range(self.n_groups):
+            key_text = ", ".join(
+                f"{n}={self.keys[n][g]}" for n in key_names
+            )
+            parts = []
+            for alias, vals in self.values.items():
+                lo, hi = bounds[alias][0][g], bounds[alias][1][g]
+                parts.append(
+                    f"{alias}: {vals[g]:.6g} [{lo:.6g}, {hi:.6g}]"
+                )
+            lines.append(f"({key_text})  " + "  ".join(parts))
+        return "\n".join(lines)
+
+
 class SBox:
     """The statistical estimator module (paper Figure in Section 6).
 
@@ -95,19 +189,30 @@ class SBox:
 
     def run(
         self,
-        plan: Aggregate,
+        plan: Aggregate | GroupAggregate,
         *,
         subsample: SubsampleSpec | None = None,
         rng: np.random.Generator | None = None,
-    ) -> QueryResult:
-        """Execute the sampled plan and estimate every aggregate."""
+    ) -> "QueryResult | GroupedQueryResult":
+        """Execute the sampled plan and estimate every aggregate.
+
+        A :class:`~repro.relational.plan.GroupAggregate` plan routes to
+        the vectorized grouped estimator and returns a
+        :class:`GroupedQueryResult`.
+        """
         from repro.relational.executor import Executor
 
-        if not isinstance(plan, Aggregate):
-            raise PlanError("SBox.run expects an Aggregate plan")
+        if not isinstance(plan, (Aggregate, GroupAggregate)):
+            raise PlanError(
+                "SBox.run expects an Aggregate or GroupAggregate plan"
+            )
         rewrite = self.analyze(plan.child)
         executor = Executor(self.catalog, rng if rng is not None else self.rng)
         sample = executor.execute(plan.child)
+        if isinstance(plan, GroupAggregate):
+            return self.estimate_from_sample_grouped(
+                plan, sample, rewrite, subsample=subsample
+            )
         return self.estimate_from_sample(
             plan, sample, rewrite, subsample=subsample
         )
@@ -139,6 +244,124 @@ class SBox:
                 else est.value
             )
         return QueryResult(
+            values=values,
+            estimates=estimates,
+            gus=params,
+            sample=sample,
+            rewrite=rewrite,
+            plan=plan,
+        )
+
+    def estimate_from_sample_grouped(
+        self,
+        plan: GroupAggregate,
+        sample: Table,
+        rewrite: RewriteResult | None = None,
+        *,
+        subsample: SubsampleSpec | None = None,
+    ) -> GroupedQueryResult:
+        """Per-group estimates from an already-executed sample.
+
+        Group ids are assigned once from the GROUP BY columns of the
+        sample (one lexsort); every aggregate then runs through the
+        vectorized grouped moment machinery.  HAVING filters the
+        estimated output.
+        """
+        if subsample is not None:
+            raise EstimationError(
+                "sub-sampled variance estimation is not supported for "
+                "GROUP BY queries; the grouped moment pass is already "
+                "one compaction over the sample"
+            )
+        if rewrite is None:
+            rewrite = self.analyze(plan.child)
+        params = rewrite.params
+        key_cols = [sample.column(k) for k in plan.keys]
+        gids, n_groups = group_ids(key_cols, sample.n_rows)
+        first = group_firsts(gids, n_groups, sample.n_rows)
+        keys = {k: col[first] for k, col in zip(plan.keys, key_cols)}
+        # Every aggregate of the query shares one compaction and one
+        # subgroup structure per lattice mask — collect all needed
+        # weight vectors first and estimate them in a single batched
+        # pass.  The all-ones COUNT vector is shared by COUNT(*) specs
+        # and every AVG denominator; each AVG adds its numerator and
+        # the f+1 polarization vector for the covariance.
+        vectors: list[np.ndarray] = []
+        vector_labels: list[str] = []
+        ones_index: int | None = None
+
+        def add_vector(vec: np.ndarray, label: str) -> int:
+            vectors.append(vec)
+            vector_labels.append(label)
+            return len(vectors) - 1
+
+        spec_inputs: list[tuple[AggSpec, tuple[int, ...]]] = []
+        for spec in plan.specs:
+            if spec.kind == "avg":
+                assert spec.expr is not None
+                f = np.asarray(spec.expr.eval(sample), dtype=np.float64)
+                if ones_index is None:
+                    ones_index = add_vector(
+                        np.ones(sample.n_rows, dtype=np.float64), "COUNT"
+                    )
+                spec_inputs.append(
+                    (
+                        spec,
+                        (
+                            add_vector(f, "SUM"),
+                            ones_index,
+                            add_vector(f + 1.0, "SUM"),
+                        ),
+                    )
+                )
+            elif spec.kind == "count":
+                if ones_index is None:
+                    ones_index = add_vector(
+                        aggregate_input_vector(sample, spec), "COUNT"
+                    )
+                spec_inputs.append((spec, (ones_index,)))
+            else:
+                f = aggregate_input_vector(sample, spec)
+                spec_inputs.append(
+                    (spec, (add_vector(f, spec.kind.upper()),))
+                )
+        bundles = estimate_sums_grouped_multi(
+            params,
+            vectors,
+            sample.lineage,
+            gids,
+            n_groups,
+            labels=vector_labels,
+        )
+        estimates: dict[str, GroupedEstimates] = {}
+        values: dict[str, np.ndarray] = {}
+        for spec, indices in spec_inputs:
+            if spec.kind == "avg":
+                num, den, both = (bundles[i] for i in indices)
+                # Polarization: Cov = (Var(f+1) − Var(f) − Var(1)) / 2.
+                cov = 0.5 * (
+                    both.variance_raw
+                    - num.variance_raw
+                    - den.variance_raw
+                )
+                est = ratio_estimates_grouped(num, den, cov)
+            else:
+                est = bundles[indices[0]]
+            estimates[spec.alias] = est
+            values[spec.alias] = (
+                est.quantile(spec.quantile)
+                if spec.quantile is not None
+                else est.values
+            )
+        if plan.having is not None:
+            probe = Table(None, {**keys, **values})
+            mask = np.asarray(plan.having.eval(probe), dtype=bool)
+            picked = np.flatnonzero(mask)
+            keys = {k: col[picked] for k, col in keys.items()}
+            values = {a: v[picked] for a, v in values.items()}
+            estimates = {a: e.take(picked) for a, e in estimates.items()}
+        return GroupedQueryResult(
+            keys=keys,
             values=values,
             estimates=estimates,
             gus=params,

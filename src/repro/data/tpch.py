@@ -159,17 +159,32 @@ def _lineitem(
     # Price correlates with quantity, with part-level noise.
     unit_price = rng.uniform(900.0, 2000.0, n)
     extendedprice = np.round(quantity * unit_price / 10.0, 2)
+    # Keep the original draw sequence (suppkey, discount, tax,
+    # shipdate) so seed-pinned datasets regenerate the same values
+    # they always did; the Q1 flag columns draw after them.
+    suppkey = rng.integers(0, n_suppliers, n).astype(np.int64)
+    discount = np.round(rng.uniform(0.0, 0.10, n), 2)
+    tax = np.round(rng.uniform(0.0, 0.08, n), 2)
+    shipdate = rng.integers(0, 2_500, n).astype(np.int64)
+    # Q1's grouping columns: returned/accepted flag correlates with ship
+    # date (old lines are mostly resolved), line status follows it.
+    old = shipdate < 1_700
+    resolved = np.array(("A", "R"), dtype=object)[rng.integers(0, 2, n)]
+    returnflag = np.where(old, resolved, "N").astype(object)
+    linestatus = np.where(old, "F", "O").astype(object)
     return Table(
         "lineitem",
         {
             "l_orderkey": orderkey,
             "l_linenumber": linenumber,
             "l_partkey": partkey,
-            "l_suppkey": rng.integers(0, n_suppliers, n).astype(np.int64),
+            "l_suppkey": suppkey,
             "l_quantity": quantity,
             "l_extendedprice": extendedprice,
-            "l_discount": np.round(rng.uniform(0.0, 0.10, n), 2),
-            "l_tax": np.round(rng.uniform(0.0, 0.08, n), 2),
-            "l_shipdate": rng.integers(0, 2_500, n).astype(np.int64),
+            "l_discount": discount,
+            "l_tax": tax,
+            "l_returnflag": returnflag,
+            "l_linestatus": linestatus,
+            "l_shipdate": shipdate,
         },
     )

@@ -27,6 +27,7 @@ from repro.relational.plan import (
     Aggregate,
     AggSpec,
     CrossProduct,
+    GroupAggregate,
     GUSNode,
     Intersect,
     Join,
@@ -69,5 +70,6 @@ __all__ = [
     "LineageSample",
     "GUSNode",
     "Aggregate",
+    "GroupAggregate",
     "AggSpec",
 ]

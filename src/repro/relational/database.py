@@ -19,12 +19,17 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.errors import SchemaError
-from repro.relational.plan import Aggregate, PlanNode, strip_sampling
+from repro.relational.plan import (
+    Aggregate,
+    GroupAggregate,
+    PlanNode,
+    strip_sampling,
+)
 from repro.relational.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.rewrite import RewriteResult
-    from repro.core.sbox import QueryResult, SBox
+    from repro.core.sbox import GroupedQueryResult, QueryResult, SBox
     from repro.core.subsample import SubsampleSpec
     from repro.optimizer import (
         CostModel,
@@ -114,22 +119,30 @@ class Database:
 
     def estimate(
         self,
-        plan: Aggregate,
+        plan: "Aggregate | GroupAggregate",
         *,
         seed: int | None = None,
         subsample: "SubsampleSpec | None" = None,
-    ) -> "QueryResult":
-        """Run an aggregate plan through the SBox estimator."""
+    ) -> "QueryResult | GroupedQueryResult":
+        """Run an (optionally grouped) aggregate plan through the SBox."""
         return self.sbox().run(plan, subsample=subsample, rng=self.rng(seed))
 
     def analyze(self, plan: PlanNode) -> "RewriteResult":
         """The SOA-equivalent single-GUS form of (the input of) a plan."""
-        target = plan.child if isinstance(plan, Aggregate) else plan
+        target = (
+            plan.child
+            if isinstance(plan, (Aggregate, GroupAggregate))
+            else plan
+        )
         return self.sbox().analyze(target)
 
     def explain(self, plan: PlanNode) -> str:
         """Executable plan + its SOA-equivalent analysis plan."""
-        target = plan.child if isinstance(plan, Aggregate) else plan
+        target = (
+            plan.child
+            if isinstance(plan, (Aggregate, GroupAggregate))
+            else plan
+        )
         rewrite = self.sbox().analyze(target)
         return (
             "== executable plan ==\n"
@@ -182,13 +195,18 @@ class Database:
         *,
         seed: int | None = None,
         subsample: "SubsampleSpec | None" = None,
-    ) -> "QueryResult | Table | OptimizedResult | OptimizerReport":
+    ) -> (
+        "QueryResult | GroupedQueryResult | Table | OptimizedResult"
+        " | OptimizerReport"
+    ):
         """Parse and run SQL.
 
-        Aggregate queries return a :class:`QueryResult`; non-aggregate
-        queries return the result :class:`Table`.  A ``WITHIN ... %
-        CONFIDENCE ...`` budget routes through the sampling-plan
-        optimizer and returns an
+        Aggregate queries return a :class:`QueryResult`; GROUP BY
+        aggregate queries a
+        :class:`~repro.core.sbox.GroupedQueryResult` with per-group
+        estimates and intervals; non-aggregate queries the result
+        :class:`Table`.  A ``WITHIN ... % CONFIDENCE ...`` budget
+        routes through the sampling-plan optimizer and returns an
         :class:`~repro.optimizer.OptimizedResult`; an ``EXPLAIN
         SAMPLING`` prefix skips execution of the final plan and returns
         the ranked :class:`~repro.optimizer.OptimizerReport`.
@@ -220,7 +238,7 @@ class Database:
             if query.explain_sampling:
                 return optimizer.report(plan, budget, seed=seed)
             return optimizer.optimize(plan, budget, seed=seed)
-        if isinstance(plan, Aggregate):
+        if isinstance(plan, (Aggregate, GroupAggregate)):
             return self.estimate(plan, seed=seed, subsample=subsample)
         return self.execute(plan, seed=seed)
 

@@ -19,7 +19,10 @@ import numpy as np
 from repro.core.estimator import group_ids
 from repro.errors import ExecutionError, PlanError, SchemaError
 from repro.relational import plan as p
-from repro.relational.aggregates import evaluate_aggregates
+from repro.relational.aggregates import (
+    evaluate_aggregates,
+    evaluate_group_aggregates,
+)
 from repro.relational.table import Table
 
 
@@ -202,6 +205,12 @@ class Executor:
         table = self.execute(node.child)
         return evaluate_aggregates(table, node.specs)
 
+    def _group_aggregate(self, node: p.GroupAggregate) -> Table:
+        table = self.execute(node.child)
+        return evaluate_group_aggregates(
+            table, node.keys, node.specs, node.having
+        )
+
     _HANDLERS = {
         p.Scan: _scan,
         p.TableSample: _table_sample,
@@ -214,4 +223,5 @@ class Executor:
         p.Union: _union,
         p.Intersect: _intersect,
         p.Aggregate: _aggregate,
+        p.GroupAggregate: _group_aggregate,
     }

@@ -410,6 +410,89 @@ class AggSpec:
             raise PlanError(f"quantile {self.quantile} must be in (0, 1)")
 
 
+class GroupAggregate(PlanNode):
+    """Grouped aggregation: one output row per distinct key combination.
+
+    ``keys`` are the GROUP BY column names; ``specs`` the aggregate
+    outputs; ``having`` an optional predicate evaluated over the
+    *output* schema (group keys plus aggregate aliases) that filters
+    groups after aggregation.  On the estimating path HAVING is
+    necessarily approximate — it sees estimated aggregate values.
+    """
+
+    __slots__ = ("child", "keys", "specs", "having")
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[str],
+        specs: Sequence[AggSpec],
+        having: Expr | None = None,
+    ) -> None:
+        if not keys:
+            raise PlanError(
+                "GroupAggregate needs at least one grouping key "
+                "(ungrouped aggregation is the Aggregate node)"
+            )
+        if len(set(keys)) != len(keys):
+            raise PlanError(f"duplicate GROUP BY keys in {list(keys)}")
+        if not specs:
+            raise PlanError("aggregate needs at least one AggSpec")
+        aliases = [s.alias for s in specs]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError(f"duplicate aggregate aliases in {aliases}")
+        overlap = set(keys) & set(aliases)
+        if overlap:
+            raise PlanError(
+                f"aggregate aliases {sorted(overlap)} collide with "
+                "GROUP BY keys"
+            )
+        if having is not None:
+            visible = set(keys) | set(aliases)
+            unknown = having.columns_used() - visible
+            if unknown:
+                raise PlanError(
+                    f"HAVING references {sorted(unknown)}, which are "
+                    "neither GROUP BY keys nor aggregate aliases; "
+                    f"grouped output exposes only {sorted(visible)}"
+                )
+        self.child = child
+        self.keys = tuple(keys)
+        self.specs = tuple(specs)
+        self.having = having
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def lineage_schema(self) -> frozenset[str]:
+        return self.child.lineage_schema()
+
+    def fingerprint(self) -> tuple:
+        spec_key = tuple(
+            (s.kind, None if s.expr is None else s.expr.key(), s.alias, s.quantile)
+            for s in self.specs
+        )
+        having_key = None if self.having is None else self.having.key()
+        return (
+            "group_aggregate",
+            self.keys,
+            spec_key,
+            having_key,
+            self.child.fingerprint(),
+        )
+
+    def _label(self) -> str:
+        inner = ", ".join(
+            f"{s.kind.upper()}({s.expr!r})" if s.expr is not None else "COUNT(*)"
+            for s in self.specs
+        )
+        text = f"GroupAggregate(by=[{', '.join(self.keys)}], {inner})"
+        if self.having is not None:
+            text += f" HAVING {self.having!r}"
+        return text
+
+
 class Aggregate(PlanNode):
     """Terminal aggregation node over one or more :class:`AggSpec`."""
 
@@ -540,4 +623,8 @@ def strip_sampling(plan: PlanNode) -> PlanNode:
         return ctor(strip_sampling(plan.left), strip_sampling(plan.right))
     if isinstance(plan, Aggregate):
         return Aggregate(strip_sampling(plan.child), plan.specs)
+    if isinstance(plan, GroupAggregate):
+        return GroupAggregate(
+            strip_sampling(plan.child), plan.keys, plan.specs, plan.having
+        )
     raise PlanError(f"cannot strip sampling from {type(plan).__name__}")

@@ -134,6 +134,8 @@ class SelectQuery:
     items: tuple[SelectItem, ...]
     tables: tuple[TableRef, ...]
     where: SqlExpr | None = None
+    group_by: tuple[ColumnRef, ...] = field(default=())
+    having: SqlExpr | None = None
     view_name: str | None = None
     view_columns: tuple[str, ...] = field(default=())
     budget: ErrorBudgetClause | None = None

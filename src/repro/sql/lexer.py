@@ -10,6 +10,9 @@ KEYWORDS = {
     "SELECT",
     "FROM",
     "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
     "AS",
     "AND",
     "OR",

@@ -3,7 +3,9 @@
 Grammar (EBNF, keywords case-insensitive)::
 
     query        := [EXPLAIN SAMPLING] [create_view]
-                    SELECT items FROM tables [WHERE bool_expr] [budget]
+                    SELECT items FROM tables [WHERE bool_expr]
+                    [GROUP BY column ("," column)* [HAVING bool_expr]]
+                    [budget]
     budget       := WITHIN number ["%"] CONFIDENCE number
     create_view  := CREATE VIEW ident ["(" ident ("," ident)* ")"] AS
     items        := item ("," item)*
@@ -13,6 +15,7 @@ Grammar (EBNF, keywords case-insensitive)::
     arith        := term (("+"|"-") term)*
     term         := factor (("*"|"/") factor)*
     factor       := number | string | column | "(" arith ")" | "-" factor
+                  | agg                     -- inside HAVING only
     column       := ident ["." ident]
     tables       := table ("," table)*
     table        := ident [ident] [TABLESAMPLE "(" sample ")"
@@ -51,6 +54,10 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.pos = 0
+        # Aggregate calls are legal inside HAVING (the planner maps
+        # them onto select-list aliases) but nowhere else below the
+        # select list.
+        self._in_having = False
 
     # -- cursor helpers ---------------------------------------------------
 
@@ -137,6 +144,25 @@ class _Parser:
         where = None
         if self.accept_kw("WHERE"):
             where = self.parse_bool_expr()
+        group_by: list[ColumnRef] = []
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by.append(self.parse_group_key())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_group_key())
+        having = None
+        if self.current.is_kw("HAVING"):
+            if not group_by:
+                raise SQLSyntaxError(
+                    "HAVING requires a GROUP BY clause",
+                    self.current.position,
+                )
+            self.advance()
+            self._in_having = True
+            try:
+                having = self.parse_bool_expr()
+            finally:
+                self._in_having = False
         budget = None
         if self.current.is_kw("WITHIN"):
             budget = self.parse_budget()
@@ -150,11 +176,20 @@ class _Parser:
             items=tuple(items),
             tables=tuple(tables),
             where=where,
+            group_by=tuple(group_by),
+            having=having,
             view_name=view_name,
             view_columns=view_columns,
             budget=budget,
             explain_sampling=explain_sampling,
         )
+
+    def parse_group_key(self) -> ColumnRef:
+        """One GROUP BY key: a possibly qualified column reference."""
+        name = self.expect_ident()
+        if self.accept_symbol("."):
+            return ColumnRef(self.expect_ident(), qualifier=name)
+        return ColumnRef(name)
 
     def parse_budget(self) -> ErrorBudgetClause:
         """``WITHIN <pct> ["%"] CONFIDENCE <level>`` — the error budget.
@@ -241,6 +276,12 @@ class _Parser:
 
     def parse_factor(self):
         tok = self.current
+        if self._in_having and tok.kind == "kw" and tok.value in (
+            "SUM",
+            "COUNT",
+            "AVG",
+        ):
+            return self.parse_agg()
         if tok.kind == "number":
             self.advance()
             return NumberLit(float(tok.value))

@@ -5,8 +5,10 @@ clauses into :mod:`repro.sampling` methods, extracts equi-join
 conditions from the WHERE conjunction, builds a left-deep join tree
 (cross products where tables are unconnected), and applies the residual
 predicate on top.  Aggregate select lists become an
-:class:`~repro.relational.plan.Aggregate`; pure-expression lists become
-a :class:`~repro.relational.plan.Project`.
+:class:`~repro.relational.plan.Aggregate` (or a
+:class:`~repro.relational.plan.GroupAggregate` under GROUP BY, with
+HAVING rewritten onto the grouped output schema); pure-expression lists
+become a :class:`~repro.relational.plan.Project`.
 """
 
 from __future__ import annotations
@@ -43,6 +45,12 @@ def plan_query(query: ast.SelectQuery, db: "Database") -> p.PlanNode:
         raise SQLError(
             "WITHIN/CONFIDENCE budgets and EXPLAIN SAMPLING apply to "
             "aggregate queries only"
+        )
+    if (query.budget is not None or query.explain_sampling) and query.group_by:
+        raise SQLError(
+            "WITHIN/CONFIDENCE budgets and EXPLAIN SAMPLING are not yet "
+            "supported for GROUP BY queries; the optimizer targets a "
+            "single aggregate's interval"
         )
     return _Planner(query, db).plan()
 
@@ -90,6 +98,8 @@ class _Planner:
         tree = self._build_join_tree(join_conds)
         if filters:
             tree = p.Select(tree, e.and_(*filters))
+        if self.query.group_by:
+            return self._group_aggregate(tree)
         if self.query.has_aggregates:
             return p.Aggregate(tree, self._agg_specs())
         return p.Project(tree, self._projection_outputs(tree))
@@ -233,8 +243,9 @@ class _Planner:
                 expr = expr.aggregate
             if not isinstance(expr, ast.AggCall):
                 raise SQLError(
-                    "mixing aggregates and plain expressions in one SELECT "
-                    "needs GROUP BY, which this dialect does not support"
+                    "mixing aggregates and plain expressions in one "
+                    "SELECT requires the plain columns to be GROUP BY "
+                    "keys — add a GROUP BY clause naming them"
                 )
             alias = item.alias or self._default_alias(expr, quantile, i)
             argument = (
@@ -242,6 +253,121 @@ class _Planner:
             )
             specs.append(p.AggSpec(expr.func, argument, alias, quantile))
         return specs
+
+    # -- GROUP BY ---------------------------------------------------------------
+
+    def _group_aggregate(self, tree: p.PlanNode) -> p.GroupAggregate:
+        """Build the :class:`~repro.relational.plan.GroupAggregate`.
+
+        The output schema is the group key columns followed by the
+        aggregate aliases; HAVING is rewritten onto that schema (an
+        aggregate call in HAVING must match a select-list aggregate,
+        whose alias column it becomes).
+        """
+        keys: list[str] = []
+        for ref in self.query.group_by:
+            self._owner_of(ref)  # validates existence and qualifier
+            if ref.name in keys:
+                raise SQLError(f"duplicate GROUP BY key {ref.name!r}")
+            keys.append(ref.name)
+        specs: list[p.AggSpec] = []
+        for i, item in enumerate(self.query.items):
+            expr = item.expression
+            if isinstance(expr, ast.ColumnRef):
+                self._owner_of(expr)
+                if expr.name not in keys:
+                    raise SQLError(
+                        f"column {expr.name!r} in SELECT is not a GROUP "
+                        "BY key; non-key columns must appear inside an "
+                        "aggregate"
+                    )
+                if item.alias is not None and item.alias != expr.name:
+                    raise SQLError(
+                        "aliasing a GROUP BY key column is not "
+                        f"supported (tried {expr.name!r} AS {item.alias!r})"
+                    )
+                continue
+            quantile = None
+            if isinstance(expr, ast.QuantileCall):
+                quantile = expr.q
+                expr = expr.aggregate
+            if not isinstance(expr, ast.AggCall):
+                raise SQLError(
+                    "a grouped SELECT list may hold GROUP BY keys and "
+                    "aggregates only"
+                )
+            alias = item.alias or self._default_alias(expr, quantile, i)
+            argument = (
+                None if expr.argument is None else self._expr(expr.argument)
+            )
+            specs.append(p.AggSpec(expr.func, argument, alias, quantile))
+        if not specs:
+            raise SQLError(
+                "GROUP BY without any aggregate in the SELECT list is "
+                "plain DISTINCT, which this dialect does not estimate; "
+                "add an aggregate (e.g. COUNT(*))"
+            )
+        having = (
+            None
+            if self.query.having is None
+            else self._having_expr(self.query.having, keys, specs)
+        )
+        return p.GroupAggregate(tree, keys, specs, having)
+
+    def _having_expr(
+        self, node, keys: list[str], specs: list[p.AggSpec]
+    ) -> e.Expr:
+        """Rewrite a HAVING AST onto the grouped output schema."""
+        if isinstance(node, ast.AggCall):
+            argument = (
+                None if node.argument is None else self._expr(node.argument)
+            )
+            for spec in specs:
+                if spec.quantile is not None or spec.kind != node.func:
+                    continue
+                if (spec.expr is None) != (argument is None):
+                    continue
+                if spec.expr is None or spec.expr.key() == argument.key():
+                    return e.col(spec.alias)
+            raise SQLError(
+                f"HAVING aggregate {node.func.upper()} has no matching "
+                "select-list aggregate; add it to the SELECT list (with "
+                "an alias) first"
+            )
+        if isinstance(node, ast.ColumnRef) and node.qualifier is None:
+            aliases = {spec.alias for spec in specs}
+            if node.name in aliases:
+                return e.col(node.name)
+            # Fall through: a real column reference, validated below —
+            # the GroupAggregate constructor rejects non-key columns.
+        if isinstance(node, ast.ColumnRef):
+            self._owner_of(node)
+            return e.col(node.name)
+        if isinstance(node, (ast.NumberLit, ast.StringLit)):
+            return self._expr(node)
+        if isinstance(node, ast.Arithmetic):
+            return e.BinOp(
+                node.op,
+                self._having_expr(node.left, keys, specs),
+                self._having_expr(node.right, keys, specs),
+            )
+        if isinstance(node, ast.Compare):
+            return e.Comparison(
+                node.op,
+                self._having_expr(node.left, keys, specs),
+                self._having_expr(node.right, keys, specs),
+            )
+        if isinstance(node, ast.BoolOp):
+            ctor = e.And if node.op == "AND" else e.Or
+            return ctor(
+                self._having_expr(node.left, keys, specs),
+                self._having_expr(node.right, keys, specs),
+            )
+        if isinstance(node, ast.NotOp):
+            return e.Not(self._having_expr(node.child, keys, specs))
+        raise SQLError(
+            f"unsupported expression node {type(node).__name__} in HAVING"
+        )
 
     @staticmethod
     def _default_alias(agg: ast.AggCall, quantile: float | None, i: int) -> str:

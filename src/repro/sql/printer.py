@@ -135,6 +135,12 @@ def query_to_sql(query: ast.SelectQuery) -> str:
     parts.append("FROM " + ", ".join(tables))
     if query.where is not None:
         parts.append("WHERE " + expr_to_sql(query.where))
+    if query.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(expr_to_sql(c) for c in query.group_by)
+        )
+    if query.having is not None:
+        parts.append("HAVING " + expr_to_sql(query.having))
     if query.budget is not None:
         parts.append(
             f"WITHIN {number_to_sql(query.budget.percent)} % "

@@ -19,7 +19,12 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from repro.core.estimator import Estimate, estimate_sum
+from repro.core.estimator import (
+    Estimate,
+    GroupedEstimates,
+    estimate_sum,
+    estimate_sums_grouped,
+)
 from repro.core.gus import GUSParams
 from repro.errors import EstimationError
 
@@ -58,10 +63,14 @@ def ratio_estimate(
         )
     mu_s, mu_c = numerator.value, denominator.value
     ratio = mu_s / mu_c
+    # Explicit products, not ** — libm pow and numpy's vectorized power
+    # can differ in the last ulp, and the grouped twin of this formula
+    # must agree bit-for-bit on exact-arithmetic inputs.
+    mu_c2 = mu_c * mu_c
     var = (
-        numerator.variance_raw / mu_c**2
-        - 2.0 * mu_s * covariance / mu_c**3
-        + mu_s**2 * denominator.variance_raw / mu_c**4
+        numerator.variance_raw / mu_c2
+        - 2.0 * mu_s * covariance / (mu_c2 * mu_c)
+        + mu_s * mu_s * denominator.variance_raw / (mu_c2 * mu_c2)
     )
     return Estimate(
         value=ratio,
@@ -74,4 +83,73 @@ def ratio_estimate(
             "denominator": denominator.value,
             "covariance": covariance,
         },
+    )
+
+
+def grouped_covariance_estimate(
+    params: GUSParams,
+    f: np.ndarray,
+    g: np.ndarray,
+    lineage: Mapping[str, np.ndarray],
+    gids: np.ndarray,
+    n_groups: int,
+    *,
+    var_f: GroupedEstimates | None = None,
+    var_g: GroupedEstimates | None = None,
+) -> np.ndarray:
+    """Per-group :func:`covariance_estimate`, one polarization pass.
+
+    Group membership is data-defined, so the scalar argument applies
+    group by group; the three variance vectors come out of the
+    vectorized grouped estimator.  Callers that already hold the
+    estimates for ``f`` and/or ``g`` (the AVG path always does) pass
+    them via ``var_f``/``var_g`` so only the ``f+g`` moments are
+    computed fresh.
+    """
+    f = np.asarray(f, dtype=np.float64)
+    g = np.asarray(g, dtype=np.float64)
+    var_sum = estimate_sums_grouped(params, f + g, lineage, gids, n_groups)
+    if var_f is None:
+        var_f = estimate_sums_grouped(params, f, lineage, gids, n_groups)
+    if var_g is None:
+        var_g = estimate_sums_grouped(params, g, lineage, gids, n_groups)
+    return 0.5 * (
+        var_sum.variance_raw - var_f.variance_raw - var_g.variance_raw
+    )
+
+
+def ratio_estimates_grouped(
+    numerator: GroupedEstimates,
+    denominator: GroupedEstimates,
+    covariance: np.ndarray,
+    *,
+    label: str = "AVG",
+) -> GroupedEstimates:
+    """Delta-method per-group ratio, vectorized over groups.
+
+    Every group present in the output was observed through at least one
+    sample row, so its COUNT estimate is strictly positive; a zero
+    denominator indicates the caller passed groups the sample never saw
+    and is rejected rather than silently emitting infinities.
+    """
+    covariance = np.asarray(covariance, dtype=np.float64)
+    mu_s, mu_c = numerator.values, denominator.values
+    if np.any(mu_c == 0.0):
+        raise EstimationError(
+            "cannot form per-group ratio estimates: some denominator "
+            "(COUNT) estimate is zero — those groups have no sample rows"
+        )
+    ratio = mu_s / mu_c
+    mu_c2 = mu_c * mu_c
+    var = (
+        numerator.variance_raw / mu_c2
+        - 2.0 * mu_s * covariance / (mu_c2 * mu_c)
+        + mu_s * mu_s * denominator.variance_raw / (mu_c2 * mu_c2)
+    )
+    return GroupedEstimates(
+        values=ratio,
+        variance_raw=var,
+        n_samples=numerator.n_samples,
+        label=label,
+        extras={"method": "delta"},
     )

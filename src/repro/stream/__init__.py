@@ -31,14 +31,16 @@ Mapping to the paper's objects:
 See ``examples/streaming_quickstart.py`` for a five-minute tour.
 """
 
-from repro.stream.estimator import StreamingEstimator
+from repro.stream.estimator import GroupedStreamingEstimator, StreamingEstimator
 from repro.stream.shard import ShardCoordinator
-from repro.stream.sketch import MomentSketch
+from repro.stream.sketch import GroupedMomentSketch, MomentSketch
 from repro.stream.window import SlidingWindow, TumblingWindow
 
 __all__ = [
     "MomentSketch",
+    "GroupedMomentSketch",
     "StreamingEstimator",
+    "GroupedStreamingEstimator",
     "ShardCoordinator",
     "TumblingWindow",
     "SlidingWindow",

@@ -19,16 +19,22 @@ would have produced, up to float summation order.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.estimator import Estimate, estimate_from_moments
+from repro.core.estimator import (
+    Estimate,
+    GroupedEstimates,
+    estimate_from_moments,
+    grouped_theorem1_variance,
+    unbiased_y_terms_grouped,
+)
 from repro.core.gus import GUSParams
 from repro.errors import EstimationError
-from repro.stream.sketch import MomentSketch
+from repro.stream.sketch import GroupedMomentSketch, MomentSketch
 
-__all__ = ["StreamingEstimator"]
+__all__ = ["StreamingEstimator", "GroupedStreamingEstimator"]
 
 
 class StreamingEstimator:
@@ -103,4 +109,102 @@ class StreamingEstimator:
             f"StreamingEstimator(a={self.params.a:.6g}, "
             f"dims={list(self._pruned.lattice.dims)}, "
             f"n_sample={self.n_sample})"
+        )
+
+
+class GroupedStreamingEstimator:
+    """Incremental per-group ``Σ f`` estimation under a fixed GUS.
+
+    The grouped twin of :class:`StreamingEstimator`: batches arrive
+    with int64-coded group key columns alongside ``f`` and lineage, and
+    :meth:`estimate` emits a
+    :class:`~repro.core.estimator.GroupedEstimates` over every group
+    seen so far — equal (up to float summation order) to what the batch
+    :func:`~repro.core.estimator.estimate_sums_grouped` would produce
+    on all rows at once.  Merging estimators over the same GUS is exact
+    even for groups only one side ever saw.
+    """
+
+    __slots__ = ("params", "label", "_pruned", "sketch")
+
+    def __init__(
+        self,
+        params: GUSParams,
+        *,
+        n_group_cols: int = 1,
+        label: str = "SUM",
+    ) -> None:
+        if params.a <= 0.0:
+            raise EstimationError("cannot estimate from a = 0 (null sampling)")
+        self.params = params
+        self.label = label
+        self._pruned = params.project_out_inactive()
+        self.sketch = GroupedMomentSketch(self._pruned.lattice, n_group_cols)
+
+    # -- ingestion ------------------------------------------------------
+
+    def update(
+        self,
+        f: np.ndarray,
+        lineage: Mapping[str, np.ndarray],
+        group_cols: Sequence[np.ndarray],
+    ) -> "GroupedStreamingEstimator":
+        """Absorb one batch of sampled rows; returns ``self``."""
+        self.sketch.update(f, lineage, group_cols)
+        return self
+
+    def merge(
+        self, other: "GroupedStreamingEstimator"
+    ) -> "GroupedStreamingEstimator":
+        """Fold another estimator over the *same* GUS into this one."""
+        if not self.params.approx_equal(other.params):
+            raise EstimationError(
+                "cannot merge streaming estimators with different GUS params"
+            )
+        self.sketch.merge(other.sketch)
+        return self
+
+    def copy(self) -> "GroupedStreamingEstimator":
+        dup = GroupedStreamingEstimator(
+            self.params,
+            n_group_cols=self.sketch.n_group_cols,
+            label=self.label,
+        )
+        dup.sketch = self.sketch.copy()
+        return dup
+
+    # -- emission -------------------------------------------------------
+
+    @property
+    def n_sample(self) -> int:
+        return self.sketch.n_rows
+
+    def estimate(self) -> tuple[list[np.ndarray], GroupedEstimates]:
+        """Current per-group estimates with Theorem 1 error bounds.
+
+        Returns ``(group_key_columns, estimates)``; row ``g`` of the
+        estimates belongs to the ``g``-th distinct key combination.
+        Emission never mutates the sketch.
+        """
+        group_keys, y, totals, counts = self.sketch.moments()
+        yhat = unbiased_y_terms_grouped(self._pruned, y)
+        var_raw = grouped_theorem1_variance(self._pruned, yhat)
+        estimates = GroupedEstimates(
+            values=totals / self.params.a,
+            variance_raw=var_raw,
+            n_samples=counts.astype(np.int64),
+            label=self.label,
+            extras={
+                "a": self.params.a,
+                "active_dims": self._pruned.lattice.dims,
+            },
+        )
+        return group_keys, estimates
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupedStreamingEstimator(a={self.params.a:.6g}, "
+            f"dims={list(self._pruned.lattice.dims)}, "
+            f"n_sample={self.n_sample}, "
+            f"n_entries={self.sketch.n_entries})"
         )

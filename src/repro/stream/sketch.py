@@ -22,6 +22,11 @@ The heavy lifting lives in :func:`repro.core.estimator.group_reduce`
 and :func:`repro.core.estimator.y_terms_from_groups`, the same
 accumulator core the batch ``y_terms`` is built on — one source of
 truth for the moment arithmetic.
+
+:class:`GroupedMomentSketch` extends the same idea to GROUP BY
+workloads by keying the table on (group key, lineage key); every
+group's moment vector is then derivable from one shared state, and the
+merge story is unchanged.
 """
 
 from __future__ import annotations
@@ -30,11 +35,18 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.estimator import group_reduce, y_terms_from_groups
+from repro.core.estimator import (
+    group_firsts,
+    group_ids,
+    group_reduce,
+    group_reduce_multi,
+    grouped_y_terms_from_groups,
+    y_terms_from_groups,
+)
 from repro.core.lattice import SubsetLattice
 from repro.errors import EstimationError
 
-__all__ = ["MomentSketch"]
+__all__ = ["MomentSketch", "GroupedMomentSketch"]
 
 
 class MomentSketch:
@@ -169,3 +181,209 @@ class MomentSketch:
         raw rows are never rescanned.
         """
         return y_terms_from_groups(self._sums, self._keys, self.lattice)
+
+
+class GroupedMomentSketch:
+    """A mergeable moment sketch per GROUP BY group, in one table.
+
+    The state generalizes :class:`MomentSketch`'s group-sum table by
+    keying on *(group key, full lineage key)*: ``_group_cols`` hold the
+    int64-coded GROUP BY values (callers with non-integer keys
+    factorize first — the SQL layer's dense group ids are exactly such
+    a coding), ``_keys`` the lineage ids, ``_sums`` the running ``Σ f``
+    and ``_counts`` the row count of each entry.  That table is still a
+    commutative monoid under concatenate-and-re-reduce, so sketches
+    merge exactly across shards and windows even when a group was seen
+    by only one shard — its entries simply survive the re-reduce
+    untouched.
+
+    :meth:`moments` factorizes the distinct group keys seen so far and
+    emits, for all of them simultaneously, the per-group plug-in moment
+    matrix the vectorized grouped estimator consumes.
+    """
+
+    __slots__ = ("lattice", "n_group_cols", "_group_cols", "_keys", "_sums", "_counts", "_n_rows")
+
+    def __init__(self, lattice: SubsetLattice, n_group_cols: int = 1) -> None:
+        if n_group_cols < 1:
+            raise EstimationError(
+                f"need at least one group column, got {n_group_cols}"
+            )
+        self.lattice = lattice
+        self.n_group_cols = int(n_group_cols)
+        self._group_cols: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(n_group_cols)
+        ]
+        self._keys: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(lattice.n)
+        ]
+        self._sums = np.empty(0, dtype=np.float64)
+        self._counts = np.empty(0, dtype=np.float64)
+        self._n_rows = 0
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Rows absorbed so far."""
+        return self._n_rows
+
+    @property
+    def n_entries(self) -> int:
+        """Distinct (group key, lineage key) pairs — the state size."""
+        return int(self._sums.shape[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupedMomentSketch(dims={list(self.lattice.dims)}, "
+            f"n_group_cols={self.n_group_cols}, n_rows={self._n_rows}, "
+            f"n_entries={self.n_entries})"
+        )
+
+    # -- mutation -------------------------------------------------------
+
+    def _coerce_batch(
+        self,
+        f: np.ndarray,
+        lineage: Mapping[str, np.ndarray],
+        group_cols: Sequence[np.ndarray],
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        f = np.asarray(f, dtype=np.float64)
+        if f.ndim != 1:
+            raise EstimationError(f"f must be 1-d, got shape {f.shape}")
+        if len(group_cols) != self.n_group_cols:
+            raise EstimationError(
+                f"expected {self.n_group_cols} group columns, "
+                f"got {len(group_cols)}"
+            )
+        missing = [d for d in self.lattice.dims if d not in lineage]
+        if missing:
+            raise EstimationError(f"lineage columns missing for {missing}")
+        cols = []
+        for name, raw in [
+            *((f"group[{i}]", c) for i, c in enumerate(group_cols)),
+            *((d, lineage[d]) for d in self.lattice.dims),
+        ]:
+            raw = np.asarray(raw)
+            if not np.issubdtype(raw.dtype, np.integer):
+                raise EstimationError(
+                    f"column {name!r} has dtype {raw.dtype}; the grouped "
+                    "sketch keys on int64 — factorize non-integer group "
+                    "keys (e.g. with group_ids) before streaming them"
+                )
+            col = raw.astype(np.int64)
+            if col.shape != f.shape:
+                raise EstimationError(
+                    f"column {name!r} has shape {col.shape}; "
+                    f"f has shape {f.shape}"
+                )
+            cols.append(col)
+        return f, cols
+
+    def _absorb(
+        self,
+        cols: Sequence[np.ndarray],
+        sums: np.ndarray,
+        counts: np.ndarray,
+        n_rows: int,
+    ) -> None:
+        """Fold an already-compacted (group, lineage) table in."""
+        if n_rows == 0 and sums.size == 0:
+            return
+        state = self._group_cols + self._keys
+        if self._sums.size == 0:
+            merged = [np.asarray(c, dtype=np.int64) for c in cols]
+            keys, (self._sums, self._counts) = merged, (
+                np.asarray(sums, dtype=np.float64),
+                np.asarray(counts, dtype=np.float64),
+            )
+        else:
+            merged = [
+                np.concatenate([mine, np.asarray(theirs, dtype=np.int64)])
+                for mine, theirs in zip(state, cols)
+            ]
+            keys, (self._sums, self._counts) = group_reduce_multi(
+                merged,
+                [
+                    np.concatenate([self._sums, sums]),
+                    np.concatenate([self._counts, counts]),
+                ],
+            )
+        self._group_cols = keys[: self.n_group_cols]
+        self._keys = keys[self.n_group_cols :]
+        self._n_rows += int(n_rows)
+
+    def update(
+        self,
+        f: np.ndarray,
+        lineage: Mapping[str, np.ndarray],
+        group_cols: Sequence[np.ndarray],
+    ) -> "GroupedMomentSketch":
+        """Absorb one batch; ``group_cols[i][r]`` keys row ``r``."""
+        f, cols = self._coerce_batch(f, lineage, group_cols)
+        if f.shape[0] == 0:
+            return self
+        keys, (sums, counts) = group_reduce_multi(
+            cols, [f, np.ones(f.shape[0], dtype=np.float64)]
+        )
+        self._absorb(keys, sums, counts, f.shape[0])
+        return self
+
+    def merge(self, other: "GroupedMomentSketch") -> "GroupedMomentSketch":
+        """Fold ``other`` into ``self`` (exact); returns ``self``."""
+        if self.lattice != other.lattice:
+            raise EstimationError(
+                f"cannot merge sketches over different lattices: "
+                f"{self.lattice.dims} vs {other.lattice.dims}"
+            )
+        if self.n_group_cols != other.n_group_cols:
+            raise EstimationError(
+                f"cannot merge sketches with {self.n_group_cols} vs "
+                f"{other.n_group_cols} group columns"
+            )
+        self._absorb(
+            other._group_cols + other._keys,
+            other._sums,
+            other._counts,
+            other._n_rows,
+        )
+        return self
+
+    def copy(self) -> "GroupedMomentSketch":
+        """An independent snapshot (state arrays are copied)."""
+        dup = GroupedMomentSketch(self.lattice, self.n_group_cols)
+        dup._group_cols = [c.copy() for c in self._group_cols]
+        dup._keys = [k.copy() for k in self._keys]
+        dup._sums = self._sums.copy()
+        dup._counts = self._counts.copy()
+        dup._n_rows = self._n_rows
+        return dup
+
+    # -- emission -------------------------------------------------------
+
+    def groups(self) -> tuple[list[np.ndarray], np.ndarray, int]:
+        """Factorize the distinct group keys seen so far.
+
+        Returns ``(group_key_columns, owner, n_groups)``: one array per
+        group column holding each distinct key once (sorted), the dense
+        group id of every state entry, and the group count.
+        """
+        n_entries = self.n_entries
+        owner, n_groups = group_ids(self._group_cols, n_entries)
+        first = group_firsts(owner, n_groups, n_entries)
+        return [c[first] for c in self._group_cols], owner, n_groups
+
+    def moments(self) -> tuple[list[np.ndarray], np.ndarray, np.ndarray, np.ndarray]:
+        """Per-group plug-in moments for every group seen so far.
+
+        Returns ``(group_keys, Y, totals, counts)``: the distinct group
+        key columns, the ``(n_groups, lattice.size)`` moment matrix,
+        and each group's running ``Σ f`` and row count.
+        """
+        group_keys, owner, n_groups = self.groups()
+        y = grouped_y_terms_from_groups(
+            self._sums, self._keys, owner, n_groups, self.lattice
+        )
+        totals = np.bincount(owner, weights=self._sums, minlength=n_groups)
+        counts = np.bincount(owner, weights=self._counts, minlength=n_groups)
+        return group_keys, y, totals, counts

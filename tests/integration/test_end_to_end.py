@@ -83,6 +83,59 @@ class TestPaperQueries:
         assert hits / trials > 0.82
 
 
+class TestGroupedEndToEnd:
+    Q1 = """
+    SELECT l_returnflag, l_linestatus,
+           SUM(l_quantity) AS sum_qty,
+           SUM(l_extendedprice) AS sum_base_price,
+           AVG(l_quantity) AS avg_qty,
+           COUNT(*) AS count_order
+    FROM lineitem TABLESAMPLE (15 PERCENT) REPEATABLE ({seed})
+    GROUP BY l_returnflag, l_linestatus
+    """
+
+    def _truth(self, db):
+        exact = db.sql_exact(self.Q1.format(seed=0))
+        return {
+            (flag, status): dict(
+                zip(("sum_qty", "sum_base_price", "avg_qty", "count_order"), rest)
+            )
+            for flag, status, *rest in exact.to_rows()
+        }
+
+    def test_tpch_q1_per_group_unbiased_and_covered(self, tpch_db_mid):
+        truth = self._truth(tpch_db_mid)
+        trials = 40
+        values = {key: [] for key in truth}
+        hits = total = 0
+        for seed in range(trials):
+            res = tpch_db_mid.sql(self.Q1.format(seed=seed))
+            lo, hi = res.estimates["sum_qty"].ci_bounds(0.95)
+            for g, key in enumerate(res.group_rows()):
+                values[key].append(res.values["sum_qty"][g])
+                total += 1
+                hits += lo[g] <= truth[key]["sum_qty"] <= hi[g]
+        # Every trial realized every group at 15% of a mid-size table.
+        assert all(len(v) == trials for v in values.values())
+        for key, seen in values.items():
+            arr = np.array(seen)
+            stderr = arr.std(ddof=1) / np.sqrt(trials)
+            assert abs(arr.mean() - truth[key]["sum_qty"]) < 4 * stderr
+        assert hits / total > 0.85
+
+    def test_grouped_avg_consistent_with_sum_and_count(self, tpch_db_mid):
+        res = tpch_db_mid.sql(self.Q1.format(seed=5))
+        np.testing.assert_allclose(
+            res.values["avg_qty"],
+            res.values["sum_qty"] / res.values["count_order"],
+            rtol=1e-9,
+        )
+
+    def test_grouped_query_groups_match_exact(self, tpch_db_mid):
+        res = tpch_db_mid.sql(self.Q1.format(seed=9))
+        assert set(res.group_rows()) == set(self._truth(tpch_db_mid))
+
+
 class TestSamplingSchemeMatrix:
     """Same query, every TABLESAMPLE variant, consistent answers."""
 

@@ -80,6 +80,136 @@ def ref_sum(rows: list[Row], f: Callable[[Row], float]) -> float:
     return float(sum(f(r) for r in rows))
 
 
+def ref_group_by(
+    rows: list[Row],
+    keys: Sequence[str],
+    aggregates: dict[str, tuple[str, Callable[[Row], float] | None]],
+) -> dict[tuple, dict[str, float]]:
+    """Brute-force grouped aggregation.
+
+    ``aggregates`` maps output names to ``(kind, f)`` with kind one of
+    ``sum | count | avg``.  Returns ``{key-tuple: {name: value}}``.
+    """
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row[k] for k in keys), []).append(row)
+    out: dict[tuple, dict[str, float]] = {}
+    for key, members in groups.items():
+        result: dict[str, float] = {}
+        for name, (kind, f) in aggregates.items():
+            if kind == "count":
+                result[name] = float(len(members))
+            elif kind == "sum":
+                assert f is not None
+                result[name] = float(sum(f(r) for r in members))
+            else:  # avg
+                assert f is not None
+                result[name] = float(
+                    sum(f(r) for r in members) / len(members)
+                )
+        out[key] = result
+    return out
+
+
+# -- brute-force grouped GUS estimator oracle ---------------------------------
+#
+# A deliberately slow, dictionary-based reimplementation of Theorem 1
+# and the Section 6.3 unbiasing recursion, applied independently to
+# each group's rows.  Nothing here shares code with the vectorized
+# estimator: subsets are frozensets, moments are dict lookups, and the
+# per-group loop is explicit — exactly what the fast path must match.
+
+
+def _subsets(dims: Sequence[str]) -> list[frozenset]:
+    out = [frozenset()]
+    for d in dims:
+        out += [s | {d} for s in out]
+    return out
+
+
+def _ref_y_terms(
+    rows: list[tuple[dict, float]], dims: Sequence[str]
+) -> dict[frozenset, float]:
+    """``y_S`` for every subset, by dict-of-lists grouping."""
+    y: dict[frozenset, float] = {}
+    for subset in _subsets(dims):
+        sums: dict[tuple, float] = {}
+        for lineage, value in rows:
+            key = tuple(lineage[d] for d in sorted(subset))
+            sums[key] = sums.get(key, 0.0) + value
+        y[subset] = sum(v * v for v in sums.values())
+    return y
+
+
+def _ref_kappa(
+    b: dict[frozenset, float], s: frozenset, t: frozenset
+) -> float:
+    total = 0.0
+    for u in _subsets(sorted(t)):
+        sign = -1.0 if (len(t) - len(u)) % 2 else 1.0
+        total += sign * b[s | u]
+    return total
+
+
+def _ref_unbiased(
+    y: dict[frozenset, float],
+    b: dict[frozenset, float],
+    dims: Sequence[str],
+) -> dict[frozenset, float]:
+    full = frozenset(dims)
+    yhat: dict[frozenset, float] = {}
+    for s in sorted(_subsets(dims), key=len, reverse=True):
+        acc = y[s]
+        for t in _subsets(sorted(full - s)):
+            if not t:
+                continue
+            acc -= _ref_kappa(b, s, t) * yhat[s | t]
+        yhat[s] = acc / b[s]
+    return yhat
+
+
+def _ref_variance(
+    yhat: dict[frozenset, float],
+    a: float,
+    b: dict[frozenset, float],
+    dims: Sequence[str],
+) -> float:
+    var = 0.0
+    for s in _subsets(dims):
+        c_s = 0.0
+        for t in _subsets(sorted(s)):
+            sign = -1.0 if (len(s) - len(t)) % 2 else 1.0
+            c_s += sign * b[t]
+        var += c_s * yhat[s] / (a * a)
+    return var - yhat[frozenset()]
+
+
+def ref_grouped_estimates(
+    a: float,
+    b: dict[frozenset, float],
+    dims: Sequence[str],
+    rows: Sequence[tuple[object, dict, float]],
+) -> dict[object, tuple[float, float, int]]:
+    """Per-group ``(estimate, variance_raw, n)`` by brute force.
+
+    ``rows`` holds sampled ``(group_key, lineage, f)`` triples; ``b``
+    maps every subset of ``dims`` to its second-order inclusion
+    probability.  Each group is estimated independently with the slow
+    dict-based Theorem 1 machinery above.
+    """
+    grouped: dict[object, list[tuple[dict, float]]] = {}
+    for group_key, lineage, value in rows:
+        grouped.setdefault(group_key, []).append((lineage, value))
+    out: dict[object, tuple[float, float, int]] = {}
+    for group_key, members in grouped.items():
+        y = _ref_y_terms(members, dims)
+        yhat = _ref_unbiased(y, b, dims)
+        variance = _ref_variance(yhat, a, b, dims)
+        total = sum(value for _, value in members)
+        out[group_key] = (total / a, variance, len(members))
+    return out
+
+
 def rows_multiset(rows: list[Row]) -> dict:
     """Multiset view for order-insensitive comparison."""
     counted: dict = {}

@@ -1,0 +1,303 @@
+"""GROUP BY / HAVING through the SQL stack: parse, print, plan, reject.
+
+Covers the satellite contract: parse→print→parse is a fixed point for
+grouped queries (targeted cases plus Hypothesis-generated ones), HAVING
+over a non-grouped column raises a clear ``PlanError``, and the planner
+maps grouped select lists onto :class:`GroupAggregate` correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError, SQLError, SQLSyntaxError
+from repro.relational import plan as p
+from repro.relational.database import Database
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse
+from repro.sql.printer import query_to_sql
+
+
+@pytest.fixture
+def db():
+    db = Database(seed=1)
+    db.create_table(
+        "sales",
+        {
+            "region": np.array(["n", "s", "n", "w", "s", "n"], dtype=object),
+            "channel": np.array([0, 1, 0, 1, 0, 1], dtype=np.int64),
+            "amount": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+            "units": np.array([1, 2, 3, 4, 5, 6], dtype=np.int64),
+        },
+    )
+    db.create_table(
+        "stores",
+        {
+            "store_region": np.array(["n", "s", "w"], dtype=object),
+            "sqft": np.array([100.0, 200.0, 300.0]),
+        },
+    )
+    return db
+
+
+class TestParsing:
+    def test_group_by_single_key(self):
+        q = parse("SELECT region, SUM(amount) AS s FROM sales GROUP BY region")
+        assert q.group_by == (ast.ColumnRef("region"),)
+        assert q.having is None
+
+    def test_group_by_multiple_keys_and_qualified(self):
+        q = parse(
+            "SELECT region, channel, COUNT(*) AS n FROM sales "
+            "GROUP BY s.region, channel"
+        )
+        assert q.group_by == (
+            ast.ColumnRef("region", qualifier="s"),
+            ast.ColumnRef("channel"),
+        )
+
+    def test_having_with_alias_reference(self):
+        q = parse(
+            "SELECT region, SUM(amount) AS s FROM sales "
+            "GROUP BY region HAVING s > 50"
+        )
+        assert isinstance(q.having, ast.Compare)
+        assert q.having.left == ast.ColumnRef("s")
+
+    def test_having_with_aggregate_call(self):
+        q = parse(
+            "SELECT region, SUM(amount) AS s FROM sales "
+            "GROUP BY region HAVING SUM(amount) > 50 AND COUNT(*) > 1"
+        )
+        assert isinstance(q.having, ast.BoolOp)
+        left = q.having.left
+        assert isinstance(left, ast.Compare)
+        assert left.left == ast.AggCall("sum", ast.ColumnRef("amount"))
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="HAVING requires"):
+            parse("SELECT SUM(amount) AS s FROM sales HAVING s > 1")
+
+    def test_group_without_by_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="expected BY"):
+            parse("SELECT SUM(amount) AS s FROM sales GROUP region")
+
+    def test_aggregate_outside_having_still_rejected_in_where(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT SUM(amount) AS s FROM sales WHERE SUM(amount) > 1")
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT region, SUM(amount) AS s FROM sales GROUP BY region",
+        "SELECT region, channel, AVG(amount) AS a, COUNT(*) AS n "
+        "FROM sales GROUP BY region, channel",
+        "SELECT region, SUM(amount) AS s FROM sales "
+        "TABLESAMPLE (10 PERCENT) WHERE amount > 5 "
+        "GROUP BY region HAVING s > 50 AND COUNT(*) > 1",
+        "SELECT region, QUANTILE(SUM(amount), 0.95) AS hi FROM sales "
+        "GROUP BY region HAVING NOT hi > 100",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse_fixed_point(self, text):
+        q1 = parse(text)
+        rendered = query_to_sql(q1)
+        q2 = parse(rendered)
+        assert q1 == q2, rendered
+        # And printing is itself a fixed point.
+        assert query_to_sql(q2) == rendered
+
+    @given(
+        keys=st.lists(
+            st.sampled_from(["region", "channel", "kind"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+        having_bound=st.one_of(
+            st.none(), st.integers(0, 999).map(float)
+        ),
+        use_agg_in_having=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_grouped_roundtrip(
+        self, keys, having_bound, use_agg_in_having
+    ):
+        group_by = tuple(ast.ColumnRef(k) for k in keys)
+        having = None
+        if having_bound is not None:
+            left = (
+                ast.AggCall("count", None)
+                if use_agg_in_having
+                else ast.ColumnRef("s")
+            )
+            having = ast.Compare(">", left, ast.NumberLit(having_bound))
+        query = ast.SelectQuery(
+            items=(
+                *(ast.SelectItem(ast.ColumnRef(k), None) for k in keys),
+                ast.SelectItem(
+                    ast.AggCall("sum", ast.ColumnRef("amount")), "s"
+                ),
+            ),
+            tables=(ast.TableRef("sales"),),
+            group_by=group_by,
+            having=having,
+        )
+        rendered = query_to_sql(query)
+        assert parse(rendered) == query, rendered
+
+
+class TestPlanning:
+    def test_grouped_plan_shape(self, db):
+        plan = db.plan_sql(
+            "SELECT region, SUM(amount) AS s, COUNT(*) AS n FROM sales "
+            "TABLESAMPLE (50 PERCENT) GROUP BY region HAVING s > 10"
+        )
+        assert isinstance(plan, p.GroupAggregate)
+        assert plan.keys == ("region",)
+        assert [spec.alias for spec in plan.specs] == ["s", "n"]
+        assert plan.having is not None
+
+    def test_having_aggregate_mapped_to_alias(self, db):
+        plan = db.plan_sql(
+            "SELECT region, SUM(amount) AS s FROM sales "
+            "GROUP BY region HAVING SUM(amount) > 10"
+        )
+        assert plan.having.columns_used() == frozenset({"s"})
+
+    def test_having_count_star_mapped_to_alias(self, db):
+        plan = db.plan_sql(
+            "SELECT region, COUNT(*) AS n FROM sales "
+            "GROUP BY region HAVING COUNT(*) > 1"
+        )
+        assert plan.having.columns_used() == frozenset({"n"})
+
+    def test_having_non_grouped_column_is_plan_error(self, db):
+        """Satellite: clear PlanError naming the offending column."""
+        with pytest.raises(PlanError, match="amount"):
+            db.plan_sql(
+                "SELECT region, COUNT(*) AS n FROM sales "
+                "GROUP BY region HAVING amount > 10"
+            )
+
+    def test_having_unmatched_aggregate_rejected(self, db):
+        with pytest.raises(SQLError, match="no matching"):
+            db.plan_sql(
+                "SELECT region, COUNT(*) AS n FROM sales "
+                "GROUP BY region HAVING SUM(units) > 10"
+            )
+
+    def test_select_non_key_column_rejected(self, db):
+        with pytest.raises(SQLError, match="not a GROUP BY key"):
+            db.plan_sql(
+                "SELECT channel, SUM(amount) AS s FROM sales "
+                "GROUP BY region"
+            )
+
+    def test_unknown_group_key_rejected(self, db):
+        with pytest.raises(SQLError, match="unknown column"):
+            db.plan_sql(
+                "SELECT COUNT(*) AS n FROM sales GROUP BY flavor"
+            )
+
+    def test_group_by_without_aggregates_rejected(self, db):
+        with pytest.raises(SQLError, match="DISTINCT"):
+            db.plan_sql("SELECT region FROM sales GROUP BY region")
+
+    def test_duplicate_group_key_rejected(self, db):
+        with pytest.raises(SQLError, match="duplicate GROUP BY"):
+            db.plan_sql(
+                "SELECT region, COUNT(*) AS n FROM sales "
+                "GROUP BY region, region"
+            )
+
+    def test_key_alias_rejected(self, db):
+        with pytest.raises(SQLError, match="aliasing"):
+            db.plan_sql(
+                "SELECT region AS r, COUNT(*) AS n FROM sales "
+                "GROUP BY region"
+            )
+
+    def test_budget_with_group_by_rejected(self, db):
+        with pytest.raises(SQLError, match="not yet supported"):
+            db.plan_sql(
+                "SELECT region, SUM(amount) AS s FROM sales "
+                "TABLESAMPLE (50 PERCENT) GROUP BY region "
+                "WITHIN 5 % CONFIDENCE 0.95"
+            )
+
+    def test_explain_sampling_with_group_by_rejected(self, db):
+        with pytest.raises(SQLError, match="not yet supported"):
+            db.plan_sql(
+                "EXPLAIN SAMPLING SELECT region, SUM(amount) AS s "
+                "FROM sales TABLESAMPLE (50 PERCENT) GROUP BY region"
+            )
+
+    def test_group_by_across_join(self, db):
+        plan = db.plan_sql(
+            "SELECT store_region, SUM(amount) AS s FROM sales, stores "
+            "WHERE region = store_region GROUP BY store_region"
+        )
+        assert isinstance(plan, p.GroupAggregate)
+        assert plan.keys == ("store_region",)
+
+
+class TestExactExecution:
+    def test_grouped_sql_exact_matches_reference(self, db):
+        from tests.reference import ref_group_by, table_to_rows
+
+        result = db.sql_exact(
+            "SELECT region, SUM(amount) AS s, COUNT(*) AS n, "
+            "AVG(units) AS a FROM sales GROUP BY region"
+        )
+        raw = db.table("sales")
+        expected = ref_group_by(
+            table_to_rows(raw),
+            ["region"],
+            {
+                "s": ("sum", lambda r: float(r["amount"])),
+                "n": ("count", None),
+                "a": ("avg", lambda r: float(r["units"])),
+            },
+        )
+        assert result.n_rows == len(expected)
+        for row in result.to_rows():
+            region, s, n, a = row
+            exp = expected[(region,)]
+            assert s == pytest.approx(exp["s"])
+            assert n == pytest.approx(exp["n"])
+            assert a == pytest.approx(exp["a"])
+
+    def test_having_filters_exact_groups(self, db):
+        result = db.sql_exact(
+            "SELECT region, SUM(amount) AS s FROM sales "
+            "GROUP BY region HAVING s > 50"
+        )
+        rows = dict(result.to_rows())
+        assert rows == {"n": 100.0, "s": 70.0}
+
+    def test_estimated_group_query_returns_grouped_result(self, db):
+        from repro.core.sbox import GroupedQueryResult
+
+        result = db.sql(
+            "SELECT region, SUM(amount) AS s FROM sales "
+            "TABLESAMPLE (100 PERCENT) GROUP BY region"
+        )
+        assert isinstance(result, GroupedQueryResult)
+        # Full sampling: estimates equal the exact grouped answer with
+        # zero variance.
+        exact = dict(
+            db.sql_exact(
+                "SELECT region, SUM(amount) AS s FROM sales GROUP BY region"
+            ).to_rows()
+        )
+        for g in range(result.n_groups):
+            key = result.keys["region"][g]
+            assert result.values["s"][g] == pytest.approx(exact[key])
+            assert result.estimates["s"].variance_raw[g] == pytest.approx(
+                0.0, abs=1e-9
+            )

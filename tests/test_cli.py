@@ -76,6 +76,49 @@ class TestRunStatement:
         # EXPLAIN never executes the final plan, only ranks candidates.
         assert "rev = " not in out
 
+    def test_grouped_query_renders_per_group_cis(self, db):
+        out = run_statement(
+            db,
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+            "COUNT(*) AS n FROM lineitem TABLESAMPLE (40 PERCENT) "
+            "GROUP BY l_returnflag, l_linestatus",
+        )
+        lines = out.splitlines()
+        header = lines[0].split("\t")
+        assert header[:2] == ["l_returnflag", "l_linestatus"]
+        assert header[2:] == ["sum_qty [lo, hi]", "n [lo, hi]"]
+        # One row per group, each aggregate cell carrying its interval.
+        body = [line for line in lines[1:] if not line.startswith("--")]
+        assert len(body) >= 2
+        for line in body:
+            assert line.count("[") == 2 and line.count("]") == 2
+        assert "groups @95%" in lines[-1]
+        assert "sample rows" in lines[-1]
+
+    def test_grouped_query_with_having(self, db):
+        out = run_statement(
+            db,
+            "SELECT o_orderstatus, COUNT(*) AS n FROM orders "
+            "TABLESAMPLE (50 PERCENT) GROUP BY o_orderstatus "
+            "HAVING n > 1",
+        )
+        assert "o_orderstatus" in out.splitlines()[0]
+        assert "groups @95%" in out
+
+    def test_grouped_exact_command(self, db):
+        out = run_statement(
+            db,
+            "\\exact SELECT o_orderstatus, COUNT(*) AS n FROM orders "
+            "GROUP BY o_orderstatus",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "o_orderstatus\tn"
+        counts = {
+            parts[0]: float(parts[1])
+            for parts in (line.split("\t") for line in lines[1:])
+        }
+        assert sum(counts.values()) == db.table("orders").n_rows
+
     def test_quit_raises_eof(self, db):
         with pytest.raises(EOFError):
             run_statement(db, "\\quit")
