@@ -36,7 +36,7 @@ def _build_database(args):
     if args.load:
         from repro.relational.io import read_csv
 
-        db = Database(seed=args.seed)
+        db = Database(seed=args.seed, workers=args.workers)
         for spec in args.load:
             if "=" not in spec:
                 raise ReproError(
@@ -47,7 +47,9 @@ def _build_database(args):
         return db
     from repro.data.tpch import tpch_database
 
-    return tpch_database(scale=args.scale, seed=args.seed)
+    db = tpch_database(scale=args.scale, seed=args.seed)
+    db.workers = args.workers
+    return db
 
 
 def _format_grouped(result, level: float) -> str:
@@ -211,7 +213,11 @@ def _run_stream(args) -> int:
         gus = bernoulli_gus("stream", args.rate)
         shedder = LineageHashBernoulli(args.rate, args.seed)
         shards = ShardCoordinator(
-            gus, args.shards, policy=args.policy, seed=args.seed
+            gus,
+            args.shards,
+            policy=args.policy,
+            seed=args.seed,
+            workers=args.workers,
         )
         sliding = SlidingWindow(gus, args.sliding)
     except ReproError as exc:
@@ -279,6 +285,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--level", type=float, default=0.95,
         help="confidence level for printed intervals",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run queries on the partition-parallel chunked pipeline "
+        "with N workers (default: REPRO_WORKERS, else the serial "
+        "engine; answers are worker-count invariant, bit for bit)",
     )
     _add_stream_subcommand(parser)
     args = parser.parse_args(argv)

@@ -26,10 +26,13 @@ import numpy as np
 from repro.core.estimator import (
     Estimate,
     GroupedEstimates,
+    estimate_from_moments,
     estimate_sum,
     estimate_sums_grouped_multi,
     group_firsts,
     group_ids,
+    grouped_theorem1_variance,
+    unbiased_y_terms_grouped,
 )
 from repro.core.gus import GUSParams
 from repro.core.rewrite import RewriteResult, rewrite_to_top_gus
@@ -55,13 +58,16 @@ class QueryResult:
     caller can derive any interval afterwards; ``gus`` is the top
     quasi-operator of the SOA-equivalent plan; ``sample`` is the
     pre-aggregation result sample (with lineage) the estimates came
-    from.
+    from — pruned to the aggregate-relevant columns on the chunked
+    path, and ``None`` when the caller asked the partition-merge
+    estimator not to keep it (``keep_sample=False``: the estimate then
+    never materializes the sample at all, only merged moment state).
     """
 
     values: dict[str, float]
     estimates: dict[str, Estimate]
     gus: GUSParams
-    sample: Table
+    sample: Table | None
     rewrite: RewriteResult = field(repr=False)
     plan: Aggregate | None = field(default=None, repr=False)
 
@@ -101,7 +107,7 @@ class GroupedQueryResult:
     values: dict[str, np.ndarray]
     estimates: dict[str, GroupedEstimates]
     gus: GUSParams
-    sample: Table
+    sample: Table | None
     rewrite: RewriteResult = field(repr=False)
     plan: GroupAggregate | None = field(default=None, repr=False)
 
@@ -165,6 +171,74 @@ class GroupedQueryResult:
         return "\n".join(lines)
 
 
+def _vector_plan(
+    specs: "tuple[AggSpec, ...] | list[AggSpec]",
+) -> tuple[list[tuple], list[str], list[tuple[AggSpec, tuple[int, ...]]]]:
+    """Weight-vector recipes every aggregate of a query needs.
+
+    All aggregates share one compaction, so their per-row weight
+    vectors are planned together: the all-ones COUNT vector is shared
+    by ``COUNT(*)`` specs and every AVG denominator; each AVG adds its
+    numerator and the ``f+1`` polarization vector for the covariance.
+    Returns ``(recipes, labels, spec_inputs)`` where a recipe is
+    ``("ones",)``, ``("expr", expr)`` or ``("plus1", base_index)`` and
+    ``spec_inputs`` maps each spec to its vector indices.
+    """
+    recipes: list[tuple] = []
+    labels: list[str] = []
+    ones_index: int | None = None
+
+    def add(recipe: tuple, label: str) -> int:
+        recipes.append(recipe)
+        labels.append(label)
+        return len(recipes) - 1
+
+    spec_inputs: list[tuple[AggSpec, tuple[int, ...]]] = []
+    for spec in specs:
+        if spec.kind == "avg":
+            assert spec.expr is not None
+            f_index = add(("expr", spec.expr), "SUM")
+            if ones_index is None:
+                ones_index = add(("ones",), "COUNT")
+            spec_inputs.append(
+                (spec, (f_index, ones_index, add(("plus1", f_index), "SUM")))
+            )
+        elif spec.kind == "count":
+            if ones_index is None:
+                ones_index = add(("ones",), "COUNT")
+            spec_inputs.append((spec, (ones_index,)))
+        else:
+            assert spec.expr is not None
+            spec_inputs.append(
+                (spec, (add(("expr", spec.expr), spec.kind.upper()),))
+            )
+    return recipes, labels, spec_inputs
+
+
+def _eval_vectors(recipes: list[tuple], table: Table) -> list[np.ndarray]:
+    """Evaluate the planned weight vectors over one batch of rows."""
+    out: list[np.ndarray] = []
+    for recipe in recipes:
+        if recipe[0] == "ones":
+            out.append(np.ones(table.n_rows, dtype=np.float64))
+        elif recipe[0] == "expr":
+            out.append(np.asarray(recipe[1].eval(table), dtype=np.float64))
+        else:  # ("plus1", base_index) — the AVG polarization vector
+            out.append(out[recipe[1]] + 1.0)
+    return out
+
+
+def _needed_columns(plan: "Aggregate | GroupAggregate") -> frozenset[str]:
+    """Data columns the estimator reads from the sample."""
+    cols: frozenset[str] = frozenset()
+    for spec in plan.specs:
+        if spec.expr is not None:
+            cols |= spec.expr.columns_used()
+    if isinstance(plan, GroupAggregate):
+        cols |= frozenset(plan.keys)
+    return cols
+
+
 class SBox:
     """The statistical estimator module (paper Figure in Section 6).
 
@@ -193,12 +267,29 @@ class SBox:
         *,
         subsample: SubsampleSpec | None = None,
         rng: np.random.Generator | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        rng_mode: str = "compat",
+        keep_sample: bool = True,
     ) -> "QueryResult | GroupedQueryResult":
         """Execute the sampled plan and estimate every aggregate.
 
         A :class:`~repro.relational.plan.GroupAggregate` plan routes to
         the vectorized grouped estimator and returns a
         :class:`GroupedQueryResult`.
+
+        With ``workers`` set (any value >= 1) the query runs on the
+        partition-parallel chunked pipeline: the plan streams chunk by
+        chunk, every partition's rows fold straight into mergeable
+        moment state, and the estimate comes from the merged state —
+        the full result sample is only materialized (column-pruned) to
+        populate ``result.sample``, and not at all under
+        ``keep_sample=False``.  Results are bit-for-bit identical for
+        any worker count, and for any row partitioning whenever each
+        active lineage key's rows stay within one chunk (tuple-level
+        sampling always; block sampling via boundary alignment); keys
+        replicated across chunks by join fanout merge partial sums, so
+        only there can a different chunking move the last float ulp.
         """
         from repro.relational.executor import Executor
 
@@ -207,6 +298,17 @@ class SBox:
                 "SBox.run expects an Aggregate or GroupAggregate plan"
             )
         rewrite = self.analyze(plan.child)
+        if workers is not None and workers >= 1:
+            return self._run_chunked(
+                plan,
+                rewrite,
+                rng=rng,
+                workers=int(workers),
+                chunk_size=chunk_size,
+                rng_mode=rng_mode,
+                keep_sample=keep_sample,
+                subsample=subsample,
+            )
         executor = Executor(self.catalog, rng if rng is not None else self.rng)
         sample = executor.execute(plan.child)
         if isinstance(plan, GroupAggregate):
@@ -215,6 +317,209 @@ class SBox:
             )
         return self.estimate_from_sample(
             plan, sample, rewrite, subsample=subsample
+        )
+
+    def _run_chunked(
+        self,
+        plan: Aggregate | GroupAggregate,
+        rewrite: RewriteResult,
+        *,
+        rng: np.random.Generator | None,
+        workers: int,
+        chunk_size: int | None,
+        rng_mode: str,
+        keep_sample: bool,
+        subsample: SubsampleSpec | None,
+    ) -> "QueryResult | GroupedQueryResult":
+        """Partition-parallel estimation: fold chunks, merge sketches."""
+        from repro.relational.partition import DEFAULT_CHUNK_ROWS
+        from repro.relational.pipeline import ChunkedExecutor, concat_tables
+        from repro.stream.sketch import GroupedMomentBundle, MomentSketchBundle
+
+        grouped = isinstance(plan, GroupAggregate)
+        if subsample is not None and grouped:
+            raise EstimationError(
+                "sub-sampled variance estimation is not supported for "
+                "GROUP BY queries; the grouped moment pass is already "
+                "one compaction over the sample"
+            )
+        executor = ChunkedExecutor(
+            self.catalog,
+            rng if rng is not None else self.rng,
+            workers=workers,
+            chunk_size=(
+                chunk_size if chunk_size is not None else DEFAULT_CHUNK_ROWS
+            ),
+            rng_mode=rng_mode,
+        )
+        needed = _needed_columns(plan)
+        if subsample is not None:
+            # Section 7 sub-sampling needs the raw sample rows; stream
+            # the (pruned) chunks and estimate off the concatenation.
+            sample = concat_tables(
+                list(executor.iter_chunks(plan.child, columns=needed))
+            )
+            assert isinstance(plan, Aggregate)
+            return self.estimate_from_sample(
+                plan, sample, rewrite, subsample=subsample
+            )
+        params = rewrite.params
+        if params.a <= 0.0:
+            raise EstimationError(
+                "cannot estimate from a = 0 (null sampling)"
+            )
+        pruned = params.project_out_inactive()
+        recipes, labels, spec_inputs = _vector_plan(plan.specs)
+        n_vectors = len(recipes)
+        keys = plan.keys if grouped else ()
+
+        def per_chunk(chunk: Table):
+            fs = _eval_vectors(recipes, chunk)
+            if grouped:
+                contrib: object = GroupedMomentBundle(
+                    pruned.lattice, len(keys), n_vectors
+                )
+                contrib.update(
+                    fs, chunk.lineage, [chunk.column(k) for k in keys]
+                )
+            else:
+                contrib = MomentSketchBundle(pruned.lattice, n_vectors)
+                contrib.update(fs, chunk.lineage)
+            return contrib, (chunk if keep_sample else None)
+
+        merged = None
+        kept: list[Table] = []
+        for contrib, chunk in executor.map_chunks(
+            plan.child, per_chunk, columns=needed
+        ):
+            merged = contrib if merged is None else merged.merge(contrib)
+            if chunk is not None:
+                kept.append(chunk)
+        assert merged is not None  # the pipeline always emits >= 1 chunk
+        sample = concat_tables(kept) if keep_sample else None
+        if grouped:
+            return self._finish_grouped(
+                plan, rewrite, merged, labels, spec_inputs, sample
+            )
+        return self._finish_ungrouped(
+            plan, rewrite, merged, labels, spec_inputs, sample
+        )
+
+    def _finish_ungrouped(
+        self,
+        plan: Aggregate,
+        rewrite: RewriteResult,
+        bundle,
+        labels: list[str],
+        spec_inputs: list[tuple[AggSpec, tuple[int, ...]]],
+        sample: Table | None,
+    ) -> "QueryResult":
+        """Estimates from merged ungrouped moment state."""
+        params = rewrite.params
+        pruned = params.project_out_inactive()
+        moments = bundle.moments()
+        totals = bundle.totals()
+        raw = [
+            estimate_from_moments(
+                pruned, moments[j], totals[j], bundle.n_rows, label=labels[j]
+            )
+            for j in range(len(labels))
+        ]
+        estimates: dict[str, Estimate] = {}
+        values: dict[str, float] = {}
+        for spec, indices in spec_inputs:
+            if spec.kind == "avg":
+                num, den, both = (raw[j] for j in indices)
+                # Polarization: Cov = (Var(f+1) − Var(f) − Var(1)) / 2.
+                cov = 0.5 * (
+                    both.variance_raw
+                    - num.variance_raw
+                    - den.variance_raw
+                )
+                est = ratio_estimate(num, den, cov)
+            else:
+                est = raw[indices[0]]
+            estimates[spec.alias] = est
+            values[spec.alias] = (
+                est.quantile(spec.quantile)
+                if spec.quantile is not None
+                else est.value
+            )
+        return QueryResult(
+            values=values,
+            estimates=estimates,
+            gus=params,
+            sample=sample,
+            rewrite=rewrite,
+            plan=plan,
+        )
+
+    def _finish_grouped(
+        self,
+        plan: GroupAggregate,
+        rewrite: RewriteResult,
+        bundle,
+        labels: list[str],
+        spec_inputs: list[tuple[AggSpec, tuple[int, ...]]],
+        sample: Table | None,
+    ) -> "GroupedQueryResult":
+        """Per-group estimates from merged grouped moment state."""
+        params = rewrite.params
+        pruned = params.project_out_inactive()
+        group_key_cols, ys, totals, counts = bundle.moments()
+        bundles: list[GroupedEstimates] = []
+        for j, label in enumerate(labels):
+            yhat = unbiased_y_terms_grouped(pruned, ys[j])
+            var_raw = grouped_theorem1_variance(pruned, yhat)
+            bundles.append(
+                GroupedEstimates(
+                    values=totals[j] / params.a,
+                    variance_raw=var_raw,
+                    n_samples=counts,
+                    label=label,
+                    extras={
+                        "a": params.a,
+                        "active_dims": pruned.lattice.dims,
+                    },
+                )
+            )
+        keys = {
+            k: col for k, col in zip(plan.keys, group_key_cols)
+        }
+        estimates: dict[str, GroupedEstimates] = {}
+        values: dict[str, np.ndarray] = {}
+        for spec, indices in spec_inputs:
+            if spec.kind == "avg":
+                num, den, both = (bundles[j] for j in indices)
+                cov = 0.5 * (
+                    both.variance_raw
+                    - num.variance_raw
+                    - den.variance_raw
+                )
+                est = ratio_estimates_grouped(num, den, cov)
+            else:
+                est = bundles[indices[0]]
+            estimates[spec.alias] = est
+            values[spec.alias] = (
+                est.quantile(spec.quantile)
+                if spec.quantile is not None
+                else est.values
+            )
+        if plan.having is not None:
+            probe = Table(None, {**keys, **values})
+            mask = np.asarray(plan.having.eval(probe), dtype=bool)
+            picked = np.flatnonzero(mask)
+            keys = {k: col[picked] for k, col in keys.items()}
+            values = {a: v[picked] for a, v in values.items()}
+            estimates = {a: e.take(picked) for a, e in estimates.items()}
+        return GroupedQueryResult(
+            keys=keys,
+            values=values,
+            estimates=estimates,
+            gus=params,
+            sample=sample,
+            rewrite=rewrite,
+            plan=plan,
         )
 
     def estimate_from_sample(
@@ -281,50 +586,11 @@ class SBox:
         first = group_firsts(gids, n_groups, sample.n_rows)
         keys = {k: col[first] for k, col in zip(plan.keys, key_cols)}
         # Every aggregate of the query shares one compaction and one
-        # subgroup structure per lattice mask — collect all needed
-        # weight vectors first and estimate them in a single batched
-        # pass.  The all-ones COUNT vector is shared by COUNT(*) specs
-        # and every AVG denominator; each AVG adds its numerator and
-        # the f+1 polarization vector for the covariance.
-        vectors: list[np.ndarray] = []
-        vector_labels: list[str] = []
-        ones_index: int | None = None
-
-        def add_vector(vec: np.ndarray, label: str) -> int:
-            vectors.append(vec)
-            vector_labels.append(label)
-            return len(vectors) - 1
-
-        spec_inputs: list[tuple[AggSpec, tuple[int, ...]]] = []
-        for spec in plan.specs:
-            if spec.kind == "avg":
-                assert spec.expr is not None
-                f = np.asarray(spec.expr.eval(sample), dtype=np.float64)
-                if ones_index is None:
-                    ones_index = add_vector(
-                        np.ones(sample.n_rows, dtype=np.float64), "COUNT"
-                    )
-                spec_inputs.append(
-                    (
-                        spec,
-                        (
-                            add_vector(f, "SUM"),
-                            ones_index,
-                            add_vector(f + 1.0, "SUM"),
-                        ),
-                    )
-                )
-            elif spec.kind == "count":
-                if ones_index is None:
-                    ones_index = add_vector(
-                        aggregate_input_vector(sample, spec), "COUNT"
-                    )
-                spec_inputs.append((spec, (ones_index,)))
-            else:
-                f = aggregate_input_vector(sample, spec)
-                spec_inputs.append(
-                    (spec, (add_vector(f, spec.kind.upper()),))
-                )
+        # subgroup structure per lattice mask — the weight-vector plan
+        # (shared with the partition-merge path) collects everything
+        # needed and the batched pass estimates it all at once.
+        recipes, vector_labels, spec_inputs = _vector_plan(plan.specs)
+        vectors = _eval_vectors(recipes, sample)
         bundles = estimate_sums_grouped_multi(
             params,
             vectors,

@@ -192,12 +192,21 @@ class SamplingPlanOptimizer:
         max_escalations: int = 4,
         escalation_factor: float = 2.0,
         order_limit: int = 12,
+        workers: int | None = None,
     ) -> None:
         self.db = db
         self.cost_model = (
             cost_model
             if cost_model is not None
             else CostModel.calibrate(db.tables)
+        )
+        # Candidates are costed for the engine that will actually run
+        # them: the database's resolved worker count (partition-aware
+        # Amdahl model) unless overridden here.
+        self.workers = (
+            int(workers)
+            if workers is not None
+            else (db._resolve_workers(None) or 1)
         )
         self.pilot_rate = float(pilot_rate)
         self.seed = int(seed)
@@ -266,7 +275,9 @@ class SamplingPlanOptimizer:
             best: ScoredCandidate | None = None
             for order in orders:
                 candidate = PlanCandidate(label, order, methods, skeleton)
-                cost = self.cost_model.estimate(candidate.plan())
+                cost = self.cost_model.estimate(
+                    candidate.plan(), workers=self.workers
+                )
                 sc = ScoredCandidate(
                     candidate=candidate,
                     params=params,

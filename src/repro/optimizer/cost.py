@@ -35,24 +35,47 @@ PROBE_ROWS = 65_536
 #: Selectivity charged per residual (non-join) predicate.
 DEFAULT_SELECTIVITY = 1.0 / 3.0
 
+#: Share of a plan's work the chunked pipeline runs inside parallel
+#: chunk tasks (scan, filter, project, probe, gather); the remainder —
+#: driver-side fold of per-chunk moment state and task dispatch — is
+#: serial, which is what keeps the speedup Amdahl-bounded.
+PARALLEL_FRACTION = 0.92
+
+#: The pipeline hash-partitions a join's build side into at most this
+#: many buckets (mirrors the executor's cap).
+MAX_BUILD_PARTITIONS = 16
+
 
 @dataclass(frozen=True)
 class CostEstimate:
-    """Predicted work for one candidate plan."""
+    """Predicted work for one candidate plan.
+
+    ``workers`` records the partition parallelism the prediction
+    assumed.  ``build_rows_max`` is the largest join build input the
+    plan materializes, and ``build_rows_per_partition`` the same after
+    hash-partitioning across the pipeline's build buckets — the number
+    that bounds a worker's resident build state.
+    """
 
     rows_scanned: float
     rows_joined: float
     seconds: float
+    workers: int = 1
+    build_rows_max: float = 0.0
+    build_rows_per_partition: float = 0.0
 
     @property
     def rows_total(self) -> float:
         return self.rows_scanned + self.rows_joined
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.rows_total:,.0f} rows "
-            f"(~{self.seconds * 1e3:.2f} ms predicted)"
+            f"(~{self.seconds * 1e3:.2f} ms predicted"
         )
+        if self.workers > 1:
+            text += f" @ {self.workers} workers"
+        return text + ")"
 
 
 class CostModel:
@@ -124,15 +147,42 @@ class CostModel:
 
     # -- estimation ------------------------------------------------------
 
-    def estimate(self, plan: p.PlanNode) -> CostEstimate:
-        """Walk the plan bottom-up, accumulating predicted work."""
-        state = {"scanned": 0.0, "joined": 0.0}
+    def estimate(
+        self, plan: p.PlanNode, *, workers: int = 1
+    ) -> CostEstimate:
+        """Walk the plan bottom-up, accumulating predicted work.
+
+        ``workers`` models partition-parallel execution on the chunked
+        pipeline: per-chunk work (scans, filters, probes, output
+        gathers) divides across the *effective* workers — capped by the
+        CPUs this process may use, so the model never promises speedup
+        the machine cannot deliver — while the driver-side merge share
+        stays serial (Amdahl).  ``workers=1`` reproduces the serial
+        model exactly.
+        """
+        state = {"scanned": 0.0, "joined": 0.0, "build_max": 0.0}
         self._rows(plan, state)
         seconds = (
             state["scanned"] * self.scan_seconds_per_row
             + state["joined"] * self.join_seconds_per_row
         )
-        return CostEstimate(state["scanned"], state["joined"], seconds)
+        workers = max(1, int(workers))
+        build_partitions = min(workers, MAX_BUILD_PARTITIONS)
+        if workers > 1:
+            from repro.parallel import available_cpus
+
+            effective = max(1, min(workers, available_cpus()))
+            seconds = seconds * (
+                (1.0 - PARALLEL_FRACTION) + PARALLEL_FRACTION / effective
+            )
+        return CostEstimate(
+            state["scanned"],
+            state["joined"],
+            seconds,
+            workers=workers,
+            build_rows_max=state["build_max"],
+            build_rows_per_partition=state["build_max"] / build_partitions,
+        )
 
     def _rows(self, node: p.PlanNode, state: dict[str, float]) -> float:
         if isinstance(node, p.Scan):
@@ -168,12 +218,17 @@ class CostModel:
             right = self._rows(node.right, state)
             out = self._join_rows(left, right, node.left_keys, node.right_keys)
             state["joined"] += left + right + out
+            # The pipeline materializes the left side as its hash-
+            # partitioned build; the probe side streams.
+            state["build_max"] = max(state["build_max"], left)
             return out
         if isinstance(node, p.CrossProduct):
             left = self._rows(node.left, state)
             right = self._rows(node.right, state)
             out = left * right
             state["joined"] += left + right + out
+            # Cross products stream the left side and hold the right.
+            state["build_max"] = max(state["build_max"], right)
             return out
         if isinstance(node, (p.Union, p.Intersect)):
             left = self._rows(node.left, state)

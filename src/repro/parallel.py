@@ -1,0 +1,194 @@
+"""The shared partition scheduler.
+
+One small abstraction serves every layer that fans work out over
+partitions: the chunked relational pipeline maps operator stacks over
+table chunks, the streaming :class:`~repro.stream.ShardCoordinator`
+updates shard sketches concurrently, and benchmarks drive both.  The
+scheduler's contract is deliberately strict so the engine's
+bit-for-bit reproducibility claim survives parallelism:
+
+* **Order preservation** — results come back in task-submission order
+  no matter which worker finished first, so downstream merges always
+  fold partitions in the same deterministic order.
+* **Pure tasks** — the mapped function must not mutate shared state;
+  every task returns its contribution and the (single-threaded) caller
+  merges.
+
+Worker processes are only worth their pickling freight for very large
+partitions, so the default backend is threads — NumPy releases the GIL
+inside sorts, gathers, and ufunc loops, which is where this engine
+spends its time.  ``mode="process"`` switches to a fork-based
+``ProcessPoolExecutor`` where the platform supports it (POSIX) and
+falls back to threads elsewhere.
+
+``REPRO_WORKERS`` selects an engine-wide default worker count (the CI
+matrix runs the whole tier-1 suite under ``REPRO_WORKERS=4``);
+``REPRO_SCHEDULER`` selects the backend (``thread`` or ``process``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ChunkScheduler",
+    "available_cpus",
+    "env_workers",
+    "resolve_workers",
+]
+
+_MODES = ("thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def env_workers() -> int | None:
+    """The ``REPRO_WORKERS`` engine-wide default, if set and valid."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
+
+
+def resolve_workers(workers: int | None) -> int | None:
+    """Resolve an explicit worker count against the environment default.
+
+    ``None`` defers to ``REPRO_WORKERS`` (itself possibly unset); any
+    integer >= 1 is taken literally; 0 and negatives mean "no chunked
+    engine" and resolve to ``None``.
+    """
+    if workers is None:
+        return env_workers()
+    return int(workers) if workers >= 1 else None
+
+
+def _env_mode() -> str:
+    mode = os.environ.get("REPRO_SCHEDULER", "thread").strip().lower()
+    return mode if mode in _MODES else "thread"
+
+
+#: The function a forked worker pool runs.  It is installed in the
+#: parent immediately before the pool forks, so children inherit it
+#: through copy-on-write memory — closures over tables and draws never
+#: need to be pickled (only tasks and results cross the pipe).  The
+#: lock serializes process-mode maps: the global slot holds one
+#: function at a time, so concurrent forked maps queue up rather than
+#: clobber each other's closure.
+_FORKED_FN: Callable[[Any], Any] | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def _invoke_forked(task: Any) -> Any:  # pragma: no cover - child process
+    assert _FORKED_FN is not None
+    return _FORKED_FN(task)
+
+
+class ChunkScheduler:
+    """Order-preserving map over partition tasks.
+
+    ``workers <= 1`` (or a single task) runs inline with zero pool
+    overhead — the serial path and the parallel path execute the exact
+    same per-task closures, which is what makes "same results for any
+    worker count" testable rather than aspirational.
+    """
+
+    __slots__ = ("workers", "mode")
+
+    def __init__(self, workers: int = 1, mode: str | None = None) -> None:
+        if workers < 1:
+            raise ReproError(f"need at least one worker, got {workers}")
+        mode = mode if mode is not None else _env_mode()
+        if mode not in _MODES:
+            raise ReproError(
+                f"unknown scheduler mode {mode!r}; choose from {_MODES}"
+            )
+        if mode == "process" and "fork" not in (
+            multiprocessing.get_all_start_methods()
+        ):  # pragma: no cover - non-POSIX fallback
+            mode = "thread"
+        self.workers = int(workers)
+        self.mode = mode
+
+    # -- execution ------------------------------------------------------
+
+    def map(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> list[Any]:
+        """Run ``fn`` over ``tasks``; results in submission order."""
+        return list(self.imap(fn, tasks))
+
+    def imap(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        *,
+        window: int | None = None,
+    ) -> Iterator[Any]:
+        """Lazily yield ``fn(task)`` in submission order.
+
+        At most ``window`` tasks are in flight (default ``4 × workers``)
+        so a consumer that folds each result immediately keeps peak
+        memory proportional to the window, not the task list.
+        """
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                yield fn(task)
+            return
+        if self.mode == "process":
+            yield from self._imap_forked(fn, tasks)
+            return
+        if window is None:
+            window = 4 * self.workers
+        window = max(window, 1)
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(tasks))
+        ) as pool:
+            pending = []
+            submitted = 0
+            while submitted < len(tasks) or pending:
+                while submitted < len(tasks) and len(pending) < window:
+                    pending.append(pool.submit(fn, tasks[submitted]))
+                    submitted += 1
+                future = pending.pop(0)
+                yield future.result()
+
+    def _imap_forked(
+        self, fn: Callable[[Any], Any], tasks: list[Any]
+    ) -> Iterator[Any]:
+        """Fork-based pool: tasks/results pickle, the closure does not.
+
+        The fork lock is held until the iterator is exhausted (or
+        closed), so the pool's forks always see this map's function in
+        the global slot; the pool itself is torn down by the ``with``
+        block even if the consumer abandons the generator.
+        """
+        global _FORKED_FN
+        ctx = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORKED_FN = fn
+            try:
+                with ctx.Pool(min(self.workers, len(tasks))) as pool:
+                    yield from pool.imap(_invoke_forked, tasks)
+            finally:
+                _FORKED_FN = None
+
+    def __repr__(self) -> str:
+        return f"ChunkScheduler(workers={self.workers}, mode={self.mode!r})"

@@ -41,12 +41,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Database:
-    """An in-memory catalog of named tables plus the estimation stack."""
+    """An in-memory catalog of named tables plus the estimation stack.
 
-    def __init__(self, seed: int | None = None) -> None:
+    ``workers`` selects the execution engine for queries: ``None``
+    (default) defers to the ``REPRO_WORKERS`` environment variable and,
+    failing that, the legacy one-table-at-a-time serial executor; any
+    value >= 1 routes queries through the partition-parallel chunked
+    pipeline with that many workers.  Chunked results are bit-for-bit
+    identical for every worker count, and executed tables reproduce the
+    serial engine exactly.  Chunked *estimates* equal the serial
+    estimator's exactly whenever sample rows carry distinct lineage
+    keys (tuple-level sampling — every SQL-reachable plan); when a
+    lineage key is shared by many rows (block sampling, join fanout)
+    the merged moment state sums per key first, so point estimates can
+    differ from the serial path in the last float ulp (variances and
+    moments stay exact).
+    """
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
         self.tables: dict[str, Table] = {}
         self._rng = np.random.default_rng(seed)
         self._cost_model: "CostModel | None" = None
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def _resolve_workers(self, workers: int | None) -> int | None:
+        """Per-call override → database default → ``REPRO_WORKERS``."""
+        from repro.parallel import resolve_workers
+
+        if workers is not None:
+            return resolve_workers(workers)
+        return resolve_workers(self.workers)
 
     # -- catalog -----------------------------------------------------------
 
@@ -96,11 +127,47 @@ class Database:
         """A generator: the database's own stream, or a seeded fork."""
         return self._rng if seed is None else np.random.default_rng(seed)
 
-    def execute(self, plan: PlanNode, seed: int | None = None) -> Table:
-        """Execute a plan, drawing any samples from the RNG."""
+    def execute(
+        self,
+        plan: PlanNode,
+        seed: int | None = None,
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> Table:
+        """Execute a plan, drawing any samples from the RNG.
+
+        With workers resolved (argument, database default, or
+        ``REPRO_WORKERS``) the chunked pipeline runs the plan; its
+        output is bit-for-bit identical to the serial executor's.
+        """
+        resolved = self._resolve_workers(workers)
+        if resolved is not None:
+            return self._chunked_executor(
+                resolved, chunk_size, seed
+            ).execute(plan)
         from repro.relational.executor import Executor
 
         return Executor(self.tables, self.rng(seed)).execute(plan)
+
+    def _chunked_executor(
+        self, workers: int, chunk_size: int | None, seed: int | None
+    ):
+        from repro.relational.partition import DEFAULT_CHUNK_ROWS
+        from repro.relational.pipeline import ChunkedExecutor
+
+        if chunk_size is None:
+            chunk_size = (
+                self.chunk_size
+                if self.chunk_size is not None
+                else DEFAULT_CHUNK_ROWS
+            )
+        return ChunkedExecutor(
+            self.tables,
+            self.rng(seed),
+            workers=workers,
+            chunk_size=chunk_size,
+        )
 
     def execute_exact(self, plan: PlanNode) -> Table:
         """Execute with all sampling removed (ground truth)."""
@@ -123,9 +190,29 @@ class Database:
         *,
         seed: int | None = None,
         subsample: "SubsampleSpec | None" = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        keep_sample: bool = True,
     ) -> "QueryResult | GroupedQueryResult":
-        """Run an (optionally grouped) aggregate plan through the SBox."""
-        return self.sbox().run(plan, subsample=subsample, rng=self.rng(seed))
+        """Run an (optionally grouped) aggregate plan through the SBox.
+
+        When workers resolve (argument, database default, or
+        ``REPRO_WORKERS``) the SBox folds each partition's sample
+        directly into mergeable moment sketches — the full joined
+        sample is never materialized (``keep_sample=False`` skips even
+        the pruned copy kept for ``result.sample``).
+        """
+        resolved = self._resolve_workers(workers)
+        if chunk_size is None:
+            chunk_size = self.chunk_size
+        return self.sbox().run(
+            plan,
+            subsample=subsample,
+            rng=self.rng(seed),
+            workers=resolved,
+            chunk_size=chunk_size,
+            keep_sample=keep_sample,
+        )
 
     def analyze(self, plan: PlanNode) -> "RewriteResult":
         """The SOA-equivalent single-GUS form of (the input of) a plan."""
@@ -195,6 +282,8 @@ class Database:
         *,
         seed: int | None = None,
         subsample: "SubsampleSpec | None" = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
     ) -> (
         "QueryResult | GroupedQueryResult | Table | OptimizedResult"
         " | OptimizerReport"
@@ -239,8 +328,16 @@ class Database:
                 return optimizer.report(plan, budget, seed=seed)
             return optimizer.optimize(plan, budget, seed=seed)
         if isinstance(plan, (Aggregate, GroupAggregate)):
-            return self.estimate(plan, seed=seed, subsample=subsample)
-        return self.execute(plan, seed=seed)
+            return self.estimate(
+                plan,
+                seed=seed,
+                subsample=subsample,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+        return self.execute(
+            plan, seed=seed, workers=workers, chunk_size=chunk_size
+        )
 
     def sql_exact(self, text: str) -> Table:
         """Ground truth for a SQL query: strip sampling, run exactly."""

@@ -16,7 +16,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from repro.core.estimator import group_ids
+from repro.core.estimator import group_firsts, group_ids
 from repro.errors import ExecutionError, PlanError, SchemaError
 from repro.relational import plan as p
 from repro.relational.aggregates import (
@@ -39,32 +39,163 @@ def join_indices(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     order = np.argsort(left_keys, kind="stable")
-    sorted_keys = left_keys[order]
-    starts = np.searchsorted(sorted_keys, right_keys, side="left")
-    ends = np.searchsorted(sorted_keys, right_keys, side="right")
+    return probe_sorted(left_keys[order], order, right_keys)
+
+
+def probe_sorted(
+    sorted_keys: np.ndarray,
+    left_positions: np.ndarray,
+    right_keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe an already-sorted build side.
+
+    ``sorted_keys`` are the build keys in ascending order and
+    ``left_positions[i]`` the original row index of ``sorted_keys[i]``.
+    Returns ``(li, ri)`` in the canonical join output order: right keys
+    major, matching left rows ascending within each (the stable sort
+    guarantees run order equals original left row order).  This is the
+    shared probe core of the serial join and the chunked pipeline's
+    partition-local build/probe.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    n_right = right_keys.shape[0]
+    if sorted_keys.shape[0] == 0 or n_right == 0:
+        return empty, empty
+    # Foreign keys arrive in runs of equal values (a fact table clusters
+    # its parent key); binary-search once per run, not once per row.
+    # NaNs compare unequal to themselves so each gets its own run —
+    # correct, merely uncompressed.
+    run_starts = None
+    if n_right >= 64 and right_keys.dtype.kind != "O":
+        new_run = np.empty(n_right, dtype=bool)
+        new_run[0] = True
+        np.not_equal(right_keys[1:], right_keys[:-1], out=new_run[1:])
+        n_runs = int(np.count_nonzero(new_run))
+        if 2 * n_runs <= n_right:
+            run_starts = new_run
+    if run_starts is not None:
+        run_ids = np.cumsum(run_starts) - 1
+        reps = right_keys[run_starts]
+        starts = np.searchsorted(sorted_keys, reps, side="left")[run_ids]
+        ends = np.searchsorted(sorted_keys, reps, side="right")[run_ids]
+    else:
+        starts = np.searchsorted(sorted_keys, right_keys, side="left")
+        ends = np.searchsorted(sorted_keys, right_keys, side="right")
     counts = ends - starts
     total = int(counts.sum())
     if total == 0:
-        empty = np.empty(0, dtype=np.int64)
         return empty, empty
     ri = np.repeat(np.arange(right_keys.shape[0], dtype=np.int64), counts)
     # Positions within each run: global arange minus each run's offset.
     offsets = np.repeat(np.cumsum(counts) - counts, counts)
     within = np.arange(total, dtype=np.int64) - offsets
-    li = order[np.repeat(starts, counts) + within]
+    li = left_positions[np.repeat(starts, counts) + within]
     return li, ri
 
 
-def _composite_key(columns: list[np.ndarray]) -> np.ndarray:
-    """Collapse a multi-column key into a single sortable array.
+def join_codes(
+    left_cols: list[np.ndarray], right_cols: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode both sides' join keys into directly comparable arrays.
 
-    Multi-key joins reduce to single-key by grouping: rows with equal
-    key tuples receive equal dense group ids.
+    Single numeric columns join on their raw values (the int64 fast
+    path feeds numpy's radix sort).  Object/string columns and
+    multi-column keys are *jointly* factorized to dense int64 codes —
+    one grouping pass over the concatenated key columns — so the
+    sort + ``searchsorted`` probe runs on radix-friendly int64 instead
+    of comparing Python objects element by element.
+
+    Joint factorization is also what makes multi-column keys correct:
+    codes assigned per side independently would be incomparable (side
+    A's code 0 and side B's code 0 can encode different key tuples).
+    Float key columns group under numpy's sort total order — all NaNs
+    equal, sorted last — matching exactly what the raw-value
+    sort/searchsorted path does with NaN keys.
     """
-    if len(columns) == 1:
-        return columns[0]
-    gids, _ = group_ids(columns, columns[0].shape[0])
-    return gids
+    if len(left_cols) == 1:
+        lk, rk = left_cols[0], right_cols[0]
+        if lk.dtype.kind in "iufb" and rk.dtype.kind in "iufb":
+            return lk, rk
+    n_left = left_cols[0].shape[0]
+    n_right = right_cols[0].shape[0]
+    n_total = n_left + n_right
+    expanded: list[np.ndarray] = []
+    for lc, rc in zip(left_cols, right_cols):
+        combined = np.concatenate([lc, rc])
+        if combined.dtype.kind == "f":
+            # Split into (value-with-NaN-filled, is-NaN): grouping then
+            # equates NaNs with each other and orders them last, i.e.
+            # numpy's sort order, so output row order matches the
+            # raw-value probe exactly.
+            isnan = np.isnan(combined)
+            expanded.append(np.where(isnan, 0.0, combined))
+            expanded.append(isnan)
+        else:
+            expanded.append(combined)
+    codes, _ = group_ids(expanded, n_total)
+    return codes[:n_left], codes[n_left:]
+
+
+def join_rows(
+    left: Table,
+    right: Table,
+    left_keys: tuple[str, ...] | list[str],
+    right_keys: tuple[str, ...] | list[str],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching row-index pairs of an equi-join between two tables."""
+    lkey, rkey = join_codes(
+        [left.column(k) for k in left_keys],
+        [right.column(k) for k in right_keys],
+    )
+    return join_indices(lkey, rkey)
+
+
+def combine_rows(
+    left: Table, right: Table, li: np.ndarray, ri: np.ndarray
+) -> Table:
+    """Gather matched rows of a join/cross into one output table."""
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise SchemaError(
+            f"join sides share column names {sorted(overlap)}"
+        )
+    columns = {n: arr[li] for n, arr in left.columns.items()}
+    columns.update({n: arr[ri] for n, arr in right.columns.items()})
+    lineage = {r: ids[li] for r, ids in left.lineage.items()}
+    lineage.update({r: ids[ri] for r, ids in right.lineage.items()})
+    return Table(None, columns, lineage)
+
+
+def union_tables(left: Table, right: Table) -> Table:
+    """Lineage-set union (Prop 7: deduplicate by full lineage)."""
+    stacked_cols = {
+        n: np.concatenate([left.column(n), right.column(n)])
+        for n in left.columns
+    }
+    stacked_lin = {
+        r: np.concatenate([left.lineage[r], right.lineage[r]])
+        for r in left.lineage
+    }
+    stacked = Table(None, stacked_cols, stacked_lin)
+    rels = sorted(stacked.lineage)
+    gids, n_groups = group_ids(
+        [stacked.lineage[r] for r in rels], stacked.n_rows
+    )
+    first = group_firsts(gids, n_groups, stacked.n_rows)
+    return stacked.take(np.sort(first))
+
+
+def intersect_tables(left: Table, right: Table) -> Table:
+    """Lineage-set intersection (the paper's compaction view)."""
+    rels = sorted(left.lineage)
+    combined_cols = [
+        np.concatenate([left.lineage[r], right.lineage[r]]) for r in rels
+    ]
+    n_total = left.n_rows + right.n_rows
+    gids, n_groups = group_ids(combined_cols, n_total)
+    in_right = np.zeros(n_groups, dtype=bool)
+    in_right[gids[left.n_rows :]] = True
+    return left.filter(in_right[gids[: left.n_rows]])
 
 
 class Executor:
@@ -136,9 +267,7 @@ class Executor:
     def _join(self, node: p.Join) -> Table:
         left = self.execute(node.left)
         right = self.execute(node.right)
-        lkey = _composite_key([left.column(k) for k in node.left_keys])
-        rkey = _composite_key([right.column(k) for k in node.right_keys])
-        li, ri = join_indices(lkey, rkey)
+        li, ri = join_rows(left, right, node.left_keys, node.right_keys)
         return self._combine(left, right, li, ri)
 
     def _cross(self, node: p.CrossProduct) -> Table:
@@ -154,52 +283,15 @@ class Executor:
     def _combine(
         left: Table, right: Table, li: np.ndarray, ri: np.ndarray
     ) -> Table:
-        overlap = set(left.columns) & set(right.columns)
-        if overlap:
-            raise SchemaError(
-                f"join sides share column names {sorted(overlap)}"
-            )
-        columns = {n: arr[li] for n, arr in left.columns.items()}
-        columns.update({n: arr[ri] for n, arr in right.columns.items()})
-        lineage = {r: ids[li] for r, ids in left.lineage.items()}
-        lineage.update({r: ids[ri] for r, ids in right.lineage.items()})
-        return Table(None, columns, lineage)
+        return combine_rows(left, right, li, ri)
 
     def _union(self, node: p.Union) -> Table:
-        left = self.execute(node.left)
-        right = self.execute(node.right)
-        stacked_cols = {
-            n: np.concatenate([left.column(n), right.column(n)])
-            for n in left.columns
-        }
-        stacked_lin = {
-            r: np.concatenate([left.lineage[r], right.lineage[r]])
-            for r in left.lineage
-        }
-        stacked = Table(None, stacked_cols, stacked_lin)
-        # Deduplicate by full lineage (Prop 7 requires set semantics).
-        rels = sorted(stacked.lineage)
-        gids, n_groups = group_ids(
-            [stacked.lineage[r] for r in rels], stacked.n_rows
-        )
-        first = np.full(n_groups, -1, dtype=np.int64)
-        # np.minimum.at keeps the first (lowest-index) occurrence.
-        first[:] = stacked.n_rows
-        np.minimum.at(first, gids, np.arange(stacked.n_rows))
-        return stacked.take(np.sort(first))
+        return union_tables(self.execute(node.left), self.execute(node.right))
 
     def _intersect(self, node: p.Intersect) -> Table:
-        left = self.execute(node.left)
-        right = self.execute(node.right)
-        rels = sorted(left.lineage)
-        combined_cols = [
-            np.concatenate([left.lineage[r], right.lineage[r]]) for r in rels
-        ]
-        n_total = left.n_rows + right.n_rows
-        gids, n_groups = group_ids(combined_cols, n_total)
-        in_right = np.zeros(n_groups, dtype=bool)
-        in_right[gids[left.n_rows :]] = True
-        return left.filter(in_right[gids[: left.n_rows]])
+        return intersect_tables(
+            self.execute(node.left), self.execute(node.right)
+        )
 
     def _aggregate(self, node: p.Aggregate) -> Table:
         table = self.execute(node.child)

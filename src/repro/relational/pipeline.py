@@ -1,0 +1,756 @@
+"""Partition-parallel, chunked plan execution.
+
+The legacy :class:`~repro.relational.executor.Executor` materializes
+every plan node as one whole table.  :class:`ChunkedExecutor` replaces
+that with a partition pipeline: a plan compiles into *(tasks, fn)*
+sources where each task is one chunk of base rows and ``fn`` runs the
+whole operator stack — scan → sample → filter → project → join probe —
+over that chunk.  Tasks are pure and independent, so a
+:class:`~repro.parallel.ChunkScheduler` runs them across workers while
+the driver consumes results strictly in chunk order.
+
+Reproducibility contract (tested property, not aspiration):
+
+* **Worker invariance** — the same closures run regardless of worker
+  count, and results are folded in task order, so any ``workers`` value
+  produces bit-for-bit identical output.
+* **Partition invariance** — randomness is a function of the *global*
+  row position, never of chunk boundaries: in ``compat`` RNG mode every
+  sampling node's draw is made once over the whole base table (in the
+  same generator order the legacy executor uses, so results equal the
+  serial engine's exactly); in ``spawn`` mode Bernoulli draws come from
+  per-block streams spawned with ``numpy.random.SeedSequence`` spawn
+  keys ``(node, block)``, so a chunk's mask depends only on which rows
+  it covers.  Non-decomposable methods (without-replacement and block
+  picks need the whole table) draw once from their node's own spawned
+  stream.  Either way, any row partitioning yields the same sample.
+
+Joins execute as partition-local build/probe: the build side is
+materialized once, hash-partitioned on the (factorized) join key into
+per-worker buckets, and probe chunks stream through — each output
+chunk is emitted in the canonical (right-major, left-ascending) order
+the serial sort-probe join produces, so concatenating the chunks
+reproduces the serial join bit-for-bit while the join *output* is
+never materialized by streaming consumers.
+
+Column pruning: estimation consumers pass the columns they need and
+every operator forwards only those (plus whatever its own predicates
+and keys read) — scans slice views instead of gathering, and join
+probes gather a handful of arrays instead of both tables' full width.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError, PlanError
+from repro.parallel import ChunkScheduler
+from repro.relational import plan as p
+from repro.relational.aggregates import (
+    evaluate_aggregates,
+    evaluate_group_aggregates,
+)
+from repro.relational.executor import (
+    combine_rows,
+    intersect_tables,
+    join_codes,
+    probe_sorted,
+    union_tables,
+)
+from repro.relational.partition import (
+    DEFAULT_CHUNK_ROWS,
+    chunk_bounds,
+    required_alignment,
+)
+from repro.relational.table import Table
+from repro.sampling.base import Draw
+from repro.sampling.bernoulli import Bernoulli
+
+__all__ = ["ChunkedExecutor", "RNG_BLOCK_ROWS", "concat_tables"]
+
+#: Fixed RNG block granularity of ``spawn`` mode: Bernoulli masks are
+#: drawn per 65536-row block from a stream spawned with spawn key
+#: ``(node, block)``, so the mask of any row range is well defined
+#: independently of chunk boundaries.
+RNG_BLOCK_ROWS = 1 << 16
+
+_RNG_MODES = ("compat", "spawn")
+
+#: splitmix64 constants for bucketing join keys deterministically.
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def concat_tables(chunks: list[Table]) -> Table:
+    """Stack chunk tables (shared schema) back into one table."""
+    if not chunks:
+        raise ExecutionError("cannot concatenate zero chunks")
+    if len(chunks) == 1:
+        return chunks[0]
+    first = chunks[0]
+    columns = {
+        name: np.concatenate([c.columns[name] for c in chunks])
+        for name in first.columns
+    }
+    lineage = {
+        rel: np.concatenate([c.lineage[rel] for c in chunks])
+        for rel in first.lineage
+    }
+    return Table(first.name, columns, lineage)
+
+
+# -- sampling draws ------------------------------------------------------
+
+
+class _WholeDraw:
+    """A sampling draw made once for the entire base table."""
+
+    __slots__ = ("draw",)
+
+    def __init__(self, draw: Draw) -> None:
+        self.draw = draw
+
+    def mask_range(self, start: int, stop: int) -> np.ndarray:
+        return self.draw.mask[start:stop]
+
+    def lineage_range(self, start: int, stop: int) -> np.ndarray:
+        return self.draw.lineage[start:stop]
+
+
+class _BlockBernoulliDraw:
+    """Spawn-mode Bernoulli: per-block streams, no whole-table state.
+
+    The mask of block ``b`` comes from
+    ``SeedSequence(entropy, spawn_key=(node_index, b))`` — a pure
+    function of the global row position, so any chunking of the rows
+    reproduces the same sample and no O(table) mask is ever held.
+    """
+
+    __slots__ = ("p", "entropy", "node_index", "n_rows")
+
+    def __init__(
+        self, p: float, entropy: int, node_index: int, n_rows: int
+    ) -> None:
+        self.p = float(p)
+        self.entropy = entropy
+        self.node_index = node_index
+        self.n_rows = n_rows
+
+    def _block_mask(self, block: int) -> np.ndarray:
+        length = min(RNG_BLOCK_ROWS, self.n_rows - block * RNG_BLOCK_ROWS)
+        seq = np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=(self.node_index, block)
+        )
+        gen = np.random.Generator(np.random.PCG64(seq))
+        return gen.random(length) < self.p
+
+    def mask_range(self, start: int, stop: int) -> np.ndarray:
+        if stop <= start:
+            return np.zeros(0, dtype=bool)
+        first = start // RNG_BLOCK_ROWS
+        last = (stop - 1) // RNG_BLOCK_ROWS
+        parts = [self._block_mask(b) for b in range(first, last + 1)]
+        mask = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        base = first * RNG_BLOCK_ROWS
+        return mask[start - base : stop - base]
+
+    def lineage_range(self, start: int, stop: int) -> np.ndarray:
+        return np.arange(start, stop, dtype=np.int64)
+
+
+# -- hash-partitioned join build ----------------------------------------
+
+
+def _key_bits(keys: np.ndarray) -> np.ndarray:
+    """A uint64 view of join keys for deterministic bucketing.
+
+    Equal keys must land in equal buckets, so float keys are
+    canonicalized first: ``+ 0.0`` folds ``-0.0`` onto ``+0.0``, and
+    every NaN maps to one quiet-NaN bit pattern (the probe's sort
+    total order treats all NaNs as equal, so bucketing must too).
+    """
+    if keys.dtype.kind == "f":
+        arr = keys.astype(np.float64) + 0.0
+        bits = arr.view(np.uint64)
+        return np.where(
+            np.isnan(arr), np.uint64(0x7FF8000000000000), bits
+        )
+    return keys.astype(np.int64).view(np.uint64)
+
+
+def _bucket_of(keys: np.ndarray, n_buckets: int) -> np.ndarray:
+    if n_buckets <= 1:
+        return np.zeros(keys.shape[0], dtype=np.int64)
+    with np.errstate(over="ignore"):
+        x = _key_bits(keys)
+        x = (x ^ (x >> np.uint64(30))) * _MIX_1
+        x = (x ^ (x >> np.uint64(27))) * _MIX_2
+        x = x ^ (x >> np.uint64(31))
+    return (x % np.uint64(n_buckets)).astype(np.int64)
+
+
+class _HashJoinBuild:
+    """Build side of a chunked join, hash-partitioned on the key.
+
+    Each bucket holds its keys sorted (stable, so equal keys stay in
+    original row order) plus the owning global row indices.  Probing a
+    chunk routes each probe row to its bucket, binary-searches the
+    bucket, and restores the canonical (right-major, left-ascending)
+    output order — the same order the serial sort-probe join emits.
+    """
+
+    __slots__ = ("n_buckets", "_sorted_keys", "_positions")
+
+    def __init__(self, keys: np.ndarray, n_buckets: int) -> None:
+        self.n_buckets = max(1, int(n_buckets))
+        buckets = _bucket_of(keys, self.n_buckets)
+        self._sorted_keys: list[np.ndarray] = []
+        self._positions: list[np.ndarray] = []
+        for b in range(self.n_buckets):
+            idx = (
+                np.flatnonzero(buckets == b)
+                if self.n_buckets > 1
+                else np.arange(keys.shape[0], dtype=np.int64)
+            )
+            order = np.argsort(keys[idx], kind="stable")
+            self._sorted_keys.append(keys[idx][order])
+            self._positions.append(idx[order])
+
+    def probe(self, probe_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Match one probe chunk; canonical-order ``(li, ri_local)``."""
+        if self.n_buckets == 1:
+            # Single bucket: probe_sorted already emits canonical order.
+            return probe_sorted(
+                self._sorted_keys[0], self._positions[0], probe_keys
+            )
+        buckets = _bucket_of(probe_keys, self.n_buckets)
+        li_parts: list[np.ndarray] = []
+        ri_parts: list[np.ndarray] = []
+        for b in range(self.n_buckets):
+            sel = np.flatnonzero(buckets == b)
+            if sel.size == 0:
+                continue
+            li_b, ri_within = probe_sorted(
+                self._sorted_keys[b], self._positions[b], probe_keys[sel]
+            )
+            li_parts.append(li_b)
+            ri_parts.append(sel[ri_within])
+        if not li_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        li = np.concatenate(li_parts)
+        ri = np.concatenate(ri_parts)
+        order = np.lexsort((li, ri))
+        return li[order], ri[order]
+
+
+# -- the pipeline --------------------------------------------------------
+
+
+@dataclass
+class _Source:
+    """A compiled chunk stream: task descriptors plus a pure mapper."""
+
+    tasks: list
+    fn: Callable
+
+
+class ChunkedExecutor:
+    """Partition-parallel plan execution over the columnar engine.
+
+    ``rng_mode="compat"`` (default) consumes the supplied generator in
+    the legacy executor's node order, making results bit-for-bit equal
+    to the serial engine; ``"spawn"`` derives all sampling randomness
+    from ``SeedSequence`` spawn keys instead (per-partition streams, no
+    whole-table Bernoulli state).
+    """
+
+    def __init__(
+        self,
+        catalog: Mapping[str, Table],
+        rng: np.random.Generator | None = None,
+        *,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+        rng_mode: str = "compat",
+        seed: int | None = None,
+        scheduler: ChunkScheduler | None = None,
+    ) -> None:
+        if rng_mode not in _RNG_MODES:
+            raise ExecutionError(
+                f"unknown rng_mode {rng_mode!r}; choose from {_RNG_MODES}"
+            )
+        if chunk_size < 1:
+            raise ExecutionError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.catalog = dict(catalog)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.workers = max(1, int(workers))
+        self.chunk_size = int(chunk_size)
+        self.rng_mode = rng_mode
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else ChunkScheduler(self.workers)
+        )
+        self._seed = seed
+        self._entropy_cache: int | None = None
+        self._draws: dict[int, object] = {}
+        self._draw_nodes: list[p.PlanNode] = []
+
+    @property
+    def _entropy(self) -> int:
+        """Spawn-mode root entropy, derived lazily.
+
+        Lazy so that ``compat`` mode never touches the generator outside
+        the legacy draw order (consuming it in ``__init__`` would shift
+        every subsequent draw off the serial engine's stream).
+        """
+        if self._entropy_cache is None:
+            if self._seed is not None:
+                self._entropy_cache = int(self._seed)
+            else:
+                self._entropy_cache = int(
+                    self.rng.integers(0, 2**63, dtype=np.int64)
+                )
+        return self._entropy_cache
+
+    # -- public API -----------------------------------------------------
+
+    def execute(self, plan: p.PlanNode) -> Table:
+        """Materialize the plan (chunk concat; equals the serial engine)."""
+        chunks = list(self.iter_chunks(plan))
+        return concat_tables(chunks)
+
+    def iter_chunks(
+        self, plan: p.PlanNode, columns: frozenset[str] | None = None
+    ) -> Iterator[Table]:
+        """Stream the plan's output as chunk tables, in chunk order."""
+        yield from self.map_chunks(plan, lambda t: t, columns=columns)
+
+    def map_chunks(
+        self,
+        plan: p.PlanNode,
+        per_chunk: Callable[[Table], object],
+        columns: frozenset[str] | None = None,
+    ) -> Iterator[object]:
+        """Apply ``per_chunk`` to every output chunk, inside the workers.
+
+        This is the streaming-consumer entry point: ``per_chunk`` runs
+        in the worker as part of the chunk task (e.g. folding the chunk
+        into a compact moment contribution), and only its —
+        typically tiny — results flow back to the driver, in order.
+        """
+        self._prepare_draws(plan)
+        align = required_alignment(plan)
+        source = self._compile(plan, columns, align)
+        fn = source.fn
+
+        def task_fn(task):
+            return per_chunk(fn(task))
+
+        yield from self.scheduler.imap(task_fn, source.tasks)
+
+    # -- sampling draws --------------------------------------------------
+
+    def _prepare_draws(self, plan: p.PlanNode) -> None:
+        """Fix every sampling node's randomness before execution.
+
+        Draws are keyed by node identity and made in the legacy
+        executor's evaluation order (post-order, left to right), so
+        ``compat`` mode consumes the generator exactly as the serial
+        engine would and produces the same sample.
+        """
+        self._draws.clear()
+        self._draw_nodes.clear()
+        node_index = 0
+        for node in _post_order(plan):
+            if not isinstance(node, p.TableSample):
+                continue
+            base = self._base_table(node.child.table_name)
+            n_rows = base.n_rows
+            if self.rng_mode == "compat":
+                draw: object = _WholeDraw(node.method.draw(n_rows, self.rng))
+            elif isinstance(node.method, Bernoulli):
+                draw = _BlockBernoulliDraw(
+                    node.method.p, self._entropy, node_index, n_rows
+                )
+            else:
+                seq = np.random.SeedSequence(
+                    entropy=self._entropy, spawn_key=(node_index,)
+                )
+                gen = np.random.Generator(np.random.PCG64(seq))
+                draw = _WholeDraw(node.method.draw(n_rows, gen))
+            self._draws[id(node)] = draw
+            self._draw_nodes.append(node)  # keep ids alive
+            node_index += 1
+
+    def _base_table(self, name: str) -> Table:
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise PlanError(
+                f"unknown table {name!r}; catalog has {sorted(self.catalog)}"
+            ) from None
+
+    # -- static schema ---------------------------------------------------
+
+    def _output_columns(self, node: p.PlanNode) -> list[str]:
+        """Data columns this node's output carries (static walk)."""
+        if isinstance(node, p.Scan):
+            return list(self._base_table(node.table_name).schema.names)
+        if isinstance(node, p.Project):
+            if node.outputs is None:
+                return self._output_columns(node.child)
+            return list(node.outputs)
+        if isinstance(node, (p.Join, p.CrossProduct)):
+            return self._output_columns(node.left) + self._output_columns(
+                node.right
+            )
+        if isinstance(node, (p.Union, p.Intersect)):
+            return self._output_columns(node.left)
+        if isinstance(node, p.Aggregate):
+            return [s.alias for s in node.specs]
+        if isinstance(node, p.GroupAggregate):
+            return list(node.keys) + [s.alias for s in node.specs]
+        if isinstance(
+            node, (p.Select, p.TableSample, p.LineageSample, p.GUSNode)
+        ):
+            return self._output_columns(node.child)
+        raise PlanError(f"cannot infer columns of {type(node).__name__}")
+
+    # -- compilation -----------------------------------------------------
+
+    def _compile(
+        self,
+        node: p.PlanNode,
+        needed: frozenset[str] | None,
+        align: int,
+    ) -> _Source:
+        handler = self._COMPILERS.get(type(node))
+        if handler is None:
+            raise ExecutionError(f"cannot execute {type(node).__name__}")
+        return handler(self, node, needed, align)
+
+    def _scan_source(
+        self,
+        table_name: str,
+        needed: frozenset[str] | None,
+        align: int,
+        wrap: Callable[[Table, int, int], Table],
+    ) -> _Source:
+        base = self._base_table(table_name)
+        n_rows = base.n_rows
+        if needed is not None:
+            keep = [c for c in base.schema.names if c in needed]
+            base = base.select_columns(keep)
+        bounds = chunk_bounds(n_rows, self.chunk_size, align)
+        columns = base.columns
+        schema = base.schema
+        name = base.name
+
+        def fn(bound: tuple[int, int]) -> Table:
+            # Slice with an explicit row count: a fully pruned scan
+            # (COUNT(*) reads no data columns) still carries its rows.
+            start, stop = bound
+            chunk = Table._share(
+                name,
+                {n: arr[start:stop] for n, arr in columns.items()},
+                {},
+                schema,
+                stop - start,
+            )
+            return wrap(chunk, start, stop)
+
+        return _Source(tasks=bounds, fn=fn)
+
+    def _compile_scan(
+        self, node: p.Scan, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        name = node.table_name
+
+        def wrap(chunk: Table, start: int, stop: int) -> Table:
+            return chunk.with_lineage(
+                name, np.arange(start, stop, dtype=np.int64)
+            )
+
+        return self._scan_source(name, needed, align, wrap)
+
+    def _compile_table_sample(
+        self, node: p.TableSample, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        name = node.child.table_name
+        draw = self._draws[id(node)]
+
+        def wrap(chunk: Table, start: int, stop: int) -> Table:
+            kept = chunk.with_lineage(
+                name, draw.lineage_range(start, stop)
+            )
+            return kept.filter(draw.mask_range(start, stop))
+
+        return self._scan_source(name, needed, align, wrap)
+
+    def _compile_lineage_sample(
+        self, node: p.LineageSample, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        if isinstance(node.child, p.Join):
+            # Fuse the lineage filter into the join probe: the keep
+            # decision is a pure hash of lineage ids, so it can run on
+            # the matched (li, ri) index pairs before any data column
+            # is gathered — rows the sample drops are never built.
+            return self._compile_join(
+                node.child, needed, align, sampler=node.sampler
+            )
+        child = self._compile(node.child, needed, align)
+        sampler = node.sampler
+        child_fn = child.fn
+
+        def fn(task) -> Table:
+            t = child_fn(task)
+            return t.filter(sampler.keep(t.lineage))
+
+        return _Source(tasks=child.tasks, fn=fn)
+
+    def _compile_select(
+        self, node: p.Select, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        child_needed = (
+            None if needed is None else needed | node.predicate.columns_used()
+        )
+        child = self._compile(node.child, child_needed, align)
+        predicate = node.predicate
+        child_fn = child.fn
+
+        def fn(task) -> Table:
+            t = child_fn(task)
+            return t.filter(predicate.eval(t))
+
+        return _Source(tasks=child.tasks, fn=fn)
+
+    def _compile_project(
+        self, node: p.Project, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        if node.outputs is None:
+            return self._compile(node.child, needed, align)
+        outputs = dict(node.outputs)
+        if needed is not None:
+            outputs = {n: e for n, e in outputs.items() if n in needed}
+        child_needed = (
+            None
+            if needed is None
+            else frozenset().union(
+                *[e.columns_used() for e in outputs.values()]
+            )
+            if outputs
+            else frozenset()
+        )
+        child = self._compile(node.child, child_needed, align)
+        child_fn = child.fn
+
+        def fn(task) -> Table:
+            t = child_fn(task)
+            return Table(
+                t.name,
+                {n: expr.eval(t) for n, expr in outputs.items()},
+                t.lineage,
+            )
+
+        return _Source(tasks=child.tasks, fn=fn)
+
+    def _compile_join(
+        self,
+        node: p.Join,
+        needed: frozenset[str] | None,
+        align: int,
+        sampler=None,
+    ) -> _Source:
+        left_out = set(self._output_columns(node.left))
+        right_out = set(self._output_columns(node.right))
+        left_needed = (
+            None
+            if needed is None
+            else frozenset(needed & left_out) | frozenset(node.left_keys)
+        )
+        right_needed = (
+            None
+            if needed is None
+            else frozenset(needed & right_out) | frozenset(node.right_keys)
+        )
+        left_table = self._materialize(node.left, left_needed, align)
+        right_src = self._compile(node.right, right_needed, align)
+        left_key_cols = [left_table.column(k) for k in node.left_keys]
+        single_numeric = (
+            len(node.left_keys) == 1
+            and left_key_cols[0].dtype.kind in "iufb"
+        )
+        n_buckets = min(self.workers, 16)
+        right_keys = tuple(node.right_keys)
+
+        def filtered(
+            left_t: Table, rt: Table, li: np.ndarray, ri: np.ndarray
+        ) -> tuple[np.ndarray, np.ndarray]:
+            """Apply a fused lineage sample to index pairs pre-gather."""
+            lin = {}
+            for rel in sampler.rates:
+                if rel in left_t.lineage:
+                    lin[rel] = left_t.lineage[rel][li]
+                else:
+                    lin[rel] = rt.lineage[rel][ri]
+            keep = sampler.keep(lin)
+            return li[keep], ri[keep]
+
+        if single_numeric:
+            # Streaming probe: raw keys compare directly across sides.
+            build = _HashJoinBuild(left_key_cols[0], n_buckets)
+            right_fn = right_src.fn
+            key_name = right_keys[0]
+
+            def fn(task) -> Table:
+                rt = right_fn(task)
+                li, ri = build.probe(rt.column(key_name))
+                if sampler is not None:
+                    li, ri = filtered(left_table, rt, li, ri)
+                return combine_rows(left_table, rt, li, ri)
+
+            return _Source(tasks=right_src.tasks, fn=fn)
+
+        # Object or multi-column keys: buffer the (pruned) probe chunks
+        # and factorize both sides jointly to dense int64 codes, then
+        # probe per chunk on the codes.  Inputs are bounded by the base
+        # tables; the join output still streams.
+        rights = self.scheduler.map(right_src.fn, right_src.tasks)
+        right_cols = [
+            np.concatenate([rt.column(k) for rt in rights])
+            for k in right_keys
+        ]
+        lcodes, rcodes = join_codes(left_key_cols, right_cols)
+        build = _HashJoinBuild(lcodes, n_buckets)
+        offsets = np.cumsum([0] + [rt.n_rows for rt in rights])
+
+        def fn(index: int) -> Table:
+            rt = rights[index]
+            codes = rcodes[offsets[index] : offsets[index + 1]]
+            li, ri = build.probe(codes)
+            if sampler is not None:
+                li, ri = filtered(left_table, rt, li, ri)
+            return combine_rows(left_table, rt, li, ri)
+
+        return _Source(tasks=list(range(len(rights))), fn=fn)
+
+    def _compile_cross(
+        self, node: p.CrossProduct, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        left_out = set(self._output_columns(node.left))
+        right_out = set(self._output_columns(node.right))
+        left_needed = (
+            None if needed is None else frozenset(needed & left_out)
+        )
+        right_needed = (
+            None if needed is None else frozenset(needed & right_out)
+        )
+        # Stream the *left* side so chunk concatenation reproduces the
+        # serial executor's left-major output order.
+        right_table = self._materialize(node.right, right_needed, align)
+        left_src = self._compile(node.left, left_needed, align)
+        left_fn = left_src.fn
+
+        def fn(task) -> Table:
+            lt = left_fn(task)
+            li = np.repeat(
+                np.arange(lt.n_rows, dtype=np.int64), right_table.n_rows
+            )
+            ri = np.tile(
+                np.arange(right_table.n_rows, dtype=np.int64), lt.n_rows
+            )
+            return combine_rows(lt, right_table, li, ri)
+
+        return _Source(tasks=left_src.tasks, fn=fn)
+
+    def _compile_materialized(
+        self, node: p.PlanNode, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        """Pipeline breakers: evaluate whole, then re-chunk the result."""
+        table = self._evaluate_breaker(node, needed, align)
+        bounds = chunk_bounds(table.n_rows, self.chunk_size, 1)
+
+        def fn(bound: tuple[int, int]) -> Table:
+            return table.slice(*bound)
+
+        return _Source(tasks=bounds, fn=fn)
+
+    def _evaluate_breaker(
+        self, node: p.PlanNode, needed: frozenset[str] | None, align: int
+    ) -> Table:
+        if isinstance(node, p.Union):
+            return union_tables(
+                self._materialize(node.left, needed, align),
+                self._materialize(node.right, needed, align),
+            )
+        if isinstance(node, p.Intersect):
+            return intersect_tables(
+                self._materialize(node.left, needed, align),
+                self._materialize(node.right, needed, align),
+            )
+        if isinstance(node, p.Aggregate):
+            child_needed = _spec_columns(node.specs)
+            return evaluate_aggregates(
+                self._materialize(node.child, child_needed, align), node.specs
+            )
+        if isinstance(node, p.GroupAggregate):
+            child_needed = _spec_columns(node.specs) | frozenset(node.keys)
+            return evaluate_group_aggregates(
+                self._materialize(node.child, child_needed, align),
+                node.keys,
+                node.specs,
+                node.having,
+            )
+        raise ExecutionError(
+            f"cannot materialize {type(node).__name__}"
+        )  # pragma: no cover - guarded by _COMPILERS
+
+    def _compile_gus(
+        self, node: p.GUSNode, needed: frozenset[str] | None, align: int
+    ) -> _Source:
+        raise ExecutionError(
+            "GUS is a quasi-operator used for analysis only; executable "
+            "plans carry TableSample/LineageSample nodes instead"
+        )
+
+    def _materialize(
+        self, node: p.PlanNode, needed: frozenset[str] | None, align: int
+    ) -> Table:
+        source = self._compile(node, needed, align)
+        return concat_tables(self.scheduler.map(source.fn, source.tasks))
+
+    _COMPILERS = {
+        p.Scan: _compile_scan,
+        p.TableSample: _compile_table_sample,
+        p.LineageSample: _compile_lineage_sample,
+        p.Select: _compile_select,
+        p.Project: _compile_project,
+        p.Join: _compile_join,
+        p.CrossProduct: _compile_cross,
+        p.Union: _compile_materialized,
+        p.Intersect: _compile_materialized,
+        p.Aggregate: _compile_materialized,
+        p.GroupAggregate: _compile_materialized,
+        p.GUSNode: _compile_gus,
+    }
+
+
+def _spec_columns(specs) -> frozenset[str]:
+    cols: frozenset[str] = frozenset()
+    for spec in specs:
+        if spec.expr is not None:
+            cols |= spec.expr.columns_used()
+    return cols
+
+
+def _post_order(node: p.PlanNode):
+    """Children before parents, left to right — the legacy executor's
+    generator-consumption order."""
+    for child in node.children:
+        yield from _post_order(child)
+    yield node

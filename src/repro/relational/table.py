@@ -50,7 +50,14 @@ class Table:
         lengths = {arr.shape[0] for arr in converted.values()}
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
-        self.n_rows = lengths.pop() if lengths else 0
+        if lengths:
+            self.n_rows = lengths.pop()
+        elif lineage:
+            # A table may carry lineage only (e.g. a column-pruned
+            # COUNT(*) pipeline); the row count then comes from it.
+            self.n_rows = np.asarray(next(iter(lineage.values()))).shape[0]
+        else:
+            self.n_rows = 0
         self.name = name
         self.columns = converted
         self.schema = Schema(
@@ -69,6 +76,31 @@ class Table:
         self.lineage = lin
 
     # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def _share(
+        cls,
+        name: str | None,
+        columns: dict[str, np.ndarray],
+        lineage: dict[str, np.ndarray],
+        schema: Schema,
+        n_rows: int,
+    ) -> "Table":
+        """Build a table from already-validated arrays, skipping checks.
+
+        The zero-copy constructor behind :meth:`take`, :meth:`filter`,
+        :meth:`slice`, :meth:`with_lineage`, and :meth:`select_columns`:
+        those transformations cannot change dtypes or introduce ragged
+        columns, so re-validating (and rebuilding the schema) per chunk
+        per operator would be pure overhead on the hot path.
+        """
+        table = cls.__new__(cls)
+        table.name = name
+        table.columns = columns
+        table.lineage = lineage
+        table.schema = schema
+        table.n_rows = n_rows
+        return table
 
     @classmethod
     def from_rows(
@@ -123,29 +155,69 @@ class Table:
 
     def take(self, indices: np.ndarray) -> "Table":
         """Gather rows by position (data and lineage together)."""
-        return Table(
+        return Table._share(
             self.name,
             {n: arr[indices] for n, arr in self.columns.items()},
             {r: ids[indices] for r, ids in self.lineage.items()},
+            self.schema,
+            int(np.asarray(indices).shape[0]),
+        )
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Contiguous row range as zero-copy views (the chunk primitive)."""
+        start = max(0, min(int(start), self.n_rows))
+        stop = max(start, min(int(stop), self.n_rows))
+        return Table._share(
+            self.name,
+            {n: arr[start:stop] for n, arr in self.columns.items()},
+            {r: ids[start:stop] for r, ids in self.lineage.items()},
+            self.schema,
+            stop - start,
         )
 
     def filter(self, mask: np.ndarray) -> "Table":
-        """Keep rows where ``mask`` is true."""
+        """Keep rows where ``mask`` is true.
+
+        An all-true mask returns ``self`` unchanged — filters run once
+        per chunk per operator in the pipeline, so the common
+        nothing-dropped case must not pay for a full gather.
+        """
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self.n_rows,):
             raise SchemaError(
                 f"mask shape {mask.shape} does not match {self.n_rows} rows"
             )
+        if mask.all():
+            return self
         return self.take(np.flatnonzero(mask))
 
     def with_lineage(self, relation: str, ids: np.ndarray) -> "Table":
         """Attach (or replace) the lineage column of one base relation."""
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        if ids_arr.shape != (self.n_rows,):
+            raise SchemaError(
+                f"lineage column {relation!r} has shape {ids_arr.shape}, "
+                f"expected ({self.n_rows},)"
+            )
         new_lineage = dict(self.lineage)
-        new_lineage[relation] = np.asarray(ids, dtype=np.int64)
-        return Table(self.name, self.columns, new_lineage)
+        new_lineage[relation] = ids_arr
+        return Table._share(
+            self.name,
+            dict(self.columns),
+            new_lineage,
+            self.schema,
+            self.n_rows,
+        )
 
     def select_columns(self, names: Sequence[str]) -> "Table":
-        """Project to the named data columns (lineage always survives)."""
+        """Project to the named data columns (lineage always survives).
+
+        Selecting the identity column set (same names, same order)
+        returns ``self`` unchanged.
+        """
+        names = list(names)
+        if names == list(self.columns):
+            return self
         return Table(
             self.name,
             {n: self.column(n) for n in names},
@@ -153,7 +225,15 @@ class Table:
         )
 
     def rename(self, name: str | None) -> "Table":
-        return Table(name, self.columns, self.lineage)
+        if name == self.name:
+            return self
+        return Table._share(
+            name,
+            dict(self.columns),
+            dict(self.lineage),
+            self.schema,
+            self.n_rows,
+        )
 
     def head(self, k: int = 10) -> "Table":
         return self.take(np.arange(min(k, self.n_rows)))

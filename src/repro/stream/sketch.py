@@ -41,12 +41,18 @@ from repro.core.estimator import (
     group_reduce,
     group_reduce_multi,
     grouped_y_terms_from_groups,
+    grouped_y_terms_multi,
     y_terms_from_groups,
 )
 from repro.core.lattice import SubsetLattice
 from repro.errors import EstimationError
 
-__all__ = ["MomentSketch", "GroupedMomentSketch"]
+__all__ = [
+    "GroupedMomentBundle",
+    "GroupedMomentSketch",
+    "MomentSketch",
+    "MomentSketchBundle",
+]
 
 
 class MomentSketch:
@@ -387,3 +393,323 @@ class GroupedMomentSketch:
         totals = np.bincount(owner, weights=self._sums, minlength=n_groups)
         counts = np.bincount(owner, weights=self._counts, minlength=n_groups)
         return group_keys, y, totals, counts
+
+
+class MomentSketchBundle:
+    """Several :class:`MomentSketch` vectors sharing one key table.
+
+    The expensive part of absorbing a batch is the sort over the
+    lineage keys; the per-vector sums are one extra ``bincount`` each.
+    A multi-aggregate query (every SUM/COUNT plus the two extra AVG
+    vectors) therefore folds all its weight vectors through a single
+    bundle — this is what the partition-parallel SBox path merges, one
+    bundle per chunk, one merge tree per query instead of per
+    aggregate.  Every operation is exact, and the state is the same
+    commutative monoid as the single-vector sketch's.
+    """
+
+    __slots__ = ("lattice", "n_vectors", "_keys", "_sums", "_n_rows")
+
+    def __init__(self, lattice: SubsetLattice, n_vectors: int) -> None:
+        if n_vectors < 1:
+            raise EstimationError(
+                f"need at least one weight vector, got {n_vectors}"
+            )
+        self.lattice = lattice
+        self.n_vectors = int(n_vectors)
+        self._keys: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(lattice.n)
+        ]
+        self._sums: list[np.ndarray] = [
+            np.empty(0, dtype=np.float64) for _ in range(n_vectors)
+        ]
+        self._n_rows = 0
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_groups(self) -> int:
+        return int(self._sums[0].shape[0])
+
+    def totals(self) -> list[float]:
+        """The running ``Σ f_j`` of every vector."""
+        return [
+            float(np.sum(s)) if s.size else 0.0 for s in self._sums
+        ]
+
+    def _absorb(
+        self,
+        keys: Sequence[np.ndarray],
+        sums: Sequence[np.ndarray],
+        n_rows: int,
+    ) -> None:
+        if n_rows == 0 and sums[0].size == 0:
+            return
+        if self._sums[0].size == 0:
+            self._keys = [np.asarray(k, dtype=np.int64) for k in keys]
+            self._sums = [np.asarray(s, dtype=np.float64) for s in sums]
+        else:
+            merged_keys = [
+                np.concatenate([mine, np.asarray(theirs, dtype=np.int64)])
+                for mine, theirs in zip(self._keys, keys)
+            ]
+            merged_sums = [
+                np.concatenate([mine, theirs])
+                for mine, theirs in zip(self._sums, sums)
+            ]
+            self._keys, self._sums = group_reduce_multi(
+                merged_keys, merged_sums
+            )
+        self._n_rows += int(n_rows)
+
+    def update(
+        self,
+        fs: Sequence[np.ndarray],
+        lineage: Mapping[str, np.ndarray],
+    ) -> "MomentSketchBundle":
+        """Absorb one batch: ``fs[j]`` is vector ``j``'s row values."""
+        if len(fs) != self.n_vectors:
+            raise EstimationError(
+                f"expected {self.n_vectors} weight vectors, got {len(fs)}"
+            )
+        fs = [np.asarray(f, dtype=np.float64) for f in fs]
+        n = fs[0].shape[0]
+        if n == 0:
+            return self
+        missing = [d for d in self.lattice.dims if d not in lineage]
+        if missing:
+            raise EstimationError(f"lineage columns missing for {missing}")
+        cols = [
+            np.asarray(lineage[d], dtype=np.int64) for d in self.lattice.dims
+        ]
+        keys, sums = group_reduce_multi(cols, fs)
+        self._absorb(keys, sums, n)
+        return self
+
+    def merge(self, other: "MomentSketchBundle") -> "MomentSketchBundle":
+        """Fold ``other`` into ``self`` (exact); returns ``self``."""
+        if self.lattice != other.lattice:
+            raise EstimationError(
+                f"cannot merge sketches over different lattices: "
+                f"{self.lattice.dims} vs {other.lattice.dims}"
+            )
+        if self.n_vectors != other.n_vectors:
+            raise EstimationError(
+                f"cannot merge bundles of {self.n_vectors} vs "
+                f"{other.n_vectors} vectors"
+            )
+        self._absorb(other._keys, other._sums, other._n_rows)
+        return self
+
+    def moments(self) -> list[np.ndarray]:
+        """One plug-in moment vector ``(Y_S)_{S⊆L}`` per weight vector."""
+        return [
+            y_terms_from_groups(s, self._keys, self.lattice)
+            for s in self._sums
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"MomentSketchBundle(dims={list(self.lattice.dims)}, "
+            f"n_vectors={self.n_vectors}, n_rows={self._n_rows}, "
+            f"n_groups={self.n_groups})"
+        )
+
+
+def _coerce_group_column(raw: np.ndarray) -> np.ndarray:
+    """Group-key storage: integers normalize to int64, the rest (strings,
+    floats) keep their dtype — the compaction sort falls back to lexsort
+    for them, exactly like the batch grouped estimator."""
+    arr = np.asarray(raw)
+    if np.issubdtype(arr.dtype, np.integer):
+        return arr.astype(np.int64)
+    if arr.dtype.kind in "US":
+        return arr.astype(object)
+    return arr
+
+
+class GroupedMomentBundle:
+    """Per-group moment state for several weight vectors at once.
+
+    The grouped twin of :class:`MomentSketchBundle`, and the grouped
+    partition-merge accumulator of the SBox: state rows are keyed on
+    *(group key columns, full lineage key)* holding every vector's
+    ``Σ f_j`` plus a row count.  Unlike :class:`GroupedMomentSketch`
+    (whose wire format is strictly int64) the group key columns keep
+    their natural dtype, so SQL GROUP BY columns — strings included —
+    stream straight in without a global factorization step, which no
+    single partition could compute anyway.
+    """
+
+    __slots__ = (
+        "lattice",
+        "n_group_cols",
+        "n_vectors",
+        "_group_cols",
+        "_keys",
+        "_sums",
+        "_counts",
+        "_n_rows",
+    )
+
+    def __init__(
+        self, lattice: SubsetLattice, n_group_cols: int, n_vectors: int
+    ) -> None:
+        if n_group_cols < 1:
+            raise EstimationError(
+                f"need at least one group column, got {n_group_cols}"
+            )
+        if n_vectors < 1:
+            raise EstimationError(
+                f"need at least one weight vector, got {n_vectors}"
+            )
+        self.lattice = lattice
+        self.n_group_cols = int(n_group_cols)
+        self.n_vectors = int(n_vectors)
+        self._group_cols: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(n_group_cols)
+        ]
+        self._keys: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(lattice.n)
+        ]
+        self._sums: list[np.ndarray] = [
+            np.empty(0, dtype=np.float64) for _ in range(n_vectors)
+        ]
+        self._counts = np.empty(0, dtype=np.float64)
+        self._n_rows = 0
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_entries(self) -> int:
+        return int(self._counts.shape[0])
+
+    def _absorb(
+        self,
+        cols: Sequence[np.ndarray],
+        sums: Sequence[np.ndarray],
+        counts: np.ndarray,
+        n_rows: int,
+    ) -> None:
+        if n_rows == 0 and counts.size == 0:
+            return
+        if self._counts.size == 0:
+            merged = list(cols)
+            reduced_keys, reduced = merged, [
+                np.asarray(s, dtype=np.float64) for s in sums
+            ] + [np.asarray(counts, dtype=np.float64)]
+        else:
+            state = self._group_cols + self._keys
+            merged = [
+                np.concatenate([mine, theirs])
+                for mine, theirs in zip(state, cols)
+            ]
+            weights = [
+                np.concatenate([mine, theirs])
+                for mine, theirs in zip(self._sums, sums)
+            ] + [np.concatenate([self._counts, counts])]
+            reduced_keys, reduced = group_reduce_multi(merged, weights)
+        self._group_cols = list(reduced_keys[: self.n_group_cols])
+        self._keys = [
+            np.asarray(k, dtype=np.int64)
+            for k in reduced_keys[self.n_group_cols :]
+        ]
+        self._sums = list(reduced[: self.n_vectors])
+        self._counts = reduced[self.n_vectors]
+        self._n_rows += int(n_rows)
+
+    def update(
+        self,
+        fs: Sequence[np.ndarray],
+        lineage: Mapping[str, np.ndarray],
+        group_cols: Sequence[np.ndarray],
+    ) -> "GroupedMomentBundle":
+        """Absorb one batch; ``group_cols[i][r]`` keys row ``r``."""
+        if len(fs) != self.n_vectors:
+            raise EstimationError(
+                f"expected {self.n_vectors} weight vectors, got {len(fs)}"
+            )
+        if len(group_cols) != self.n_group_cols:
+            raise EstimationError(
+                f"expected {self.n_group_cols} group columns, "
+                f"got {len(group_cols)}"
+            )
+        fs = [np.asarray(f, dtype=np.float64) for f in fs]
+        n = fs[0].shape[0]
+        if n == 0:
+            return self
+        missing = [d for d in self.lattice.dims if d not in lineage]
+        if missing:
+            raise EstimationError(f"lineage columns missing for {missing}")
+        cols = [_coerce_group_column(c) for c in group_cols] + [
+            np.asarray(lineage[d], dtype=np.int64) for d in self.lattice.dims
+        ]
+        keys, reduced = group_reduce_multi(
+            cols, list(fs) + [np.ones(n, dtype=np.float64)]
+        )
+        self._absorb(keys, reduced[:-1], reduced[-1], n)
+        return self
+
+    def merge(self, other: "GroupedMomentBundle") -> "GroupedMomentBundle":
+        """Fold ``other`` into ``self`` (exact); returns ``self``."""
+        if self.lattice != other.lattice:
+            raise EstimationError(
+                f"cannot merge sketches over different lattices: "
+                f"{self.lattice.dims} vs {other.lattice.dims}"
+            )
+        if (
+            self.n_group_cols != other.n_group_cols
+            or self.n_vectors != other.n_vectors
+        ):
+            raise EstimationError(
+                "cannot merge grouped bundles of different shapes"
+            )
+        self._absorb(
+            other._group_cols + other._keys,
+            other._sums,
+            other._counts,
+            other._n_rows,
+        )
+        return self
+
+    def groups(self) -> tuple[list[np.ndarray], np.ndarray, int]:
+        """Factorize the distinct group keys seen so far."""
+        n_entries = self.n_entries
+        owner, n_groups = group_ids(self._group_cols, n_entries)
+        first = group_firsts(owner, n_groups, n_entries)
+        return [c[first] for c in self._group_cols], owner, n_groups
+
+    def moments(
+        self,
+    ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray], np.ndarray]:
+        """Per-group plug-in moments for every vector and group.
+
+        Returns ``(group_keys, Ys, totals, counts)``: the distinct
+        group key columns, one ``(n_groups, lattice.size)`` matrix and
+        one per-group total vector per weight vector, and the per-group
+        sample row counts.
+        """
+        group_keys, owner, n_groups = self.groups()
+        ys = grouped_y_terms_multi(
+            self._sums, self._keys, owner, n_groups, self.lattice
+        )
+        totals = [
+            np.bincount(owner, weights=s, minlength=n_groups)
+            for s in self._sums
+        ]
+        counts = np.bincount(
+            owner, weights=self._counts, minlength=n_groups
+        )
+        return group_keys, ys, totals, counts
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupedMomentBundle(dims={list(self.lattice.dims)}, "
+            f"n_group_cols={self.n_group_cols}, "
+            f"n_vectors={self.n_vectors}, n_rows={self._n_rows}, "
+            f"n_entries={self.n_entries})"
+        )

@@ -86,3 +86,32 @@ class TestJoinOrderSensitivity:
     def test_describe_mentions_rows(self, model):
         text = model.estimate(query1_plan()).describe()
         assert "rows" in text
+
+
+class TestPartitionAwareness:
+    def test_workers_one_is_the_serial_model(self, model):
+        plan = query1_plan()
+        serial = model.estimate(plan)
+        explicit = model.estimate(plan, workers=1)
+        assert serial.seconds == explicit.seconds
+        assert serial.rows_total == explicit.rows_total
+        assert serial.workers == explicit.workers == 1
+
+    def test_parallel_speedup_is_monotone_and_amdahl_bounded(self, model):
+        plan = query1_plan()
+        costs = [model.estimate(plan, workers=w) for w in (1, 2, 4, 8)]
+        seconds = [c.seconds for c in costs]
+        assert all(a >= b for a, b in zip(seconds, seconds[1:]))
+        # Never faster than the fully-parallel bound allows.
+        from repro.optimizer.cost import PARALLEL_FRACTION
+
+        floor = seconds[0] * (1.0 - PARALLEL_FRACTION)
+        assert all(s >= floor for s in seconds)
+
+    def test_per_partition_build_sizes(self, model, tpch_db):
+        plan = query1_plan()
+        est = model.estimate(plan, workers=4)
+        assert est.build_rows_max > 0.0
+        assert est.build_rows_per_partition == est.build_rows_max / 4
+        scan_only = model.estimate(Scan("lineitem"), workers=4)
+        assert scan_only.build_rows_max == 0.0

@@ -134,3 +134,65 @@ class TestTable:
     def test_string_columns_stored_as_object(self):
         t = Table("t", {"s": np.array(["ab", "cd"])})
         assert t.column("s").dtype == object
+
+
+class TestZeroCopyFastPaths:
+    def _table(self):
+        return Table(
+            "t",
+            {"a": np.arange(6, dtype=np.int64), "b": np.arange(6.0)},
+            {"t": np.arange(6, dtype=np.int64)},
+        )
+
+    def test_all_true_filter_returns_self(self):
+        t = self._table()
+        assert t.filter(np.ones(6, dtype=bool)) is t
+
+    def test_partial_filter_still_gathers(self):
+        t = self._table()
+        kept = t.filter(np.arange(6) % 2 == 0)
+        assert kept is not t
+        assert kept.n_rows == 3
+        assert not np.shares_memory(kept.columns["a"], t.columns["a"])
+
+    def test_identity_select_returns_self(self):
+        t = self._table()
+        assert t.select_columns(["a", "b"]) is t
+        projected = t.select_columns(["b"])
+        assert projected is not t
+        assert list(projected.columns) == ["b"]
+
+    def test_with_lineage_shares_column_arrays(self):
+        t = self._table()
+        tagged = t.with_lineage("other", np.arange(6, dtype=np.int64))
+        assert tagged is not t
+        assert tagged.columns["a"] is t.columns["a"]
+        assert tagged.schema is t.schema
+        assert set(tagged.lineage) == {"t", "other"}
+        # The original's lineage dict is untouched.
+        assert set(t.lineage) == {"t"}
+
+    def test_with_lineage_shape_mismatch(self):
+        with pytest.raises(SchemaError):
+            self._table().with_lineage("x", np.arange(5, dtype=np.int64))
+
+    def test_slice_is_zero_copy_view(self):
+        t = self._table()
+        part = t.slice(2, 5)
+        assert part.n_rows == 3
+        assert np.shares_memory(part.columns["a"], t.columns["a"])
+        assert np.shares_memory(part.lineage["t"], t.lineage["t"])
+        np.testing.assert_array_equal(part.columns["a"], [2, 3, 4])
+        # Out-of-range bounds clamp instead of wrapping.
+        assert t.slice(4, 100).n_rows == 2
+        assert t.slice(7, 9).n_rows == 0
+
+    def test_rename_same_name_returns_self(self):
+        t = self._table()
+        assert t.rename("t") is t
+        assert t.rename("u").name == "u"
+
+    def test_lineage_only_table_keeps_rows(self):
+        t = Table(None, {}, {"r": np.arange(4, dtype=np.int64)})
+        assert t.n_rows == 4
+        assert t.slice(1, 3).n_rows == 2

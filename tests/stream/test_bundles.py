@@ -1,0 +1,153 @@
+"""Multi-vector sketch bundles: equivalence with their scalar twins.
+
+A :class:`MomentSketchBundle` over k weight vectors must behave, per
+vector, exactly like k independent :class:`MomentSketch` instances fed
+the same rows — and merging bundles must commute with merging the
+scalars.  The grouped bundle is likewise pinned against the batch
+grouped estimator path, including non-integer (string) group keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import (
+    estimate_sums_grouped_multi,
+    group_ids,
+)
+from repro.core.gus import bernoulli_gus
+from repro.core.lattice import SubsetLattice
+from repro.errors import EstimationError
+from repro.stream.sketch import (
+    GroupedMomentBundle,
+    MomentSketch,
+    MomentSketchBundle,
+)
+
+DIMS = ("l", "o")
+
+
+@st.composite
+def batches(draw):
+    n_dims = draw(st.integers(1, 2))
+    n = draw(st.integers(0, 60))
+    n_batches = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    f1 = rng.uniform(-3, 5, n)
+    f2 = rng.uniform(0, 2, n)
+    lineage = {
+        d: rng.integers(0, 8, n).astype(np.int64) for d in DIMS[:n_dims]
+    }
+    assignment = rng.integers(0, n_batches, n)
+    return n_dims, f1, f2, lineage, assignment, n_batches
+
+
+class TestMomentSketchBundle:
+    @given(batches())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_sketches(self, case):
+        n_dims, f1, f2, lineage, assignment, n_batches = case
+        lattice = SubsetLattice(DIMS[:n_dims])
+        bundle = MomentSketchBundle(lattice, 2)
+        solo1, solo2 = MomentSketch(lattice), MomentSketch(lattice)
+        for b in range(n_batches):
+            idx = np.flatnonzero(assignment == b)
+            part = {d: c[idx] for d, c in lineage.items()}
+            bundle.update([f1[idx], f2[idx]], part)
+            solo1.update(f1[idx], part)
+            solo2.update(f2[idx], part)
+        m1, m2 = bundle.moments()
+        np.testing.assert_array_equal(m1, solo1.moments())
+        np.testing.assert_array_equal(m2, solo2.moments())
+        assert bundle.totals() == [solo1.total, solo2.total]
+        assert bundle.n_rows == solo1.n_rows
+
+    @given(batches())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_single_pass(self, case):
+        n_dims, f1, f2, lineage, assignment, n_batches = case
+        lattice = SubsetLattice(DIMS[:n_dims])
+        single = MomentSketchBundle(lattice, 2).update(
+            [f1, f2], lineage
+        ) if f1.size else MomentSketchBundle(lattice, 2)
+        merged = MomentSketchBundle(lattice, 2)
+        for b in range(n_batches):
+            idx = np.flatnonzero(assignment == b)
+            contrib = MomentSketchBundle(lattice, 2)
+            contrib.update(
+                [f1[idx], f2[idx]],
+                {d: c[idx] for d, c in lineage.items()},
+            )
+            merged.merge(contrib)
+        for got, want in zip(merged.moments(), single.moments()):
+            np.testing.assert_allclose(got, want, rtol=1e-12)
+        assert merged.n_rows == single.n_rows
+
+    def test_shape_validation(self):
+        lattice = SubsetLattice(["l"])
+        with pytest.raises(EstimationError):
+            MomentSketchBundle(lattice, 0)
+        bundle = MomentSketchBundle(lattice, 2)
+        with pytest.raises(EstimationError):
+            bundle.update([np.ones(3)], {"l": np.arange(3)})
+        with pytest.raises(EstimationError):
+            bundle.merge(MomentSketchBundle(lattice, 3))
+        with pytest.raises(EstimationError):
+            bundle.merge(MomentSketchBundle(SubsetLattice(["o"]), 2))
+
+
+class TestGroupedMomentBundle:
+    def test_matches_batch_grouped_estimator_string_keys(self):
+        rng = np.random.default_rng(5)
+        n = 400
+        params = bernoulli_gus("l", 0.5)
+        keys = np.array(["x", "y", "z"], dtype=object)[
+            rng.integers(0, 3, n)
+        ]
+        f1 = rng.normal(size=n)
+        f2 = np.ones(n)
+        lineage = {"l": np.arange(n, dtype=np.int64)}
+        # Batch path.
+        gids, n_groups = group_ids([keys], n)
+        batch = estimate_sums_grouped_multi(
+            params, [f1, f2], lineage, gids, n_groups, labels=["SUM", "COUNT"]
+        )
+        # Bundle path, split across 7 uneven partitions + a merge.
+        pruned = params.project_out_inactive()
+        merged = GroupedMomentBundle(pruned.lattice, 1, 2)
+        bounds = [0, 13, 100, 101, 250, 250, 399, n]
+        for lo, hi in zip(bounds, bounds[1:]):
+            contrib = GroupedMomentBundle(pruned.lattice, 1, 2)
+            contrib.update(
+                [f1[lo:hi], f2[lo:hi]],
+                {"l": lineage["l"][lo:hi]},
+                [keys[lo:hi]],
+            )
+            merged.merge(contrib)
+        group_keys, ys, totals, counts = merged.moments()
+        assert (group_keys[0] == np.array(["x", "y", "z"], dtype=object)).all()
+        for j, bundle in enumerate(batch):
+            np.testing.assert_array_equal(
+                totals[j] / params.a, bundle.values
+            )
+        np.testing.assert_array_equal(counts, batch[0].n_samples)
+
+    def test_group_dtype_rules(self):
+        lattice = SubsetLattice(["l"])
+        bundle = GroupedMomentBundle(lattice, 1, 1)
+        bundle.update(
+            [np.ones(3)],
+            {"l": np.arange(3, dtype=np.int64)},
+            [np.array([4, 5, 4], dtype=np.int32)],
+        )
+        assert bundle._group_cols[0].dtype == np.int64
+        with pytest.raises(EstimationError):
+            GroupedMomentBundle(lattice, 0, 1)
+        with pytest.raises(EstimationError):
+            GroupedMomentBundle(lattice, 1, 0)
+        with pytest.raises(EstimationError):
+            bundle.update([np.ones(2)], {"l": np.arange(2)}, [])

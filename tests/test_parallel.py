@@ -1,0 +1,89 @@
+"""The shared partition scheduler: ordering, backends, env resolution."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import ChunkScheduler, env_workers, resolve_workers
+
+
+class TestChunkScheduler:
+    def test_results_in_submission_order(self):
+        scheduler = ChunkScheduler(4, mode="thread")
+        barrier = threading.Event()
+
+        def slow_then_fast(i: int) -> int:
+            # Make an early task finish *after* a later one to prove
+            # ordering comes from submission, not completion.
+            if i == 0:
+                barrier.wait(timeout=5.0)
+            elif i == 7:
+                barrier.set()
+            return i * i
+
+        assert scheduler.map(slow_then_fast, list(range(8))) == [
+            i * i for i in range(8)
+        ]
+
+    def test_serial_runs_inline(self):
+        thread_ids = []
+
+        def record(i):
+            thread_ids.append(threading.get_ident())
+            return i
+
+        ChunkScheduler(1).map(record, [1, 2, 3])
+        assert set(thread_ids) == {threading.get_ident()}
+
+    def test_exceptions_propagate(self):
+        def boom(i):
+            raise ValueError(f"task {i}")
+
+        with pytest.raises(ValueError, match="task"):
+            ChunkScheduler(2, mode="thread").map(boom, [0, 1, 2])
+
+    def test_imap_window_bounds_in_flight(self):
+        scheduler = ChunkScheduler(2, mode="thread")
+        seen = []
+        results = scheduler.imap(lambda i: i + 1, range(20), window=3)
+        for value in results:
+            seen.append(value)
+        assert seen == list(range(1, 21))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ChunkScheduler(0)
+        with pytest.raises(ReproError):
+            ChunkScheduler(2, mode="carrier-pigeon")
+
+    def test_process_mode_when_fork_available(self):
+        scheduler = ChunkScheduler(2, mode="process")
+        if scheduler.mode != "process":  # pragma: no cover - non-POSIX
+            pytest.skip("fork start method unavailable")
+        # Closures need not pickle: they are inherited through fork.
+        offset = 10
+        assert scheduler.map(lambda i: i + offset, [1, 2, 3]) == [11, 12, 13]
+
+
+class TestWorkerResolution:
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env_workers() is None
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert env_workers() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert env_workers() is None
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert env_workers() is None
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2
+        # Explicit zero opts out of the chunked engine entirely.
+        assert resolve_workers(0) is None
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) is None
