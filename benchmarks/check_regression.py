@@ -1,0 +1,132 @@
+"""Bench-trajectory regression guard for CI.
+
+Compares a freshly-measured benchmark JSON against a committed
+baseline produced by the *same* suite in the *same* mode (the smoke
+baselines under ``benchmarks/baselines/`` are committed from smoke
+runs precisely so CI compares like with like).  Only dimensionless,
+higher-is-better metrics are guarded (speedups, ratios, hit rates):
+absolute timings vary with hardware, ratios track the code.
+
+Exit status 1 on any metric regressing more than ``--tolerance``
+(default 25%) below its baseline.  Missing measurements are also
+failures — silently dropping one is how regressions hide: a baseline
+workload absent from the fresh results fails, a guarded metric absent
+from the fresh side fails, a guarded metric present in *no* baseline
+workload fails (typo guard; bool-only workloads may individually lack
+it), and a run that ends up guarding zero metrics fails.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_store.smoke.json \
+        --fresh /tmp/bench/BENCH_store.json \
+        --metrics throughput_ratio,hit_rate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_workloads(path: pathlib.Path) -> dict[str, dict]:
+    payload = json.loads(path.read_text())
+    return {w["benchmark"]: w for w in payload.get("workloads", [])}
+
+
+def compare(
+    baseline: dict[str, dict],
+    fresh: dict[str, dict],
+    metrics: list[str],
+    tolerance: float,
+) -> list[str]:
+    """Return a list of human-readable failures (empty means pass)."""
+    failures: list[str] = []
+    for metric in metrics:
+        if not any(metric in base for base in baseline.values()):
+            failures.append(
+                f"{metric}: guarded metric appears in no baseline "
+                "workload (typo, or a baseline regenerated without it?)"
+            )
+    for name, base in baseline.items():
+        guarded = [m for m in metrics if m in base]
+        if not guarded:
+            continue
+        current = fresh.get(name)
+        if current is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        for metric in guarded:
+            if metric not in current:
+                failures.append(f"{name}.{metric}: missing from fresh results")
+                continue
+            base_value = float(base[metric])
+            fresh_value = float(current[metric])
+            floor = base_value * (1.0 - tolerance)
+            if fresh_value < floor:
+                failures.append(
+                    f"{name}.{metric}: {fresh_value:.4g} regressed more "
+                    f"than {tolerance:.0%} below baseline "
+                    f"{base_value:.4g} (floor {floor:.4g})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark ratios regress vs a committed "
+        "baseline."
+    )
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--fresh", required=True, type=pathlib.Path)
+    parser.add_argument(
+        "--metrics",
+        required=True,
+        help="comma-separated higher-is-better metric names to guard",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_workloads(args.baseline)
+    fresh = load_workloads(args.fresh)
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    if not metrics:
+        print("no metrics given", file=sys.stderr)
+        return 2
+
+    failures = compare(baseline, fresh, metrics, args.tolerance)
+    for line in failures:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    if failures:
+        return 1
+    checked = sum(
+        1
+        for base in baseline.values()
+        for m in metrics
+        if m in base
+    )
+    if checked == 0:
+        print(
+            "no metrics were actually checked — refusing to pass "
+            "vacuously",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench-trajectory ok: {checked} metric(s) within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ Usage::
     python -m repro --load orders=o.csv --load lineitem=l.csv
     python -m repro -c "SELECT COUNT(*) AS n FROM lineitem TABLESAMPLE (10 PERCENT)"
     python -m repro stream --windows 8 --shards 4   # streaming engine demo
+    cat workload.sql | python -m repro serve --workers 8   # catalog service
+    python -m repro serve --selftest                # concurrent self-check
 
 Shell commands:
 
@@ -138,6 +140,77 @@ def run_statement(db, text: str, level: float = 0.95) -> str:
     return _format_result(db.sql(stripped), level)
 
 
+def _add_serve_subcommand(subcommands) -> None:
+    """Register ``repro serve`` — the concurrent catalog-backed service.
+
+    Reads one SQL statement per line from stdin, serves them across a
+    thread pool sharing one sample-synopsis catalog (plus a result
+    cache), and prints each answer tagged with how it was served
+    (``fresh`` / ``exact`` / ``pushdown`` / ``thin`` /
+    ``result-cache``).  ``--selftest`` runs a built-in concurrent
+    workload instead and exits non-zero on any inconsistency.
+    """
+    serve = subcommands.add_parser(
+        "serve",
+        help="concurrent query service over a shared sample-synopsis "
+        "catalog (reads SQL statements from stdin)",
+        description="Concurrent approximate-query service: statements "
+        "share a sample-synopsis catalog, so repeated and subsumed "
+        "queries are served from stored samples instead of fresh scans.",
+    )
+    serve.add_argument(
+        "--workers", dest="serve_workers", type=int, default=4,
+        metavar="N", help="serving threads (default 4)",
+    )
+    serve.add_argument(
+        "--selftest", action="store_true",
+        help="run the built-in concurrent workload and verify "
+        "answers are repeat-identical",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=argparse.SUPPRESS,
+        help="TPC-H scale factor",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
+    )
+    serve.add_argument(
+        "--level", type=float, default=argparse.SUPPRESS,
+        help="confidence level for printed intervals",
+    )
+
+
+def _run_serve(args) -> int:
+    from repro.service import QueryService, selftest, serve_statements
+
+    if args.serve_workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.selftest:
+        scale = min(args.scale, 0.05)  # the self-test stays small
+        ok = selftest(
+            workers=args.serve_workers, scale=scale, seed=args.seed
+        )
+        return 0 if ok else 1
+    try:
+        db = _build_database(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    db.attach_catalog()
+    service = QueryService(db, level=args.level)
+    statements = [line.strip() for line in sys.stdin if line.strip()]
+    if not statements:
+        print("serve: no statements on stdin", file=sys.stderr)
+        return 0
+    served = serve_statements(
+        service, statements, workers=args.serve_workers
+    )
+    # Per-statement errors are printed in-stream; the exit code only
+    # signals total failure.
+    return 0 if served else 1
+
+
 def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     """Register ``repro stream`` — the streaming-engine demo.
 
@@ -148,7 +221,10 @@ def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     sliding, and cumulative SUM estimates with their error bounds next
     to the ground truth the simulator knows.
     """
-    subcommands = parser.add_subparsers(dest="subcommand", metavar="{stream}")
+    subcommands = parser.add_subparsers(
+        dest="subcommand", metavar="{stream,serve}"
+    )
+    _add_serve_subcommand(subcommands)
     stream = subcommands.add_parser(
         "stream",
         help="streaming engine demo: sharded, windowed estimates "
@@ -297,6 +373,8 @@ def main(argv=None) -> int:
 
     if args.subcommand == "stream":
         return _run_stream(args)
+    if args.subcommand == "serve":
+        return _run_serve(args)
 
     try:
         db = _build_database(args)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -47,6 +48,9 @@ from repro.stats.delta import (
     ratio_estimates_grouped,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ReuseInfo, SynopsisCatalog
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -70,6 +74,7 @@ class QueryResult:
     sample: Table | None
     rewrite: RewriteResult = field(repr=False)
     plan: Aggregate | None = field(default=None, repr=False)
+    reuse: "ReuseInfo | None" = field(default=None, repr=False)
 
     def __getitem__(self, alias: str) -> float:
         return self.values[alias]
@@ -110,6 +115,7 @@ class GroupedQueryResult:
     sample: Table | None
     rewrite: RewriteResult = field(repr=False)
     plan: GroupAggregate | None = field(default=None, repr=False)
+    reuse: "ReuseInfo | None" = field(default=None, repr=False)
 
     def __getitem__(self, alias: str) -> np.ndarray:
         return self.values[alias]
@@ -244,15 +250,33 @@ class SBox:
 
     ``catalog`` maps table names to :class:`Table`; it supplies both
     execution and the base-table cardinalities the rewriter needs.
+    ``synopses`` optionally plugs in a
+    :class:`~repro.store.SynopsisCatalog`: :meth:`run` then serves
+    queries from stored samples whenever the sampling algebra proves a
+    stored synopsis subsumes the query's plan, and stores fresh
+    samples on every miss.
     """
 
     def __init__(
         self,
         catalog: Mapping[str, Table],
         rng: np.random.Generator | None = None,
+        *,
+        synopses: "SynopsisCatalog | None" = None,
     ) -> None:
+        # Version stamps are read BEFORE the table snapshot is taken:
+        # if a mutation lands in between, samples executed against the
+        # (newer) snapshot carry an older stamp and are conservatively
+        # discarded at put() — never the reverse, which would let a
+        # stale sample outlive its table's invalidation.
+        self._version_stamps = (
+            synopses.version_stamps(list(catalog))
+            if synopses is not None
+            else {}
+        )
         self.catalog = dict(catalog)
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.synopses = synopses
 
     # -- pipeline ----------------------------------------------------------
 
@@ -298,6 +322,22 @@ class SBox:
                 "SBox.run expects an Aggregate or GroupAggregate plan"
             )
         rewrite = self.analyze(plan.child)
+        if (
+            self.synopses is not None
+            and subsample is None
+            and keep_sample
+            and rewrite.is_sampled
+        ):
+            served = self._run_via_store(
+                plan,
+                rewrite,
+                rng=rng,
+                workers=workers,
+                chunk_size=chunk_size,
+                rng_mode=rng_mode,
+            )
+            if served is not None:
+                return served
         if workers is not None and workers >= 1:
             return self._run_chunked(
                 plan,
@@ -318,6 +358,81 @@ class SBox:
         return self.estimate_from_sample(
             plan, sample, rewrite, subsample=subsample
         )
+
+    def _run_via_store(
+        self,
+        plan: Aggregate | GroupAggregate,
+        rewrite: RewriteResult,
+        *,
+        rng: np.random.Generator | None,
+        workers: int | None,
+        chunk_size: int | None,
+        rng_mode: str,
+    ) -> "QueryResult | GroupedQueryResult | None":
+        """Serve from (or populate) the synopsis catalog.
+
+        Returns ``None`` when the plan lies outside the canonical
+        reuse algebra — the caller then runs the regular path.  On a
+        catalog hit the sample and GUS coefficients come straight from
+        the matcher (exact reuse / predicate pushdown / residual
+        thinning); on a miss the child executes once with *all*
+        columns, is stored, and the estimate is computed from it.
+        """
+        from repro.store import ReuseMatcher, canonicalize, materialize
+        from repro.store.fingerprint import draw_token_of
+
+        canon = canonicalize(
+            plan.child,
+            {name: t.n_rows for name, t in self.catalog.items()},
+            draw_token=draw_token_of(rng if rng is not None else self.rng),
+        )
+        if canon is None:
+            return None
+        needed = _needed_columns(plan)
+        for pred in canon.predicates:
+            needed |= pred.columns_used()
+        matcher = ReuseMatcher(self.synopses)
+        decision = matcher.match(canon, required_columns=needed)
+        if decision is not None:
+            sample, params, clean, info = materialize(decision)
+            served = RewriteResult(clean, params)
+            if isinstance(plan, GroupAggregate):
+                return self.estimate_from_sample_grouped(
+                    plan, sample, served, reuse=info
+                )
+            return self.estimate_from_sample(plan, sample, served, reuse=info)
+        # Miss: execute the sampled child once, full-width, and store it.
+        if workers is not None and workers >= 1:
+            from repro.relational.partition import DEFAULT_CHUNK_ROWS
+            from repro.relational.pipeline import ChunkedExecutor
+
+            sample = ChunkedExecutor(
+                self.catalog,
+                rng if rng is not None else self.rng,
+                workers=int(workers),
+                chunk_size=(
+                    chunk_size
+                    if chunk_size is not None
+                    else DEFAULT_CHUNK_ROWS
+                ),
+                rng_mode=rng_mode,
+            ).execute(plan.child)
+        else:
+            from repro.relational.executor import Executor
+
+            sample = Executor(
+                self.catalog, rng if rng is not None else self.rng
+            ).execute(plan.child)
+        self.synopses.put(
+            canon,
+            sample,
+            rewrite.params,
+            rewrite.clean_plan,
+            versions=self._version_stamps,
+        )
+        if isinstance(plan, GroupAggregate):
+            return self.estimate_from_sample_grouped(plan, sample, rewrite)
+        return self.estimate_from_sample(plan, sample, rewrite)
 
     def _run_chunked(
         self,
@@ -529,6 +644,7 @@ class SBox:
         rewrite: RewriteResult | None = None,
         *,
         subsample: SubsampleSpec | None = None,
+        reuse: "ReuseInfo | None" = None,
     ) -> QueryResult:
         """Estimate from an already-executed sample (the pure SBox API).
 
@@ -555,6 +671,7 @@ class SBox:
             sample=sample,
             rewrite=rewrite,
             plan=plan,
+            reuse=reuse,
         )
 
     def estimate_from_sample_grouped(
@@ -564,6 +681,7 @@ class SBox:
         rewrite: RewriteResult | None = None,
         *,
         subsample: SubsampleSpec | None = None,
+        reuse: "ReuseInfo | None" = None,
     ) -> GroupedQueryResult:
         """Per-group estimates from an already-executed sample.
 
@@ -634,6 +752,7 @@ class SBox:
             sample=sample,
             rewrite=rewrite,
             plan=plan,
+            reuse=reuse,
         )
 
     def _estimate_spec(

@@ -60,13 +60,19 @@ DEFAULT_PILOT_RATE = 0.1
 
 @dataclass(frozen=True)
 class ScoredCandidate:
-    """One candidate with its predictions attached."""
+    """One candidate with its predictions attached.
+
+    ``reused`` marks candidates whose sampling plan is subsumed by a
+    stored synopsis: their cost is the near-zero reuse cost (one pass
+    over the stored sample) rather than a fresh scan-and-join.
+    """
 
     candidate: PlanCandidate
     params: GUSParams
     predicted_relative_half_width: float
     cost: CostEstimate
     feasible: bool
+    reused: bool = False
 
     @property
     def name(self) -> str:
@@ -124,8 +130,9 @@ class OptimizerReport:
             marker = "*" if sc is self.chosen else " "
             width = sc.predicted_relative_half_width
             width_text = f"{width:>10.2%}" if math.isfinite(width) else f"{'inf':>10}"
+            name = sc.name + (" [cached]" if sc.reused else "")
             lines.append(
-                f"{marker}{rank:<5}{sc.name:<44}"
+                f"{marker}{rank:<5}{name:<44}"
                 f"{'⋈'.join(sc.candidate.order):<28}"
                 f"{sc.cost.rows_total:>16,.0f}{width_text}"
                 f"{'yes' if sc.feasible else 'no':>7}"
@@ -227,6 +234,13 @@ class SamplingPlanOptimizer:
         # Per-relation rates multiply through the join (Prop 6), so take
         # the k-th root: the pilot retains ~pilot_rate of the *joined*
         # result however many relations are sampled.
+        #
+        # The pilot runs through the database's SBox, so with a synopsis
+        # catalog attached its sample is stored and reused like any
+        # other — repeated report()/optimize()/EXPLAIN SAMPLING calls
+        # skip re-piloting, and a stored pilot can later serve plain
+        # queries by thinning (a valid GUS sample with rescaled
+        # coefficients; the algebra does not care who drew it).
         per_rel = self.pilot_rate ** (1.0 / max(1, len(skeleton.sampled)))
         pilot_methods = {
             rel: LineageHashBernoulli(
@@ -239,6 +253,46 @@ class SamplingPlanOptimizer:
         return VariancePredictor.from_pilot(result)
 
     # -- scoring ----------------------------------------------------------
+
+    def _matcher(self):
+        """A reuse matcher over the database's synopsis catalog, if any."""
+        synopses = getattr(self.db, "synopses", None)
+        if synopses is None:
+            return None
+        from repro.store import ReuseMatcher
+
+        return ReuseMatcher(synopses)
+
+    def _candidate_cost(
+        self, candidate: PlanCandidate, sizes, matcher, draw_token
+    ) -> tuple[CostEstimate, bool]:
+        """Predicted cost, discounted when a stored synopsis subsumes it.
+
+        A cached candidate costs one pass over the stored sample (the
+        matcher will serve it by pushdown/thinning at execution time),
+        which is what lets the chooser prefer already-paid-for samples
+        over fresh scans.  ``draw_token`` identifies the RNG stream the
+        execution will consume, so RNG-drawn designs match exactly the
+        synopses their execution would actually hit.
+        """
+        plan = candidate.plan()
+        if matcher is not None:
+            from repro.store import canonicalize
+
+            canon = canonicalize(plan.child, sizes, draw_token=draw_token)
+            if canon is not None:
+                decision = matcher.peek(canon)
+                if decision is not None:
+                    return (
+                        self.cost_model.reuse_estimate(
+                            decision.synopsis.n_rows
+                        ),
+                        True,
+                    )
+        return (
+            self.cost_model.estimate(plan, workers=self.workers),
+            False,
+        )
 
     def report(
         self,
@@ -261,6 +315,15 @@ class SamplingPlanOptimizer:
         orders = join_orders(skeleton, limit=self.order_limit)
         target = budget.target_relative_std
         critical = budget.critical_value
+        matcher = self._matcher()
+        draw_token = None
+        if matcher is not None:
+            from repro.store.fingerprint import draw_token_of
+
+            # The escalation loop's first attempt executes with
+            # db.rng(seed): that stream's identity is what any stored
+            # RNG-drawn synopsis must match to be served.
+            draw_token = draw_token_of(self.db.rng(seed))
 
         scored: list[ScoredCandidate] = []
         naive: ScoredCandidate | None = None
@@ -275,8 +338,8 @@ class SamplingPlanOptimizer:
             best: ScoredCandidate | None = None
             for order in orders:
                 candidate = PlanCandidate(label, order, methods, skeleton)
-                cost = self.cost_model.estimate(
-                    candidate.plan(), workers=self.workers
+                cost, reused = self._candidate_cost(
+                    candidate, sizes, matcher, draw_token
                 )
                 sc = ScoredCandidate(
                     candidate=candidate,
@@ -284,6 +347,7 @@ class SamplingPlanOptimizer:
                     predicted_relative_half_width=rel_std * critical,
                     cost=cost,
                     feasible=feasible,
+                    reused=reused,
                 )
                 if best is None or cost.seconds < best.cost.seconds:
                     best = sc

@@ -184,6 +184,21 @@ class CostModel:
             build_rows_per_partition=state["build_max"] / build_partitions,
         )
 
+    def reuse_estimate(self, stored_rows: float) -> CostEstimate:
+        """Cost of serving a query from a stored synopsis.
+
+        Reuse pays one vectorized pass over the stored sample (residual
+        predicate masks and/or lineage-hash thinning) — no base-table
+        scan, no join.  This is what makes cached candidates
+        near-zero-cost in the plan ranking.
+        """
+        rows = max(0.0, float(stored_rows))
+        return CostEstimate(
+            rows_scanned=rows,
+            rows_joined=0.0,
+            seconds=rows * self.scan_seconds_per_row,
+        )
+
     def _rows(self, node: p.PlanNode, state: dict[str, float]) -> float:
         if isinstance(node, p.Scan):
             n = float(self.table_sizes.get(node.table_name, 0))

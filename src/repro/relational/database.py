@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         OptimizerReport,
         SamplingPlanOptimizer,
     )
+    from repro.store import SynopsisCatalog
 
 
 class Database:
@@ -64,12 +65,48 @@ class Database:
         *,
         workers: int | None = None,
         chunk_size: int | None = None,
+        catalog: "SynopsisCatalog | bool | None" = None,
     ) -> None:
         self.tables: dict[str, Table] = {}
         self._rng = np.random.default_rng(seed)
         self._cost_model: "CostModel | None" = None
         self.workers = workers
         self.chunk_size = chunk_size
+        self.synopses: "SynopsisCatalog | None" = None
+        # Identity tests, not truthiness: an empty SynopsisCatalog has
+        # len() == 0 and must still attach.
+        if catalog is not None and catalog is not False:
+            self.attach_catalog(None if catalog is True else catalog)
+
+    def attach_catalog(
+        self, catalog: "SynopsisCatalog | None" = None
+    ) -> "SynopsisCatalog":
+        """Enable sample-synopsis reuse for this database's queries.
+
+        Every estimated query is then served from the catalog whenever
+        a stored sample subsumes its sampling plan (exact repeat,
+        predicate pushdown, or residual Bernoulli thinning), and
+        populates it otherwise.  Table mutations invalidate the
+        affected synopses.  Returns the attached catalog.
+
+        Trade-off: populating the catalog materializes the sampled
+        child result in full (even on the chunked engine), because
+        that is what gets stored — first-seen queries pay memory
+        proportional to their sample for later reuse (bounded by the
+        catalog's ``max_entry_bytes``: larger samples are answered but
+        not stored).  Streaming callers that must never materialize
+        (``keep_sample=False``) bypass the catalog entirely.
+        """
+        if catalog is None:
+            from repro.store import SynopsisCatalog
+
+            catalog = SynopsisCatalog()
+        self.synopses = catalog
+        return catalog
+
+    def _invalidate_synopses(self, name: str) -> None:
+        if self.synopses is not None:
+            self.synopses.invalidate(name)
 
     def _resolve_workers(self, workers: int | None) -> int | None:
         """Per-call override → database default → ``REPRO_WORKERS``."""
@@ -83,9 +120,13 @@ class Database:
 
     @classmethod
     def from_tables(
-        cls, tables: Mapping[str, Table], seed: int | None = None
+        cls,
+        tables: Mapping[str, Table],
+        seed: int | None = None,
+        *,
+        catalog: "SynopsisCatalog | bool | None" = None,
     ) -> "Database":
-        db = cls(seed=seed)
+        db = cls(seed=seed, catalog=catalog)
         for name, table in tables.items():
             db.register(name, table)
         return db
@@ -97,11 +138,29 @@ class Database:
         named = table.rename(name)
         self.tables[name] = named
         self._cost_model = None  # statistics are stale
+        self._invalidate_synopses(name)
         return named
 
     def create_table(self, name: str, columns: Mapping[str, Any]) -> Table:
         """Create a table from column arrays."""
         return self.register(name, Table(name, columns))
+
+    def replace_table(self, name: str, table: Table) -> Table:
+        """Swap a registered table's contents (an UPDATE-shaped mutation).
+
+        Invalidates every synopsis drawn from the old contents — the
+        stored samples no longer describe the live table.
+        """
+        if name not in self.tables:
+            raise SchemaError(
+                f"no table {name!r} to replace; available: "
+                f"{sorted(self.tables)}"
+            )
+        named = table.rename(name)
+        self.tables[name] = named
+        self._cost_model = None
+        self._invalidate_synopses(name)
+        return named
 
     def drop_table(self, name: str) -> None:
         try:
@@ -109,6 +168,7 @@ class Database:
         except KeyError:
             raise SchemaError(f"no table {name!r} to drop") from None
         self._cost_model = None
+        self._invalidate_synopses(name)
 
     def table(self, name: str) -> Table:
         try:
@@ -182,7 +242,7 @@ class Database:
     def sbox(self) -> "SBox":
         from repro.core.sbox import SBox
 
-        return SBox(self.tables, self._rng)
+        return SBox(self.tables, self._rng, synopses=self.synopses)
 
     def estimate(
         self,

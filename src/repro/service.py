@@ -1,0 +1,363 @@
+"""A thread-safe concurrent query service over a shared synopsis catalog.
+
+This is the serving front-end the ROADMAP's "heavy traffic" north star
+asks for: many sessions issue SQL concurrently against one
+:class:`~repro.relational.database.Database` whose sampling cost is
+amortized through the :mod:`repro.store` catalog.  Three layers of
+reuse, fastest first:
+
+1. a **result cache** — the full answer of a previously-served
+   (statement, seed) pair is returned without touching the engine;
+2. the **synopsis catalog** — a stored sample that the algebra proves
+   subsumes the query's sampling plan is served by exact reuse,
+   predicate pushdown, or residual thinning;
+3. **fresh execution** — a miss executes once and populates the
+   catalog for everyone else.
+
+Thread model: query execution itself is lock-free (numpy reads over an
+immutable-by-convention catalog of tables); the service lock only
+guards the result cache, the per-session bookkeeping, and table
+mutations.  Mutations swap the table reference atomically and
+invalidate the affected synopses, so in-flight queries see a
+consistent snapshot and later queries never reuse stale samples.
+
+``repro serve`` wraps this in a line-oriented CLI loop;
+``repro serve --selftest`` runs a built-in concurrent workload and
+verifies answers are identical across repeats.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.database import Database
+    from repro.relational.table import Table
+    from repro.store import CatalogStats, ReuseInfo
+
+#: Default size of the per-service result cache (answers, not samples).
+DEFAULT_RESULT_CACHE = 256
+
+
+def default_seed(statement: str) -> int:
+    """Stable per-statement seed, so identical statements are cacheable."""
+    return zlib.crc32(statement.encode("utf-8")) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One served statement: the printable answer plus provenance."""
+
+    statement: str
+    text: str
+    values: dict[str, float] | None
+    seed: int
+    elapsed: float
+    cached: bool = False
+    reuse: "ReuseInfo | None" = field(default=None, repr=False)
+    session: str | None = None
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (the catalog keeps its own).
+
+    ``result_cache_hits`` counts answers actually read back from the
+    result cache; ``coalesced_hits`` counts waiters that piggybacked on
+    a concurrent in-flight execution of the same request — related but
+    distinct reuse, reported separately.
+    """
+
+    queries: int = 0
+    result_cache_hits: int = 0
+    coalesced_hits: int = 0
+    errors: int = 0
+
+    def copy(self) -> "ServiceStats":
+        return replace(self)
+
+
+class ServiceSession:
+    """A lightweight per-client handle onto a shared service."""
+
+    def __init__(self, service: "QueryService", name: str) -> None:
+        self.service = service
+        self.name = name
+        self.queries = 0
+
+    def query(self, statement: str, *, seed: int | None = None) -> ServiceResponse:
+        self.queries += 1
+        return self.service.query(statement, seed=seed, session=self.name)
+
+
+class QueryService:
+    """Concurrent SQL serving over one database + shared synopsis catalog."""
+
+    def __init__(
+        self,
+        db: "Database",
+        *,
+        level: float = 0.95,
+        result_cache_size: int = DEFAULT_RESULT_CACHE,
+    ) -> None:
+        if db.synopses is None:
+            db.attach_catalog()
+        self.db = db
+        self.level = float(level)
+        self._lock = threading.Lock()
+        self._results: OrderedDict[tuple, ServiceResponse] = OrderedDict()
+        self._result_cache_size = int(result_cache_size)
+        self._inflight: dict[tuple, Future] = {}
+        self.stats = ServiceStats()
+
+    # -- serving -----------------------------------------------------------
+
+    def query(
+        self,
+        statement: str,
+        *,
+        seed: int | None = None,
+        session: str | None = None,
+    ) -> ServiceResponse:
+        """Serve one SQL statement; deterministic for a given seed.
+
+        With ``seed=None`` a stable per-statement seed is derived, so
+        repeats of the same text hit the result cache and concurrent
+        clients always observe one consistent answer per statement.
+        Concurrent requests for the same (statement, seed) coalesce:
+        one thread executes, the rest wait on its answer — the engine
+        never runs the same request twice at once (dogpile protection),
+        and all clients see the one realization.
+        """
+        # Only the edges are trimmed: collapsing interior whitespace
+        # would rewrite runs of spaces inside SQL string literals.
+        text = statement.strip()
+        if not text:
+            raise ReproError("empty statement")
+        if seed is None:
+            seed = default_seed(text)
+        # The catalog epoch keys the cache generation: any table
+        # mutation — via this service or directly on the database —
+        # bumps it, so stale full answers can never be served.
+        assert self.db.synopses is not None
+        key = (text, int(seed), self.db.synopses.epoch)
+        with self._lock:
+            self.stats.queries += 1
+            hit = self._results.get(key)
+            if hit is not None:
+                self._results.move_to_end(key)
+                self.stats.result_cache_hits += 1
+            else:
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._inflight[key] = Future()
+                    owner = True
+                else:
+                    owner = False
+        if hit is not None:
+            return replace(hit, cached=True, session=session)
+        if not owner:
+            response = pending.result()  # raises what the owner raised
+            with self._lock:
+                self.stats.coalesced_hits += 1
+            return replace(response, cached=True, session=session)
+        try:
+            response = self._execute(key)
+        except BaseException as exc:
+            with self._lock:
+                self.stats.errors += 1
+                self._inflight.pop(key, None)
+            pending.set_exception(exc)
+            raise
+        with self._lock:
+            self._results[key] = response
+            while len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+            self._inflight.pop(key, None)
+        pending.set_result(response)
+        return replace(response, session=session)
+
+    def _execute(self, key: tuple) -> ServiceResponse:
+        """Run one (statement, seed) pair on the engine (no caching)."""
+        from repro.cli import _format_result
+
+        text, seed, _epoch = key
+        start = time.perf_counter()
+        result = self.db.sql(text, seed=seed)
+        elapsed = time.perf_counter() - start
+        return ServiceResponse(
+            statement=text,
+            text=_format_result(result, self.level),
+            values=dict(result.values)
+            if isinstance(getattr(result, "values", None), dict)
+            else None,
+            seed=int(seed),
+            elapsed=elapsed,
+            cached=False,
+            reuse=getattr(result, "reuse", None),
+        )
+
+    def query_many(
+        self, statements: Iterable[str], *, workers: int = 4
+    ) -> list[ServiceResponse]:
+        """Serve a batch concurrently, preserving submission order."""
+        items = list(statements)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=max(1, int(workers))) as pool:
+            return list(pool.map(self.query, items))
+
+    def session(self, name: str) -> ServiceSession:
+        return ServiceSession(self, name)
+
+    # -- administration ----------------------------------------------------
+
+    def refresh_table(self, name: str, table: "Table") -> None:
+        """Swap a table's contents and drop every answer derived from it.
+
+        The result cache cannot tell which answers touched the table,
+        so it is cleared wholesale; the synopsis catalog invalidates
+        precisely (per-table versions).
+        """
+        with self._lock:
+            self.db.replace_table(name, table)
+            self._results.clear()
+
+    def snapshot_stats(self) -> tuple[ServiceStats, "CatalogStats"]:
+        with self._lock:
+            service = self.stats.copy()
+        assert self.db.synopses is not None
+        return service, self.db.synopses.snapshot_stats()
+
+    def stats_line(self) -> str:
+        service, store = self.snapshot_stats()
+        return (
+            f"served {service.queries} "
+            f"(result-cache {service.result_cache_hits}, "
+            f"coalesced {service.coalesced_hits}, "
+            f"store hits {store.hits}/{store.lookups} "
+            f"[{store.exact_hits} exact, {store.pushdown_hits} pushdown, "
+            f"{store.thin_hits} thin], "
+            f"misses {store.misses}, evictions {store.evictions}, "
+            f"invalidations {store.invalidations})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The ``repro serve`` loop and its self-test workload.
+# ---------------------------------------------------------------------------
+
+#: Statements of the self-test mix: exact repeats, shared-child
+#: aggregates, a thinnable lower-rate variant, and predicate pushdowns.
+SELFTEST_STATEMENTS = (
+    "SELECT SUM(l_extendedprice) AS rev, COUNT(*) AS n "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11)",
+    "SELECT AVG(l_quantity) AS avg_qty "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11)",
+    "SELECT SUM(l_extendedprice) AS rev "
+    "FROM lineitem TABLESAMPLE (10 PERCENT) REPEATABLE (11)",
+    "SELECT SUM(l_extendedprice) AS rev "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11) "
+    "WHERE l_quantity > 25",
+    "SELECT l_returnflag, SUM(l_quantity) AS qty "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11) "
+    "GROUP BY l_returnflag",
+    "SELECT SUM(o_totalprice) AS total "
+    "FROM orders TABLESAMPLE (25 PERCENT) REPEATABLE (3)",
+)
+
+
+def serve_statements(
+    service: QueryService,
+    statements: Iterable[str],
+    *,
+    workers: int = 4,
+    out: Callable[[str], Any] = print,
+) -> int:
+    """Serve a statement stream concurrently, printing in order.
+
+    Failures are isolated per statement — one malformed line prints an
+    error and the rest of the stream is still served.  Returns the
+    number of statements answered successfully.
+    """
+    items = list(statements)
+    served = 0
+    with ThreadPoolExecutor(max_workers=max(1, int(workers))) as pool:
+        futures = [pool.submit(service.query, s) for s in items]
+        for statement, future in zip(items, futures):
+            try:
+                response = future.result()
+            except ReproError as exc:
+                out(f"-- [error] {statement}")
+                out(f"error: {exc}")
+                continue
+            tag = (
+                "result-cache"
+                if response.cached
+                else (response.reuse.kind if response.reuse else "fresh")
+            )
+            out(
+                f"-- [{tag}, {response.elapsed * 1e3:.1f} ms] "
+                f"{response.statement}"
+            )
+            out(response.text)
+            served += 1
+    out(f"-- {service.stats_line()}")
+    return served
+
+
+def selftest(
+    *,
+    workers: int = 4,
+    scale: float = 0.02,
+    seed: int = 0,
+    repeats: int = 3,
+    out: Callable[[str], Any] = print,
+) -> bool:
+    """Concurrent end-to-end check of the catalog + service stack.
+
+    Runs the self-test workload ``repeats`` times across ``workers``
+    threads against a shared catalog and verifies that (1) every
+    statement's answer is identical on every repeat, (2) the store
+    actually served reuse hits, and (3) the result cache engaged.
+    """
+    from repro.data.tpch import tpch_database
+
+    db = tpch_database(scale=scale, seed=seed)
+    db.attach_catalog()
+    service = QueryService(db)
+    # Warm the base synopsis so the concurrent storm has a stored
+    # sample to subsume (otherwise every distinct statement can miss
+    # simultaneously on the first wave and the hit check gets racy).
+    warm = service.query(SELFTEST_STATEMENTS[0])
+    workload = list(SELFTEST_STATEMENTS) * max(1, int(repeats))
+    responses = service.query_many(workload, workers=max(2, int(workers)))
+    responses.append(warm)
+    by_statement: dict[str, str] = {}
+    consistent = True
+    for response in responses:
+        previous = by_statement.setdefault(response.statement, response.text)
+        if previous != response.text:
+            consistent = False
+            out(f"MISMATCH for {response.statement!r}")
+    _, store = service.snapshot_stats()
+    ok = (
+        consistent
+        and store.hits > 0
+        and service.stats.result_cache_hits + service.stats.coalesced_hits > 0
+        and service.stats.errors == 0
+    )
+    out(
+        f"selftest {'ok' if ok else 'FAILED'}: "
+        f"{len(responses)} statements across {max(2, int(workers))} "
+        f"threads; {service.stats_line()}"
+    )
+    return ok

@@ -1,0 +1,55 @@
+"""Sample-synopsis catalog: store samples once, answer many queries.
+
+The paper's algebra makes sample reuse *decidable*: two sampled plans
+over the same relational core are comparable purely through their GUS
+parameters, so a stored sample can serve an exact repeat, a
+further-filtered query (predicate pushdown), or any lower-rate query
+(residual Bernoulli thinning with compacted coefficients).  This
+package provides the catalog (:class:`SynopsisCatalog`), the canonical
+fingerprints (:func:`canonicalize`), and the reuse matcher
+(:class:`ReuseMatcher`); the SBox consults them transparently when a
+:class:`~repro.relational.database.Database` is built with
+``catalog=``.
+"""
+
+from repro.store.catalog import (
+    CatalogStats,
+    Synopsis,
+    SynopsisCatalog,
+    table_nbytes,
+)
+from repro.store.fingerprint import (
+    CanonicalPlan,
+    DimensionDesign,
+    SamplingDesign,
+    canonicalize,
+    conjuncts,
+)
+from repro.store.matcher import (
+    ReuseDecision,
+    ReuseInfo,
+    ReuseMatcher,
+    choose,
+    materialize,
+    thin_seed,
+    thinned_params,
+)
+
+__all__ = [
+    "CanonicalPlan",
+    "CatalogStats",
+    "DimensionDesign",
+    "ReuseDecision",
+    "ReuseInfo",
+    "ReuseMatcher",
+    "SamplingDesign",
+    "Synopsis",
+    "SynopsisCatalog",
+    "canonicalize",
+    "choose",
+    "conjuncts",
+    "materialize",
+    "table_nbytes",
+    "thin_seed",
+    "thinned_params",
+]

@@ -1,0 +1,161 @@
+"""The CI bench-trajectory guard: regression math and failure modes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def write(path: pathlib.Path, workloads: list[dict]) -> pathlib.Path:
+    path.write_text(json.dumps({"workloads": workloads}))
+    return path
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    return write(
+        tmp_path / "baseline.json",
+        [{"benchmark": "mix", "throughput_ratio": 4.0, "hit_rate": 0.8}],
+    )
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        failures = check_regression.compare(
+            {"mix": {"ratio": 4.0}}, {"mix": {"ratio": 3.2}}, ["ratio"], 0.25
+        )
+        assert failures == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        failures = check_regression.compare(
+            {"mix": {"ratio": 4.0}}, {"mix": {"ratio": 2.9}}, ["ratio"], 0.25
+        )
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_improvement_always_passes(self):
+        failures = check_regression.compare(
+            {"mix": {"ratio": 4.0}}, {"mix": {"ratio": 9.0}}, ["ratio"], 0.25
+        )
+        assert failures == []
+
+    def test_missing_benchmark_fails(self):
+        failures = check_regression.compare(
+            {"mix": {"ratio": 4.0}}, {}, ["ratio"], 0.25
+        )
+        assert failures and "missing" in failures[0]
+
+    def test_missing_metric_fails(self):
+        failures = check_regression.compare(
+            {"mix": {"ratio": 4.0}}, {"mix": {}}, ["ratio"], 0.25
+        )
+        assert failures and "missing" in failures[0]
+
+    def test_bool_only_workload_skipped_when_metric_guarded_elsewhere(self):
+        # A bool-only workload (e.g. a bit-identity check) has no
+        # guarded ratio; it must not fail as long as the metric is
+        # genuinely guarded somewhere.
+        failures = check_regression.compare(
+            {
+                "identity": {"bit_identical": True},
+                "mix": {"ratio": 4.0},
+            },
+            {"mix": {"ratio": 4.0}},
+            ["ratio"],
+            0.25,
+        )
+        assert failures == []
+
+    def test_metric_in_no_baseline_workload_fails(self):
+        # A typo'd metric name must not make the guard pass vacuously.
+        failures = check_regression.compare(
+            {"identity": {"bit_identical": True}},
+            {},
+            ["ratoi"],
+            0.25,
+        )
+        assert failures and "no baseline workload" in failures[0]
+
+
+class TestMain:
+    def test_ok_run(self, baseline, tmp_path, capsys):
+        fresh = write(
+            tmp_path / "fresh.json",
+            [{"benchmark": "mix", "throughput_ratio": 3.5, "hit_rate": 0.9}],
+        )
+        code = check_regression.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(fresh),
+                "--metrics", "throughput_ratio,hit_rate",
+            ]
+        )
+        assert code == 0
+        assert "bench-trajectory ok: 2 metric" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, baseline, tmp_path, capsys):
+        fresh = write(
+            tmp_path / "fresh.json",
+            [{"benchmark": "mix", "throughput_ratio": 1.0, "hit_rate": 0.8}],
+        )
+        code = check_regression.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(fresh),
+                "--metrics", "throughput_ratio,hit_rate",
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_empty_baseline_cannot_pass(self, tmp_path, capsys):
+        empty = write(tmp_path / "empty.json", [])
+        code = check_regression.main(
+            [
+                "--baseline", str(empty),
+                "--fresh", str(empty),
+                "--metrics", "throughput_ratio",
+            ]
+        )
+        assert code == 1
+        assert "no baseline workload" in capsys.readouterr().err
+
+    def test_no_metrics_is_usage_error(self, baseline, capsys):
+        code = check_regression.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(baseline),
+                "--metrics", " ",
+            ]
+        )
+        assert code == 2
+
+    def test_committed_baselines_are_self_consistent(self, capsys):
+        # The baselines CI compares against must pass against themselves.
+        root = SCRIPT.parent / "baselines"
+        for name, metrics in [
+            ("BENCH_pipeline.smoke.json", "speedup_vs_serial,memory_ratio"),
+            ("BENCH_store.smoke.json", "throughput_ratio,hit_rate"),
+        ]:
+            path = root / name
+            assert path.exists(), f"committed baseline {name} missing"
+            code = check_regression.main(
+                [
+                    "--baseline", str(path),
+                    "--fresh", str(path),
+                    "--metrics", metrics,
+                ]
+            )
+            assert code == 0

@@ -1,0 +1,365 @@
+"""Reuse correctness: bit-identity, pushdown, and thinning unbiasedness.
+
+The three reuse modes carry three different guarantees, each checked
+here at the strength the theory allows:
+
+* **exact** — serving a stored sample must reproduce the storing run
+  bit for bit (values, variances, sample sizes), property-tested over
+  rates, seeds, and aggregate kinds;
+* **pushdown** — filtering a stored sample must equal estimating the
+  filtered query directly on the same draw (the GUS parameters do not
+  change under selection);
+* **thin** — residual Bernoulli thinning with *compacted* GUS
+  coefficients must stay unbiased, verified by exact enumeration of
+  the full two-stage (store, thin) sampling distribution on small
+  relations — for the estimate and for Theorem 1's variance estimate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import join_gus
+from repro.core.estimator import estimate_sum
+from repro.core.gus import bernoulli_gus, identity_gus
+from repro.data.tpch import tpch_database
+from repro.store import thinned_params
+
+
+def fresh_tpch(catalog: bool):
+    db = tpch_database(scale=0.02, seed=7)
+    if catalog:
+        db.attach_catalog()
+    return db
+
+
+QUERY_TEMPLATES = {
+    "sum": "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+    "TABLESAMPLE ({rate} PERCENT) REPEATABLE ({seed})",
+    "count": "SELECT COUNT(*) AS v FROM lineitem "
+    "TABLESAMPLE ({rate} PERCENT) REPEATABLE ({seed})",
+    "avg": "SELECT AVG(l_quantity) AS v FROM lineitem "
+    "TABLESAMPLE ({rate} PERCENT) REPEATABLE ({seed})",
+}
+
+
+def assert_bit_identical(a, b):
+    assert a.values == b.values
+    for alias, est in a.estimates.items():
+        other = b.estimates[alias]
+        assert est.value == other.value
+        assert est.variance_raw == other.variance_raw
+        assert est.n_sample == other.n_sample
+
+
+class TestExactReuse:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rate=st.sampled_from([5, 10, 20, 50]),
+        seed=st.integers(min_value=0, max_value=50),
+        kind=st.sampled_from(sorted(QUERY_TEMPLATES)),
+    )
+    def test_bit_identical_to_fresh_run(self, rate, seed, kind):
+        query = QUERY_TEMPLATES[kind].format(rate=rate, seed=seed)
+        cached = fresh_tpch(catalog=True)
+        first = cached.sql(query, seed=1)
+        second = cached.sql(query, seed=1)
+        fresh = fresh_tpch(catalog=False).sql(query, seed=1)
+        assert first.reuse is None
+        assert second.reuse is not None and second.reuse.kind == "exact"
+        assert_bit_identical(second, first)
+        assert_bit_identical(second, fresh)
+
+    def test_shared_child_across_aggregates(self):
+        db = fresh_tpch(catalog=True)
+        db.sql(QUERY_TEMPLATES["sum"].format(rate=10, seed=3), seed=1)
+        result = db.sql(
+            QUERY_TEMPLATES["count"].format(rate=10, seed=3), seed=2
+        )
+        assert result.reuse is not None and result.reuse.kind == "exact"
+
+    def test_grouped_exact_reuse_bit_identical(self):
+        query = (
+            "SELECT l_returnflag, SUM(l_quantity) AS q, COUNT(*) AS n "
+            "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (5) "
+            "GROUP BY l_returnflag"
+        )
+        cached = fresh_tpch(catalog=True)
+        first = cached.sql(query, seed=1)
+        second = cached.sql(query, seed=1)
+        fresh = fresh_tpch(catalog=False).sql(query, seed=1)
+        assert second.reuse is not None and second.reuse.kind == "exact"
+        for other in (first, fresh):
+            for name in first.keys:
+                assert np.array_equal(second.keys[name], other.keys[name])
+            for alias in first.values:
+                assert np.array_equal(
+                    second.values[alias], other.values[alias]
+                )
+                assert np.array_equal(
+                    second.estimates[alias].variance_raw,
+                    other.estimates[alias].variance_raw,
+                )
+
+
+class TestPushdownReuse:
+    def test_filter_applied_to_stored_sample(self):
+        base = "SELECT SUM(l_extendedprice) AS v FROM lineitem " \
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (4)"
+        filtered = base + " WHERE l_quantity > 30"
+        cached = fresh_tpch(catalog=True)
+        stored = cached.sql(base, seed=1)
+        served = cached.sql(filtered, seed=2)
+        assert served.reuse is not None
+        assert served.reuse.kind == "pushdown"
+        assert served.reuse.residual_predicates == 1
+        # Same GUS parameters; the sample is the stored draw, filtered.
+        assert served.gus.approx_equal(stored.gus)
+        direct = fresh_tpch(catalog=False).sql(filtered, seed=1)
+        assert served.estimates["v"].n_sample == direct.estimates["v"].n_sample
+        assert served.values["v"] == pytest.approx(direct.values["v"])
+
+    def test_superset_predicates_do_not_match(self):
+        cached = fresh_tpch(catalog=True)
+        filtered = (
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (4) WHERE l_quantity > 30"
+        )
+        base = (
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (4)"
+        )
+        cached.sql(filtered, seed=1)
+        # The *unfiltered* query must not be served from the filtered
+        # sample (it would silently drop rows).
+        result = cached.sql(base, seed=1)
+        assert result.reuse is None
+
+
+class TestThinningAlgebra:
+    def test_thinned_params_match_direct_bernoulli(self):
+        stored = bernoulli_gus("t", 0.8)
+        thinned = thinned_params(stored, (("t", 0.5),))
+        assert thinned.approx_equal(bernoulli_gus("t", 0.4))
+
+    def test_thinned_params_two_relations(self):
+        stored = join_gus(bernoulli_gus("t", 0.8), identity_gus({"u"}))
+        thinned = thinned_params(stored, (("t", 0.5), ("u", 0.25)))
+        expect = join_gus(bernoulli_gus("t", 0.4), bernoulli_gus("u", 0.25))
+        assert thinned.approx_equal(expect)
+
+    def test_served_params_equal_requested_design(self):
+        # End to end: a thin-served query's GUS must equal what the
+        # query's own analysis would have produced (Bernoulli stored).
+        db = fresh_tpch(catalog=True)
+        db.sql(
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (4)",
+            seed=1,
+        )
+        query = (
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (10 PERCENT) REPEATABLE (4)"
+        )
+        served = db.sql(query, seed=2)
+        assert served.reuse is not None and served.reuse.kind == "thin"
+        requested = db.analyze(db.plan_sql(query)).params
+        assert served.gus.project_out_inactive().approx_equal(
+            requested.project_out_inactive()
+        )
+
+    def test_thin_replicates_with_different_seeds_stay_distinct(self):
+        # Two thin-served replicates at the same reduced rate but
+        # different REPEATABLE seeds must get *different* residual
+        # draws (the thin seed folds in the requested design identity),
+        # while repeating either statement stays deterministic.
+        db = fresh_tpch(catalog=True)
+        db.sql(
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (40 PERCENT) REPEATABLE (1)",
+            seed=1,
+        )
+        template = (
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE ({seed})"
+        )
+        a = db.sql(template.format(seed=5), seed=1)
+        b = db.sql(template.format(seed=6), seed=1)
+        assert a.reuse is not None and a.reuse.kind == "thin"
+        assert b.reuse is not None and b.reuse.kind == "thin"
+        assert a.values != b.values
+        repeat = db.sql(template.format(seed=5), seed=2)
+        assert repeat.values == a.values  # deterministic per design
+
+    def test_same_rate_different_seed_is_never_substituted(self):
+        # REPEATABLE(7) at 20% must NOT be served the REPEATABLE(11)
+        # realization: same rate + different identity means the user
+        # asked for a different draw.  Reuse only swaps realizations
+        # alongside a genuine rate reduction.
+        db = fresh_tpch(catalog=True)
+        db.sql(
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (11)",
+            seed=1,
+        )
+        query = (
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (7)"
+        )
+        served = db.sql(query, seed=1)
+        assert served.reuse is None
+        fresh = fresh_tpch(catalog=False).sql(query, seed=1)
+        assert served.values == fresh.values
+
+    def test_rng_bernoulli_replicates_stay_independent(self):
+        # Plain (non-REPEATABLE) Bernoulli draws through the executor
+        # RNG: distinct seeds are distinct draw tokens, so a catalog
+        # must not serve seed=2 the seed=1 realization.
+        query = (
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT)"
+        )
+        cached = fresh_tpch(catalog=True)
+        r1 = cached.sql(query, seed=1)
+        r2 = cached.sql(query, seed=2)
+        assert r2.reuse is None
+        plain = fresh_tpch(catalog=False)
+        assert r1.values == plain.sql(query, seed=1).values
+        assert r2.values == plain.sql(query, seed=2).values
+        assert r1.values != r2.values
+        # ... while an actual repeat (same seed, same token) still hits.
+        r3 = cached.sql(query, seed=1)
+        assert r3.reuse is not None and r3.reuse.kind == "exact"
+        assert r3.values == r1.values
+
+    def test_thinner_store_cannot_serve_wider_query(self):
+        db = fresh_tpch(catalog=True)
+        db.sql(
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (5 PERCENT) REPEATABLE (4)",
+            seed=1,
+        )
+        result = db.sql(
+            "SELECT SUM(l_extendedprice) AS v FROM lineitem "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (4)",
+            seed=1,
+        )
+        assert result.reuse is None  # rate dominance failed -> fresh run
+
+
+def bernoulli_subsets(ids, p):
+    """(probability, kept) pairs of a Bernoulli(p) draw over ids."""
+    for r in range(len(ids) + 1):
+        for combo in itertools.combinations(ids, r):
+            yield p ** r * (1.0 - p) ** (len(ids) - r), frozenset(combo)
+
+
+class TestThinningUnbiasedByEnumeration:
+    """Exact enumeration of the (store, thin) two-stage distribution."""
+
+    @pytest.mark.parametrize(
+        "p_store,ratio", [(0.8, 0.5), (0.5, 0.4), (1.0, 0.3)]
+    )
+    def test_single_relation_estimate_and_variance(self, p_store, ratio):
+        f = np.array([3.0, -1.0, 4.0, 1.5, 5.0])
+        ids = tuple(range(f.size))
+        truth = float(f.sum())
+        params = thinned_params(bernoulli_gus("t", p_store), (("t", ratio),))
+
+        mean = 0.0
+        second_moment = 0.0
+        expected_var_estimate = 0.0
+        for prob_store, kept_store in bernoulli_subsets(ids, p_store):
+            for prob_thin, kept in bernoulli_subsets(
+                sorted(kept_store), ratio
+            ):
+                prob = prob_store * prob_thin
+                idx = np.array(sorted(kept), dtype=np.int64)
+                est = estimate_sum(
+                    params, f[idx], {"t": idx.astype(np.int64)}
+                )
+                mean += prob * est.value
+                second_moment += prob * est.value**2
+                expected_var_estimate += prob * est.variance_raw
+        assert mean == pytest.approx(truth, rel=1e-9)
+        true_variance = second_moment - truth**2
+        assert expected_var_estimate == pytest.approx(
+            true_variance, rel=1e-7, abs=1e-7
+        )
+
+    def test_join_with_cross_relation_thinning(self):
+        # Stored: t sampled at 0.7, u unsampled.  Query: t at 0.35 and
+        # u at 0.5 -> residual thinning on both dimensions at once.
+        rows = [
+            ({"t": 0, "u": 0}, 2.0),
+            ({"t": 0, "u": 1}, -1.0),
+            ({"t": 1, "u": 0}, 3.0),
+            ({"t": 2, "u": 1}, 1.0),
+        ]
+        t_ids, u_ids = (0, 1, 2), (0, 1)
+        p_store, r_t, r_u = 0.7, 0.5, 0.5
+        stored = join_gus(bernoulli_gus("t", p_store), identity_gus({"u"}))
+        params = thinned_params(stored, (("t", r_t), ("u", r_u)))
+        truth = sum(f for _, f in rows)
+
+        mean = 0.0
+        total_prob = 0.0
+        for prob_s, kept_s in bernoulli_subsets(t_ids, p_store):
+            for prob_t, kept_t in bernoulli_subsets(sorted(kept_s), r_t):
+                for prob_u, kept_u in bernoulli_subsets(u_ids, r_u):
+                    prob = prob_s * prob_t * prob_u
+                    total_prob += prob
+                    surviving = [
+                        (lin, f)
+                        for lin, f in rows
+                        if lin["t"] in kept_t and lin["u"] in kept_u
+                    ]
+                    lineage = {
+                        "t": np.array(
+                            [lin["t"] for lin, _ in surviving],
+                            dtype=np.int64,
+                        ),
+                        "u": np.array(
+                            [lin["u"] for lin, _ in surviving],
+                            dtype=np.int64,
+                        ),
+                    }
+                    values = np.array([f for _, f in surviving])
+                    est = estimate_sum(params, values, lineage)
+                    mean += prob * est.value
+        assert total_prob == pytest.approx(1.0, abs=1e-12)
+        assert mean == pytest.approx(truth, rel=1e-9)
+
+    def test_thinned_sample_is_statistically_sane_end_to_end(self):
+        # Through the real hash filters: the thin-served estimate over
+        # many stored seeds should average near the truth.
+        estimates = []
+        for seed in range(40):
+            db = tpch_database(scale=0.01, seed=11)
+            db.attach_catalog()
+            db.sql(
+                "SELECT SUM(l_quantity) AS v FROM lineitem "
+                f"TABLESAMPLE (80 PERCENT) REPEATABLE ({seed})",
+                seed=1,
+            )
+            served = db.sql(
+                "SELECT SUM(l_quantity) AS v FROM lineitem "
+                f"TABLESAMPLE (40 PERCENT) REPEATABLE ({seed})",
+                seed=2,
+            )
+            assert served.reuse is not None and served.reuse.kind == "thin"
+            estimates.append(served.values["v"])
+        truth = float(
+            tpch_database(scale=0.01, seed=11)
+            .sql_exact("SELECT SUM(l_quantity) AS v FROM lineitem")
+            .column("v")[0]
+        )
+        mean = float(np.mean(estimates))
+        spread = float(np.std(estimates)) / math.sqrt(len(estimates))
+        assert abs(mean - truth) < 4.0 * spread + 1e-9
