@@ -1,0 +1,231 @@
+"""Eval-H: observability overhead and bit-identity guarantees.
+
+Two contractual claims, asserted here and in the CI ``observability``
+job (run ``python benchmarks/bench_obs.py --json`` to record them
+machine-readably):
+
+* **bit-identity** — enabling tracing (``REPRO_TRACE=1``) changes no
+  answer: estimates, raw variances, and CI bounds are bit-for-bit
+  identical to the untraced run, serially and on the chunked pipeline;
+* **overhead** — the traced run costs at most 5% wall time over the
+  untraced run on the standard workload (tracing records one span per
+  plan node / phase / chunk, never per row).  Smoke mode
+  (``REPRO_BENCH_SMOKE=1``) shrinks the data, where fixed per-query
+  costs dominate, and relaxes the ceiling to 50%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.data.tpch import tpch_database
+from repro.obs.trace import env_trace_enabled
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SCALE = 0.05 if SMOKE else 0.5
+TIMING_REPEATS = 3 if SMOKE else 5
+MAX_OVERHEAD_RATIO = 1.5 if SMOKE else 1.05
+WORKERS = 4
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: The measured workload: a sampled join aggregate (serial), the same
+#: chunked, and a grouped Q1-style aggregate — the three executor paths.
+STATEMENTS = (
+    "SELECT SUM(l_extendedprice) AS rev, COUNT(*) AS n "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11), orders "
+    "WHERE l_orderkey = o_orderkey",
+    "SELECT l_returnflag, SUM(l_quantity) AS qty, AVG(l_extendedprice) AS p "
+    "FROM lineitem TABLESAMPLE (25 PERCENT) REPEATABLE (3) "
+    "GROUP BY l_returnflag",
+)
+
+
+def build_database():
+    return tpch_database(scale=SCALE, seed=13)
+
+
+def _run_workload(db, workers):
+    out = []
+    for i, statement in enumerate(STATEMENTS):
+        out.append(db.sql(statement, seed=100 + i, workers=workers))
+    return out
+
+
+def _fingerprint(results) -> list:
+    """Everything an answer is made of, in comparable form."""
+    fp = []
+    for r in results:
+        if hasattr(r, "n_groups"):  # grouped
+            fp.append(
+                (
+                    {k: v.tolist() for k, v in r.keys.items()},
+                    {a: v.tolist() for a, v in r.values.items()},
+                    {
+                        a: r.estimates[a].variance_raw.tolist()
+                        for a in r.values
+                    },
+                )
+            )
+        else:
+            fp.append(
+                (
+                    dict(r.values),
+                    {a: r.estimates[a].variance_raw for a in r.values},
+                )
+            )
+    return fp
+
+
+def _best_of(fn, repeats: int = TIMING_REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _with_trace_env(enabled: bool, fn):
+    saved = os.environ.get("REPRO_TRACE")
+    if enabled:
+        os.environ["REPRO_TRACE"] = "1"
+    else:
+        os.environ.pop("REPRO_TRACE", None)
+    try:
+        return fn()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_TRACE", None)
+        else:
+            os.environ["REPRO_TRACE"] = saved
+
+
+def run_obs_benchmark(db=None) -> dict:
+    if db is None:
+        db = build_database()
+    assert not env_trace_enabled(), (
+        "run this benchmark without REPRO_TRACE; it toggles the flag "
+        "itself to measure both sides"
+    )
+    results = {}
+    seconds = {}
+    for workers in (0, WORKERS):
+        untraced = _with_trace_env(False, lambda: _run_workload(db, workers))
+        traced = _with_trace_env(True, lambda: _run_workload(db, workers))
+        results[workers] = (
+            _fingerprint(untraced) == _fingerprint(traced),
+            all(getattr(r, "trace", None) is not None for r in traced),
+        )
+        seconds[workers] = (
+            _with_trace_env(
+                False, lambda: _best_of(lambda: _run_workload(db, workers))
+            ),
+            _with_trace_env(
+                True, lambda: _best_of(lambda: _run_workload(db, workers))
+            ),
+        )
+    overhead = {
+        w: traced_s / untraced_s
+        for w, (untraced_s, traced_s) in seconds.items()
+    }
+    return {
+        "benchmark": "trace_overhead",
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "workers": WORKERS,
+        "bit_identical_serial": bool(results[0][0]),
+        "bit_identical_chunked": bool(results[WORKERS][0]),
+        "traces_attached": bool(results[0][1] and results[WORKERS][1]),
+        "untraced_seconds_serial": seconds[0][0],
+        "traced_seconds_serial": seconds[0][1],
+        "untraced_seconds_chunked": seconds[WORKERS][0],
+        "traced_seconds_chunked": seconds[WORKERS][1],
+        "overhead_ratio_serial": overhead[0],
+        "overhead_ratio_chunked": overhead[WORKERS],
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+    }
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return run_obs_benchmark()
+
+
+class TestObservabilityOverhead:
+    def test_traced_runs_bit_identical(self, metrics, repro_report):
+        repro_report.add(
+            "obs (Eval-H)",
+            "REPRO_TRACE=1 vs untraced (serial and chunked@4)",
+            "bit-identical",
+            "bit-identical"
+            if metrics["bit_identical_serial"]
+            and metrics["bit_identical_chunked"]
+            else "DIFFERS",
+        )
+        assert metrics["bit_identical_serial"]
+        assert metrics["bit_identical_chunked"]
+        assert metrics["traces_attached"]
+
+    def test_overhead_bounded(self, metrics, repro_report):
+        worst = max(
+            metrics["overhead_ratio_serial"],
+            metrics["overhead_ratio_chunked"],
+        )
+        repro_report.add(
+            "obs (Eval-H)",
+            "tracing wall-time overhead",
+            f"<= {MAX_OVERHEAD_RATIO:.2f}x",
+            f"{worst:.3f}x" + (" (smoke)" if SMOKE else ""),
+        )
+        assert worst <= MAX_OVERHEAD_RATIO, metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Observability overhead benchmark; asserts the "
+        "bit-identity and <=5%% overhead claims."
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=str(JSON_PATH),
+        default=None,
+        metavar="PATH",
+        help=f"write results as JSON (default path: {JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+    metrics = run_obs_benchmark()
+    payload = {
+        "suite": "bench_obs",
+        "schema_version": 1,
+        "workloads": [metrics],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        pathlib.Path(args.json).write_text(text + "\n")
+        print(f"\nwrote {args.json}")
+    ok = (
+        metrics["bit_identical_serial"]
+        and metrics["bit_identical_chunked"]
+        and metrics["traces_attached"]
+        and metrics["overhead_ratio_serial"] <= MAX_OVERHEAD_RATIO
+        and metrics["overhead_ratio_chunked"] <= MAX_OVERHEAD_RATIO
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ import numpy as np
 import pytest
 
 from repro.data.tpch import generate_tpch
+from repro.obs.metrics import phase_seconds_delta, phase_seconds_snapshot
 from repro.relational.database import Database
 from repro.relational.expressions import col, lit
 from repro.relational.plan import (
@@ -218,7 +219,11 @@ def run_pipeline_benchmark(db: Database | None = None) -> dict:
         for a in serial_result.values
     )
     serial_seconds = _best_of(serial)
+    phases_before = phase_seconds_snapshot()
     chunked_seconds = _best_of(lambda: chunked(WORKERS))
+    phase_seconds = phase_seconds_delta(
+        phases_before, phase_seconds_snapshot()
+    )
     serial_peak = _traced_peak(serial)
     chunked_peak = _traced_peak(lambda: chunked(WORKERS))
     return {
@@ -238,6 +243,11 @@ def run_pipeline_benchmark(db: Database | None = None) -> dict:
         "memory_ratio": serial_peak / max(chunked_peak, 1),
         "worker_invariant": bool(worker_invariant),
         "values_match_serial": bool(values_close),
+        # Per-phase attribution of the timed chunked runs (draw =
+        # chunked scan/sample/join work, merge = driver-side sketch
+        # folds, estimate = moment -> estimate reduction), from the
+        # always-on metrics registry.
+        "phase_seconds": phase_seconds,
     }
 
 
@@ -343,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
     identity = run_q1_identity_check(db)
     payload = {
         "suite": "bench_pipeline",
+        "schema_version": 1,
         "workloads": [metrics, identity],
     }
     text = json.dumps(payload, indent=2, sort_keys=True)

@@ -34,6 +34,7 @@ import numpy as np
 import pytest
 
 from repro.data.tpch import tpch_database
+from repro.obs.metrics import phase_seconds_delta, phase_seconds_snapshot
 from repro.service import QueryService, default_seed
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -161,7 +162,11 @@ def check_exactness() -> dict:
 
 def run_store_benchmark() -> dict:
     mix = workload_mix()
+    phases_before = phase_seconds_snapshot()
     service, responses, catalog_seconds = run_catalog_side(mix)
+    phase_seconds = phase_seconds_delta(
+        phases_before, phase_seconds_snapshot()
+    )
     fresh_seconds = run_fresh_side(mix)
     stats, store = service.snapshot_stats()
     served_fresh = sum(
@@ -188,6 +193,11 @@ def run_store_benchmark() -> dict:
         "store_thin_hits": store.thin_hits,
         "hit_rate": store.hit_rate,
         "executed_fresh": served_fresh,
+        # Per-phase attribution of the catalog side (catalog_probe =
+        # canonicalize + match, residual = serving hits by pushdown/
+        # thinning, draw/estimate = the misses), from the always-on
+        # metrics registry.
+        "phase_seconds": phase_seconds,
     }
     metrics.update(check_exactness())
     return metrics
@@ -251,7 +261,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     metrics = run_store_benchmark()
-    payload = {"suite": "bench_store", "workloads": [metrics]}
+    payload = {
+        "suite": "bench_store",
+        "schema_version": 1,
+        "workloads": [metrics],
+    }
     text = json.dumps(payload, indent=2, sort_keys=True)
     print(text)
     if args.json:

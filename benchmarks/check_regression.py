@@ -32,10 +32,29 @@ import sys
 
 DEFAULT_TOLERANCE = 0.25
 
+#: Payload schema this checker understands.  Baseline and fresh files
+#: must both carry it: comparing across schema generations silently
+#: compares metrics with different meanings.
+SCHEMA_VERSION = 1
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    return json.loads(path.read_text())
+
 
 def load_workloads(path: pathlib.Path) -> dict[str, dict]:
-    payload = json.loads(path.read_text())
+    payload = load_payload(path)
     return {w["benchmark"]: w for w in payload.get("workloads", [])}
+
+
+def check_schema(payload: dict, label: str) -> list[str]:
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        return [
+            f"{label}: schema_version {version!r} != expected "
+            f"{SCHEMA_VERSION} (regenerate with the current suite)"
+        ]
+    return []
 
 
 def compare(
@@ -96,14 +115,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_workloads(args.baseline)
-    fresh = load_workloads(args.fresh)
+    baseline_payload = load_payload(args.baseline)
+    fresh_payload = load_payload(args.fresh)
     metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
     if not metrics:
         print("no metrics given", file=sys.stderr)
         return 2
 
-    failures = compare(baseline, fresh, metrics, args.tolerance)
+    failures = check_schema(baseline_payload, "baseline") + check_schema(
+        fresh_payload, "fresh"
+    )
+    baseline = {
+        w["benchmark"]: w for w in baseline_payload.get("workloads", [])
+    }
+    fresh = {w["benchmark"]: w for w in fresh_payload.get("workloads", [])}
+    failures += compare(baseline, fresh, metrics, args.tolerance)
     for line in failures:
         print(f"REGRESSION {line}", file=sys.stderr)
     if failures:

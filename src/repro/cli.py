@@ -83,8 +83,15 @@ def _format_grouped(result, level: float) -> str:
 
 def _format_result(result, level: float) -> str:
     from repro.core.sbox import GroupedQueryResult, QueryResult
+    from repro.obs.report import ExplainAnalyzeReport
     from repro.optimizer import OptimizedResult, OptimizerReport
 
+    if isinstance(result, ExplainAnalyzeReport):
+        return (
+            _format_result(result.result, level)
+            + "\n"
+            + result.render_trace()
+        )
     if isinstance(result, OptimizerReport):
         return result.table()
     if isinstance(result, OptimizedResult):
@@ -211,6 +218,61 @@ def _run_serve(args) -> int:
     return 0 if served else 1
 
 
+def _add_profile_subcommand(subcommands) -> None:
+    """Register ``repro profile`` — one traced run plus the hot-path table.
+
+    Executes the statement once under a tracer and prints the answer,
+    the span tree, and the self-time table that names the engine's
+    kernels (lineage-hash draw, join key factorization, group_reduce).
+    """
+    profile = subcommands.add_parser(
+        "profile",
+        help="run one statement traced and print the hot-path table",
+        description="Trace one statement end to end and attribute wall "
+        "time to the engine's kernels by span self-time.",
+    )
+    profile.add_argument("statement", help="SQL statement to profile")
+    profile.add_argument(
+        "--scale", type=float, default=argparse.SUPPRESS,
+        help="TPC-H scale factor",
+    )
+    profile.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
+    )
+    profile.add_argument(
+        "--level", type=float, default=argparse.SUPPRESS,
+        help="confidence level for printed intervals",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=argparse.SUPPRESS, metavar="N",
+        help="chunked-pipeline worker count",
+    )
+
+
+def _run_profile(args) -> int:
+    from repro.obs.report import profile_table, render_trace
+    from repro.obs.trace import start_trace
+
+    try:
+        db = _build_database(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with start_trace("profile") as tracer:
+            result = db.sql(args.statement)
+        trace = tracer.finish_trace()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_format_result(result, args.level))
+    print()
+    print(render_trace(trace))
+    print()
+    print(profile_table(trace))
+    return 0
+
+
 def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     """Register ``repro stream`` — the streaming-engine demo.
 
@@ -222,9 +284,10 @@ def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     to the ground truth the simulator knows.
     """
     subcommands = parser.add_subparsers(
-        dest="subcommand", metavar="{stream,serve}"
+        dest="subcommand", metavar="{stream,serve,profile}"
     )
     _add_serve_subcommand(subcommands)
+    _add_profile_subcommand(subcommands)
     stream = subcommands.add_parser(
         "stream",
         help="streaming engine demo: sharded, windowed estimates "
@@ -375,6 +438,8 @@ def main(argv=None) -> int:
         return _run_stream(args)
     if args.subcommand == "serve":
         return _run_serve(args)
+    if args.subcommand == "profile":
+        return _run_profile(args)
 
     try:
         db = _build_database(args)

@@ -19,7 +19,8 @@ the execution engine beyond consuming its output table.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -39,6 +40,13 @@ from repro.core.gus import GUSParams
 from repro.core.rewrite import RewriteResult, rewrite_to_top_gus
 from repro.core.subsample import SubsampleSpec, subsampled_estimate
 from repro.errors import EstimationError, PlanError
+from repro.obs.metrics import observe_phase_seconds
+from repro.obs.trace import (
+    env_trace_enabled,
+    get_tracer,
+    maybe_span,
+    start_trace,
+)
 from repro.relational.aggregates import aggregate_input_vector
 from repro.relational.plan import Aggregate, AggSpec, GroupAggregate, PlanNode
 from repro.relational.table import Table
@@ -49,6 +57,7 @@ from repro.stats.delta import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Trace
     from repro.store import ReuseInfo, SynopsisCatalog
 
 
@@ -75,6 +84,7 @@ class QueryResult:
     rewrite: RewriteResult = field(repr=False)
     plan: Aggregate | None = field(default=None, repr=False)
     reuse: "ReuseInfo | None" = field(default=None, repr=False)
+    trace: "Trace | None" = field(default=None, repr=False, compare=False)
 
     def __getitem__(self, alias: str) -> float:
         return self.values[alias]
@@ -116,6 +126,7 @@ class GroupedQueryResult:
     rewrite: RewriteResult = field(repr=False)
     plan: GroupAggregate | None = field(default=None, repr=False)
     reuse: "ReuseInfo | None" = field(default=None, repr=False)
+    trace: "Trace | None" = field(default=None, repr=False, compare=False)
 
     def __getitem__(self, alias: str) -> np.ndarray:
         return self.values[alias]
@@ -314,14 +325,54 @@ class SBox:
         sampling always; block sampling via boundary alignment); keys
         replicated across chunks by join fanout merge partial sums, so
         only there can a different chunking move the last float ulp.
-        """
-        from repro.relational.executor import Executor
 
+        With ``REPRO_TRACE=1`` in the environment (and no trace already
+        active) the run is traced and the span tree attached to
+        ``result.trace``; tracing never touches the RNG or fold order,
+        so the numbers stay bit-identical either way.
+        """
         if not isinstance(plan, (Aggregate, GroupAggregate)):
             raise PlanError(
                 "SBox.run expects an Aggregate or GroupAggregate plan"
             )
-        rewrite = self.analyze(plan.child)
+        if get_tracer() is None and env_trace_enabled():
+            with start_trace("sbox.run") as tracer:
+                result = self._run(
+                    plan,
+                    subsample=subsample,
+                    rng=rng,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    rng_mode=rng_mode,
+                    keep_sample=keep_sample,
+                )
+            return replace(result, trace=tracer.finish_trace())
+        return self._run(
+            plan,
+            subsample=subsample,
+            rng=rng,
+            workers=workers,
+            chunk_size=chunk_size,
+            rng_mode=rng_mode,
+            keep_sample=keep_sample,
+        )
+
+    def _run(
+        self,
+        plan: Aggregate | GroupAggregate,
+        *,
+        subsample: SubsampleSpec | None,
+        rng: np.random.Generator | None,
+        workers: int | None,
+        chunk_size: int | None,
+        rng_mode: str,
+        keep_sample: bool,
+    ) -> "QueryResult | GroupedQueryResult":
+        from repro.relational.executor import Executor
+
+        tracer = get_tracer()
+        with maybe_span(tracer, "analyze"):
+            rewrite = self.analyze(plan.child)
         if (
             self.synopses is not None
             and subsample is None
@@ -350,7 +401,11 @@ class SBox:
                 subsample=subsample,
             )
         executor = Executor(self.catalog, rng if rng is not None else self.rng)
-        sample = executor.execute(plan.child)
+        t0 = perf_counter()
+        with maybe_span(tracer, "draw") as sp:
+            sample = executor.execute(plan.child)
+            sp.attrs["rows"] = sample.n_rows
+        observe_phase_seconds("draw", perf_counter() - t0)
         if isinstance(plan, GroupAggregate):
             return self.estimate_from_sample_grouped(
                 plan, sample, rewrite, subsample=subsample
@@ -381,20 +436,46 @@ class SBox:
         from repro.store import ReuseMatcher, canonicalize, materialize
         from repro.store.fingerprint import draw_token_of
 
-        canon = canonicalize(
-            plan.child,
-            {name: t.n_rows for name, t in self.catalog.items()},
-            draw_token=draw_token_of(rng if rng is not None else self.rng),
-        )
+        tracer = get_tracer()
+        t0 = perf_counter()
+        with maybe_span(tracer, "store.probe", kind="store") as sp:
+            canon = canonicalize(
+                plan.child,
+                {name: t.n_rows for name, t in self.catalog.items()},
+                draw_token=draw_token_of(
+                    rng if rng is not None else self.rng
+                ),
+            )
+            if canon is None:
+                decision = None
+                sp.attrs["outcome"] = "uncanonical"
+            else:
+                needed = _needed_columns(plan)
+                for pred in canon.predicates:
+                    needed |= pred.columns_used()
+                matcher = ReuseMatcher(self.synopses)
+                decision = matcher.match(canon, required_columns=needed)
+                sp.attrs["outcome"] = "miss" if decision is None else "hit"
+                if decision is not None:
+                    sp.attrs["mode"] = decision.kind
+        observe_phase_seconds("catalog_probe", perf_counter() - t0)
         if canon is None:
             return None
-        needed = _needed_columns(plan)
-        for pred in canon.predicates:
-            needed |= pred.columns_used()
-        matcher = ReuseMatcher(self.synopses)
-        decision = matcher.match(canon, required_columns=needed)
         if decision is not None:
-            sample, params, clean, info = materialize(decision)
+            t1 = perf_counter()
+            with maybe_span(tracer, "store.serve", kind="store") as sp:
+                sample, params, clean, info = materialize(decision)
+                sp.attrs["mode"] = info.kind
+                sp.attrs["entry"] = info.entry_id
+                sp.attrs["rows_stored"] = info.stored_rows
+                sp.attrs["rows_served"] = info.served_rows
+                if info.thin_rates:
+                    sp.attrs["thinned_relations"] = len(info.thin_rates)
+                if info.residual_predicates:
+                    sp.attrs["residual_predicates"] = (
+                        info.residual_predicates
+                    )
+            observe_phase_seconds("residual", perf_counter() - t1)
             served = RewriteResult(clean, params)
             if isinstance(plan, GroupAggregate):
                 return self.estimate_from_sample_grouped(
@@ -402,34 +483,40 @@ class SBox:
                 )
             return self.estimate_from_sample(plan, sample, served, reuse=info)
         # Miss: execute the sampled child once, full-width, and store it.
-        if workers is not None and workers >= 1:
-            from repro.relational.partition import DEFAULT_CHUNK_ROWS
-            from repro.relational.pipeline import ChunkedExecutor
+        t2 = perf_counter()
+        with maybe_span(tracer, "draw") as sp:
+            if workers is not None and workers >= 1:
+                from repro.relational.partition import DEFAULT_CHUNK_ROWS
+                from repro.relational.pipeline import ChunkedExecutor
 
-            sample = ChunkedExecutor(
-                self.catalog,
-                rng if rng is not None else self.rng,
-                workers=int(workers),
-                chunk_size=(
-                    chunk_size
-                    if chunk_size is not None
-                    else DEFAULT_CHUNK_ROWS
-                ),
-                rng_mode=rng_mode,
-            ).execute(plan.child)
-        else:
-            from repro.relational.executor import Executor
+                sample = ChunkedExecutor(
+                    self.catalog,
+                    rng if rng is not None else self.rng,
+                    workers=int(workers),
+                    chunk_size=(
+                        chunk_size
+                        if chunk_size is not None
+                        else DEFAULT_CHUNK_ROWS
+                    ),
+                    rng_mode=rng_mode,
+                ).execute(plan.child)
+            else:
+                from repro.relational.executor import Executor
 
-            sample = Executor(
-                self.catalog, rng if rng is not None else self.rng
-            ).execute(plan.child)
-        self.synopses.put(
-            canon,
-            sample,
-            rewrite.params,
-            rewrite.clean_plan,
-            versions=self._version_stamps,
-        )
+                sample = Executor(
+                    self.catalog, rng if rng is not None else self.rng
+                ).execute(plan.child)
+            sp.attrs["rows"] = sample.n_rows
+        observe_phase_seconds("draw", perf_counter() - t2)
+        with maybe_span(tracer, "store.put", kind="store") as sp:
+            stored = self.synopses.put(
+                canon,
+                sample,
+                rewrite.params,
+                rewrite.clean_plan,
+                versions=self._version_stamps,
+            )
+            sp.attrs["stored"] = stored is not None
         if isinstance(plan, GroupAggregate):
             return self.estimate_from_sample_grouped(plan, sample, rewrite)
         return self.estimate_from_sample(plan, sample, rewrite)
@@ -467,13 +554,18 @@ class SBox:
             ),
             rng_mode=rng_mode,
         )
+        tracer = get_tracer()
         needed = _needed_columns(plan)
         if subsample is not None:
             # Section 7 sub-sampling needs the raw sample rows; stream
             # the (pruned) chunks and estimate off the concatenation.
-            sample = concat_tables(
-                list(executor.iter_chunks(plan.child, columns=needed))
-            )
+            t0 = perf_counter()
+            with maybe_span(tracer, "draw") as sp:
+                sample = concat_tables(
+                    list(executor.iter_chunks(plan.child, columns=needed))
+                )
+                sp.attrs["rows"] = sample.n_rows
+            observe_phase_seconds("draw", perf_counter() - t0)
             assert isinstance(plan, Aggregate)
             return self.estimate_from_sample(
                 plan, sample, rewrite, subsample=subsample
@@ -504,13 +596,27 @@ class SBox:
 
         merged = None
         kept: list[Table] = []
-        for contrib, chunk in executor.map_chunks(
-            plan.child, per_chunk, columns=needed
-        ):
-            merged = contrib if merged is None else merged.merge(contrib)
-            if chunk is not None:
-                kept.append(chunk)
-        assert merged is not None  # the pipeline always emits >= 1 chunk
+        merge_seconds = 0.0
+        t0 = perf_counter()
+        with maybe_span(tracer, "draw") as sp:
+            for contrib, chunk in executor.map_chunks(
+                plan.child, per_chunk, columns=needed
+            ):
+                if merged is None:
+                    merged = contrib
+                else:
+                    m0 = perf_counter()
+                    merged = merged.merge(contrib)
+                    merge_seconds += perf_counter() - m0
+                if chunk is not None:
+                    kept.append(chunk)
+            assert merged is not None  # the pipeline always emits >= 1 chunk
+            sp.attrs["rows"] = merged.n_rows
+            sp.attrs["merge_ns"] = int(merge_seconds * 1e9)
+        observe_phase_seconds(
+            "draw", perf_counter() - t0 - merge_seconds
+        )
+        observe_phase_seconds("merge", merge_seconds)
         sample = concat_tables(kept) if keep_sample else None
         if grouped:
             return self._finish_grouped(
@@ -532,34 +638,45 @@ class SBox:
         """Estimates from merged ungrouped moment state."""
         params = rewrite.params
         pruned = params.project_out_inactive()
-        moments = bundle.moments()
-        totals = bundle.totals()
-        raw = [
-            estimate_from_moments(
-                pruned, moments[j], totals[j], bundle.n_rows, label=labels[j]
-            )
-            for j in range(len(labels))
-        ]
-        estimates: dict[str, Estimate] = {}
-        values: dict[str, float] = {}
-        for spec, indices in spec_inputs:
-            if spec.kind == "avg":
-                num, den, both = (raw[j] for j in indices)
-                # Polarization: Cov = (Var(f+1) − Var(f) − Var(1)) / 2.
-                cov = 0.5 * (
-                    both.variance_raw
-                    - num.variance_raw
-                    - den.variance_raw
+        tracer = get_tracer()
+        t0 = perf_counter()
+        with maybe_span(tracer, "estimate") as span:
+            span.attrs["rows"] = bundle.n_rows
+            span.attrs["aggregates"] = len(spec_inputs)
+            moments = bundle.moments()
+            totals = bundle.totals()
+            raw = [
+                estimate_from_moments(
+                    pruned,
+                    moments[j],
+                    totals[j],
+                    bundle.n_rows,
+                    label=labels[j],
                 )
-                est = ratio_estimate(num, den, cov)
-            else:
-                est = raw[indices[0]]
-            estimates[spec.alias] = est
-            values[spec.alias] = (
-                est.quantile(spec.quantile)
-                if spec.quantile is not None
-                else est.value
-            )
+                for j in range(len(labels))
+            ]
+            estimates: dict[str, Estimate] = {}
+            values: dict[str, float] = {}
+            for spec, indices in spec_inputs:
+                if spec.kind == "avg":
+                    num, den, both = (raw[j] for j in indices)
+                    # Polarization:
+                    # Cov = (Var(f+1) − Var(f) − Var(1)) / 2.
+                    cov = 0.5 * (
+                        both.variance_raw
+                        - num.variance_raw
+                        - den.variance_raw
+                    )
+                    est = ratio_estimate(num, den, cov)
+                else:
+                    est = raw[indices[0]]
+                estimates[spec.alias] = est
+                values[spec.alias] = (
+                    est.quantile(spec.quantile)
+                    if spec.quantile is not None
+                    else est.value
+                )
+        observe_phase_seconds("estimate", perf_counter() - t0)
         return QueryResult(
             values=values,
             estimates=estimates,
@@ -581,52 +698,60 @@ class SBox:
         """Per-group estimates from merged grouped moment state."""
         params = rewrite.params
         pruned = params.project_out_inactive()
-        group_key_cols, ys, totals, counts = bundle.moments()
-        bundles: list[GroupedEstimates] = []
-        for j, label in enumerate(labels):
-            yhat = unbiased_y_terms_grouped(pruned, ys[j])
-            var_raw = grouped_theorem1_variance(pruned, yhat)
-            bundles.append(
-                GroupedEstimates(
-                    values=totals[j] / params.a,
-                    variance_raw=var_raw,
-                    n_samples=counts,
-                    label=label,
-                    extras={
-                        "a": params.a,
-                        "active_dims": pruned.lattice.dims,
-                    },
+        tracer = get_tracer()
+        t0 = perf_counter()
+        with maybe_span(tracer, "estimate") as span:
+            span.attrs["rows"] = bundle.n_rows
+            span.attrs["aggregates"] = len(spec_inputs)
+            group_key_cols, ys, totals, counts = bundle.moments()
+            bundles: list[GroupedEstimates] = []
+            for j, label in enumerate(labels):
+                yhat = unbiased_y_terms_grouped(pruned, ys[j])
+                var_raw = grouped_theorem1_variance(pruned, yhat)
+                bundles.append(
+                    GroupedEstimates(
+                        values=totals[j] / params.a,
+                        variance_raw=var_raw,
+                        n_samples=counts,
+                        label=label,
+                        extras={
+                            "a": params.a,
+                            "active_dims": pruned.lattice.dims,
+                        },
+                    )
                 )
-            )
-        keys = {
-            k: col for k, col in zip(plan.keys, group_key_cols)
-        }
-        estimates: dict[str, GroupedEstimates] = {}
-        values: dict[str, np.ndarray] = {}
-        for spec, indices in spec_inputs:
-            if spec.kind == "avg":
-                num, den, both = (bundles[j] for j in indices)
-                cov = 0.5 * (
-                    both.variance_raw
-                    - num.variance_raw
-                    - den.variance_raw
+            keys = {
+                k: col for k, col in zip(plan.keys, group_key_cols)
+            }
+            estimates: dict[str, GroupedEstimates] = {}
+            values: dict[str, np.ndarray] = {}
+            for spec, indices in spec_inputs:
+                if spec.kind == "avg":
+                    num, den, both = (bundles[j] for j in indices)
+                    cov = 0.5 * (
+                        both.variance_raw
+                        - num.variance_raw
+                        - den.variance_raw
+                    )
+                    est = ratio_estimates_grouped(num, den, cov)
+                else:
+                    est = bundles[indices[0]]
+                estimates[spec.alias] = est
+                values[spec.alias] = (
+                    est.quantile(spec.quantile)
+                    if spec.quantile is not None
+                    else est.values
                 )
-                est = ratio_estimates_grouped(num, den, cov)
-            else:
-                est = bundles[indices[0]]
-            estimates[spec.alias] = est
-            values[spec.alias] = (
-                est.quantile(spec.quantile)
-                if spec.quantile is not None
-                else est.values
-            )
-        if plan.having is not None:
-            probe = Table(None, {**keys, **values})
-            mask = np.asarray(plan.having.eval(probe), dtype=bool)
-            picked = np.flatnonzero(mask)
-            keys = {k: col[picked] for k, col in keys.items()}
-            values = {a: v[picked] for a, v in values.items()}
-            estimates = {a: e.take(picked) for a, e in estimates.items()}
+            if plan.having is not None:
+                probe = Table(None, {**keys, **values})
+                mask = np.asarray(plan.having.eval(probe), dtype=bool)
+                picked = np.flatnonzero(mask)
+                keys = {k: col[picked] for k, col in keys.items()}
+                values = {a: v[picked] for a, v in values.items()}
+                estimates = {
+                    a: e.take(picked) for a, e in estimates.items()
+                }
+        observe_phase_seconds("estimate", perf_counter() - t0)
         return GroupedQueryResult(
             keys=keys,
             values=values,
@@ -656,14 +781,23 @@ class SBox:
         params = rewrite.params
         estimates: dict[str, Estimate] = {}
         values: dict[str, float] = {}
-        for spec in plan.specs:
-            est = self._estimate_spec(spec, params, sample, subsample)
-            estimates[spec.alias] = est
-            values[spec.alias] = (
-                est.quantile(spec.quantile)
-                if spec.quantile is not None
-                else est.value
-            )
+        tracer = get_tracer()
+        t0 = perf_counter()
+        with maybe_span(tracer, "estimate") as sp:
+            sp.attrs["rows"] = sample.n_rows
+            sp.attrs["aggregates"] = len(plan.specs)
+            with maybe_span(tracer, "estimate.group_reduce", kind="kernel"):
+                for spec in plan.specs:
+                    est = self._estimate_spec(
+                        spec, params, sample, subsample
+                    )
+                    estimates[spec.alias] = est
+                    values[spec.alias] = (
+                        est.quantile(spec.quantile)
+                        if spec.quantile is not None
+                        else est.value
+                    )
+        observe_phase_seconds("estimate", perf_counter() - t0)
         return QueryResult(
             values=values,
             estimates=estimates,
@@ -699,51 +833,64 @@ class SBox:
         if rewrite is None:
             rewrite = self.analyze(plan.child)
         params = rewrite.params
-        key_cols = [sample.column(k) for k in plan.keys]
-        gids, n_groups = group_ids(key_cols, sample.n_rows)
-        first = group_firsts(gids, n_groups, sample.n_rows)
-        keys = {k: col[first] for k, col in zip(plan.keys, key_cols)}
-        # Every aggregate of the query shares one compaction and one
-        # subgroup structure per lattice mask — the weight-vector plan
-        # (shared with the partition-merge path) collects everything
-        # needed and the batched pass estimates it all at once.
-        recipes, vector_labels, spec_inputs = _vector_plan(plan.specs)
-        vectors = _eval_vectors(recipes, sample)
-        bundles = estimate_sums_grouped_multi(
-            params,
-            vectors,
-            sample.lineage,
-            gids,
-            n_groups,
-            labels=vector_labels,
-        )
-        estimates: dict[str, GroupedEstimates] = {}
-        values: dict[str, np.ndarray] = {}
-        for spec, indices in spec_inputs:
-            if spec.kind == "avg":
-                num, den, both = (bundles[i] for i in indices)
-                # Polarization: Cov = (Var(f+1) − Var(f) − Var(1)) / 2.
-                cov = 0.5 * (
-                    both.variance_raw
-                    - num.variance_raw
-                    - den.variance_raw
+        tracer = get_tracer()
+        t0 = perf_counter()
+        with maybe_span(tracer, "estimate") as span:
+            span.attrs["rows"] = sample.n_rows
+            span.attrs["aggregates"] = len(plan.specs)
+            key_cols = [sample.column(k) for k in plan.keys]
+            gids, n_groups = group_ids(key_cols, sample.n_rows)
+            first = group_firsts(gids, n_groups, sample.n_rows)
+            keys = {k: col[first] for k, col in zip(plan.keys, key_cols)}
+            # Every aggregate of the query shares one compaction and one
+            # subgroup structure per lattice mask — the weight-vector
+            # plan (shared with the partition-merge path) collects
+            # everything needed and the batched pass estimates it all
+            # at once.
+            recipes, vector_labels, spec_inputs = _vector_plan(plan.specs)
+            vectors = _eval_vectors(recipes, sample)
+            with maybe_span(
+                tracer, "estimate.group_reduce", kind="kernel"
+            ):
+                bundles = estimate_sums_grouped_multi(
+                    params,
+                    vectors,
+                    sample.lineage,
+                    gids,
+                    n_groups,
+                    labels=vector_labels,
                 )
-                est = ratio_estimates_grouped(num, den, cov)
-            else:
-                est = bundles[indices[0]]
-            estimates[spec.alias] = est
-            values[spec.alias] = (
-                est.quantile(spec.quantile)
-                if spec.quantile is not None
-                else est.values
-            )
-        if plan.having is not None:
-            probe = Table(None, {**keys, **values})
-            mask = np.asarray(plan.having.eval(probe), dtype=bool)
-            picked = np.flatnonzero(mask)
-            keys = {k: col[picked] for k, col in keys.items()}
-            values = {a: v[picked] for a, v in values.items()}
-            estimates = {a: e.take(picked) for a, e in estimates.items()}
+            estimates: dict[str, GroupedEstimates] = {}
+            values: dict[str, np.ndarray] = {}
+            for spec, indices in spec_inputs:
+                if spec.kind == "avg":
+                    num, den, both = (bundles[i] for i in indices)
+                    # Polarization:
+                    # Cov = (Var(f+1) − Var(f) − Var(1)) / 2.
+                    cov = 0.5 * (
+                        both.variance_raw
+                        - num.variance_raw
+                        - den.variance_raw
+                    )
+                    est = ratio_estimates_grouped(num, den, cov)
+                else:
+                    est = bundles[indices[0]]
+                estimates[spec.alias] = est
+                values[spec.alias] = (
+                    est.quantile(spec.quantile)
+                    if spec.quantile is not None
+                    else est.values
+                )
+            if plan.having is not None:
+                probe = Table(None, {**keys, **values})
+                mask = np.asarray(plan.having.eval(probe), dtype=bool)
+                picked = np.flatnonzero(mask)
+                keys = {k: col[picked] for k, col in keys.items()}
+                values = {a: v[picked] for a, v in values.items()}
+                estimates = {
+                    a: e.take(picked) for a, e in estimates.items()
+                }
+        observe_phase_seconds("estimate", perf_counter() - t0)
         return GroupedQueryResult(
             keys=keys,
             values=values,

@@ -1,0 +1,60 @@
+"""Observability: tracing spans, mergeable metrics, and renderers.
+
+The subsystem has three parts:
+
+* :mod:`repro.obs.trace` — per-query span trees.  A
+  :class:`~repro.obs.trace.Tracer` is installed for the duration of one
+  query (context-var scoped); instrumented call sites fetch it with
+  :func:`~repro.obs.trace.get_tracer` and do nothing when it is absent,
+  so tracing is zero-cost when disabled.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-log-bucket histograms whose snapshots merge
+  associatively (the same design as the moment-sketch merge of the
+  chunked executor: record anywhere, combine exactly).
+* :mod:`repro.obs.report` — renderers: span trees for
+  ``EXPLAIN ANALYZE``, the hot-path self-time table for
+  ``repro profile``, and Prometheus text exposition.
+
+Tracing never consumes RNG state and never reorders folds, so traced
+runs are bit-identical to untraced runs at every worker count.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    observe_phase_seconds,
+    phase_seconds_delta,
+    phase_seconds_snapshot,
+)
+from repro.obs.report import ExplainAnalyzeReport, profile_table, render_trace
+from repro.obs.trace import (
+    Span,
+    Trace,
+    Tracer,
+    env_trace_enabled,
+    get_tracer,
+    maybe_span,
+    start_trace,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ExplainAnalyzeReport",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "env_trace_enabled",
+    "get_tracer",
+    "maybe_span",
+    "observe_phase_seconds",
+    "phase_seconds_delta",
+    "phase_seconds_snapshot",
+    "profile_table",
+    "render_trace",
+    "start_trace",
+]

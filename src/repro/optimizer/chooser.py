@@ -30,7 +30,11 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from time import perf_counter
+
 from repro.errors import PlanError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer, maybe_span
 from repro.optimizer.budget import ErrorBudget
 from repro.optimizer.candidates import (
     PlanCandidate,
@@ -309,7 +313,14 @@ class SamplingPlanOptimizer:
                 "the query samples nothing; an exact plan trivially meets "
                 "any budget (run it directly)"
             )
-        predictor = self._pilot(skeleton, seed)
+        tracer = get_tracer()
+        t_pilot = perf_counter()
+        with maybe_span(tracer, "optimizer.pilot", kind="optimizer") as sp:
+            predictor = self._pilot(skeleton, seed)
+            sp.attrs["pilot_rows"] = predictor.pilot.sample.n_rows
+        REGISTRY.histogram(
+            "repro_optimizer_seconds", stage="pilot"
+        ).observe(perf_counter() - t_pilot)
         sizes = self.db.sizes()
         schema = frozenset(skeleton.relations)
         orders = join_orders(skeleton, limit=self.order_limit)
@@ -327,43 +338,63 @@ class SamplingPlanOptimizer:
 
         scored: list[ScoredCandidate] = []
         naive: ScoredCandidate | None = None
-        for assignment in enumerate_assignments(skeleton, sizes, seed=seed):
-            label, methods = assignment.label, assignment.methods
-            params = combined_gus(methods, sizes, sorted(schema))
-            rel_std = predictor.predicted_relative_std(params)
-            feasible = rel_std <= target
-            # Variance is join-order independent; cost is not.  Keep the
-            # cheapest order per assignment (the ranking only ever needs
-            # the per-assignment winner).
-            best: ScoredCandidate | None = None
-            for order in orders:
-                candidate = PlanCandidate(label, order, methods, skeleton)
-                cost, reused = self._candidate_cost(
-                    candidate, sizes, matcher, draw_token
-                )
-                sc = ScoredCandidate(
-                    candidate=candidate,
-                    params=params,
-                    predicted_relative_half_width=rel_std * critical,
-                    cost=cost,
-                    feasible=feasible,
-                    reused=reused,
-                )
-                if best is None or cost.seconds < best.cost.seconds:
-                    best = sc
-                # The naive baseline is what a rate-knob-only system
-                # would run: uniform Bernoulli, the query's own join
-                # order.  Track it before the cheapest-order pruning so
-                # reordering wins don't erase the comparison point.
-                if (
-                    feasible
-                    and order == skeleton.relations
-                    and assignment.uniform_bernoulli
-                    and (naive is None or cost.seconds < naive.cost.seconds)
-                ):
-                    naive = sc
-            assert best is not None
-            scored.append(best)
+        n_scored = 0
+        t_score = perf_counter()
+        with maybe_span(tracer, "optimizer.score", kind="optimizer") as sp:
+            for assignment in enumerate_assignments(
+                skeleton, sizes, seed=seed
+            ):
+                label, methods = assignment.label, assignment.methods
+                params = combined_gus(methods, sizes, sorted(schema))
+                rel_std = predictor.predicted_relative_std(params)
+                feasible = rel_std <= target
+                # Variance is join-order independent; cost is not.  Keep
+                # the cheapest order per assignment (the ranking only
+                # ever needs the per-assignment winner).
+                best: ScoredCandidate | None = None
+                for order in orders:
+                    candidate = PlanCandidate(
+                        label, order, methods, skeleton
+                    )
+                    cost, reused = self._candidate_cost(
+                        candidate, sizes, matcher, draw_token
+                    )
+                    n_scored += 1
+                    sc = ScoredCandidate(
+                        candidate=candidate,
+                        params=params,
+                        predicted_relative_half_width=rel_std * critical,
+                        cost=cost,
+                        feasible=feasible,
+                        reused=reused,
+                    )
+                    if best is None or cost.seconds < best.cost.seconds:
+                        best = sc
+                    # The naive baseline is what a rate-knob-only system
+                    # would run: uniform Bernoulli, the query's own join
+                    # order.  Track it before the cheapest-order pruning
+                    # so reordering wins don't erase the comparison
+                    # point.
+                    if (
+                        feasible
+                        and order == skeleton.relations
+                        and assignment.uniform_bernoulli
+                        and (
+                            naive is None
+                            or cost.seconds < naive.cost.seconds
+                        )
+                    ):
+                        naive = sc
+                assert best is not None
+                scored.append(best)
+            sp.attrs["candidates_scored"] = n_scored
+            sp.attrs["assignments"] = len(scored)
+        REGISTRY.counter(
+            "repro_optimizer_candidates_scored_total"
+        ).inc(n_scored)
+        REGISTRY.histogram(
+            "repro_optimizer_seconds", stage="score"
+        ).observe(perf_counter() - t_score)
 
         scored.sort(
             key=lambda sc: (
@@ -397,17 +428,26 @@ class SamplingPlanOptimizer:
         sizes = self.db.sizes()
         methods = reusable_methods(report.chosen.candidate.methods, seed)
 
+        tracer = get_tracer()
         attempts: list[AttemptRecord] = []
         for attempt in range(self.max_escalations + 1):
             executable = skeleton.build(order, methods)
-            result = self.db.sbox().run(
-                executable, rng=self.db.rng(seed + attempt)
-            )
-            realized = self._realized(result, budget)
-            met = all(
-                budget.met_by(result.estimates[alias])
-                for alias in self._budget_aliases(result)
-            )
+            with maybe_span(
+                tracer,
+                f"optimizer.attempt[{attempt}]",
+                kind="optimizer",
+                methods=methods_label(methods),
+            ) as sp:
+                result = self.db.sbox().run(
+                    executable, rng=self.db.rng(seed + attempt)
+                )
+                realized = self._realized(result, budget)
+                met = all(
+                    budget.met_by(result.estimates[alias])
+                    for alias in self._budget_aliases(result)
+                )
+                sp.attrs["n_sample"] = result.sample.n_rows
+                sp.attrs["met"] = met
             attempts.append(
                 AttemptRecord(
                     attempt=attempt,
@@ -419,6 +459,7 @@ class SamplingPlanOptimizer:
             )
             if met or is_fully_escalated(methods, sizes):
                 break
+            REGISTRY.counter("repro_optimizer_escalations_total").inc()
             methods = escalate_methods(
                 methods, self.escalation_factor, sizes
             )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PlanError
+from repro.obs.metrics import REGISTRY
 from repro.relational import plan as p
 from repro.relational.executor import join_indices
 from repro.relational.table import Table
@@ -113,6 +114,7 @@ class CostModel:
         on foreign-key-shaped data.  Taking the best of ``repeats``
         keeps scheduler noise out of the constants.
         """
+        t_calibrate = time.perf_counter()
         values = np.linspace(0.0, 1.0, probe_rows)
         keys = np.arange(probe_rows, dtype=np.int64) % (probe_rows // 8)
 
@@ -138,6 +140,15 @@ class CostModel:
             for table in tables.values()
             for col in table.schema.names
         }
+        REGISTRY.gauge("repro_cost_scan_seconds_per_row").set(
+            max(scan_s, 1e-12)
+        )
+        REGISTRY.gauge("repro_cost_join_seconds_per_row").set(
+            max(join_s / join_rows, 1e-12)
+        )
+        REGISTRY.histogram(
+            "repro_optimizer_seconds", stage="calibrate"
+        ).observe(time.perf_counter() - t_calibrate)
         return cls(
             {name: t.n_rows for name, t in tables.items()},
             ndv,

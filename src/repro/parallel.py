@@ -42,7 +42,17 @@ __all__ = [
     "available_cpus",
     "env_workers",
     "resolve_workers",
+    "worker_label",
 ]
+
+
+def worker_label() -> str:
+    """Identity of the executing worker, for trace span attribution.
+
+    Distinguishes pool threads and forked processes from the driver;
+    purely informational — trace *structure* never depends on it.
+    """
+    return f"{os.getpid()}:{threading.get_ident()}"
 
 _MODES = ("thread", "process")
 

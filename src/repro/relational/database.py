@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.rewrite import RewriteResult
     from repro.core.sbox import GroupedQueryResult, QueryResult, SBox
     from repro.core.subsample import SubsampleSpec
+    from repro.obs.report import ExplainAnalyzeReport
     from repro.optimizer import (
         CostModel,
         ErrorBudget,
@@ -346,7 +347,7 @@ class Database:
         chunk_size: int | None = None,
     ) -> (
         "QueryResult | GroupedQueryResult | Table | OptimizedResult"
-        " | OptimizerReport"
+        " | OptimizerReport | ExplainAnalyzeReport"
     ):
         """Parse and run SQL.
 
@@ -387,6 +388,29 @@ class Database:
             if query.explain_sampling:
                 return optimizer.report(plan, budget, seed=seed)
             return optimizer.optimize(plan, budget, seed=seed)
+        if query.explain_analyze:
+            from dataclasses import replace
+
+            from repro.obs.report import ExplainAnalyzeReport
+            from repro.obs.trace import start_trace
+
+            with start_trace("explain analyze") as tracer:
+                if isinstance(plan, (Aggregate, GroupAggregate)):
+                    result = self.estimate(
+                        plan,
+                        seed=seed,
+                        subsample=subsample,
+                        workers=workers,
+                        chunk_size=chunk_size,
+                    )
+                else:
+                    result = self.execute(
+                        plan, seed=seed, workers=workers, chunk_size=chunk_size
+                    )
+            trace = tracer.finish_trace()
+            if hasattr(result, "trace"):
+                result = replace(result, trace=trace)
+            return ExplainAnalyzeReport(result=result, trace=trace)
         if isinstance(plan, (Aggregate, GroupAggregate)):
             return self.estimate(
                 plan,

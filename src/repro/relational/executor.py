@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.estimator import group_firsts, group_ids
 from repro.errors import ExecutionError, PlanError, SchemaError
+from repro.obs.trace import get_tracer
 from repro.relational import plan as p
 from repro.relational.aggregates import (
     evaluate_aggregates,
@@ -198,8 +199,28 @@ def intersect_tables(left: Table, right: Table) -> Table:
     return left.filter(in_right[gids[: left.n_rows]])
 
 
+def _node_label(node: p.PlanNode) -> str:
+    """Deterministic display label for a plan node's trace span."""
+    if isinstance(node, p.Scan):
+        return f"Scan({node.table_name})"
+    if isinstance(node, p.TableSample):
+        return f"TableSample({type(node.method).__name__})"
+    if isinstance(node, p.Join):
+        keys = ",".join(
+            f"{l}={r}" for l, r in zip(node.left_keys, node.right_keys)
+        )
+        return f"Join({keys})"
+    return type(node).__name__
+
+
 class Executor:
-    """Executes plans against a named-table catalog."""
+    """Executes plans against a named-table catalog.
+
+    When a trace is active on the constructing context, every executed
+    node gets a span (kind ``node``) carrying ``rows_out``, and the
+    sampling/join kernels get nested ``kernel`` spans; with no trace
+    active the only cost is one ``None`` check per node.
+    """
 
     def __init__(
         self,
@@ -208,13 +229,20 @@ class Executor:
     ) -> None:
         self.catalog = dict(catalog)
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.tracer = get_tracer()
 
     def execute(self, node: p.PlanNode) -> Table:
         """Materialize the plan bottom-up."""
         handler = self._HANDLERS.get(type(node))
         if handler is None:
             raise ExecutionError(f"cannot execute {type(node).__name__}")
-        return handler(self, node)
+        tracer = self.tracer
+        if tracer is None:
+            return handler(self, node)
+        with tracer.span(_node_label(node), kind="node") as span:
+            out = handler(self, node)
+            span.attrs["rows_out"] = out.n_rows
+        return out
 
     # -- node handlers ----------------------------------------------------
 
@@ -232,7 +260,11 @@ class Executor:
 
     def _table_sample(self, node: p.TableSample) -> Table:
         table = self.execute(node.child)
-        draw = node.method.draw(table.n_rows, self.rng)
+        if self.tracer is None:
+            draw = node.method.draw(table.n_rows, self.rng)
+        else:
+            with self.tracer.span("draw.table_sample", kind="kernel"):
+                draw = node.method.draw(table.n_rows, self.rng)
         relation = node.child.table_name
         return table.with_lineage(relation, draw.lineage).filter(draw.mask)
 
@@ -243,7 +275,12 @@ class Executor:
             raise ExecutionError(
                 f"lineage columns {sorted(missing)} absent at LineageSample"
             )
-        return table.filter(node.sampler.keep(table.lineage))
+        if self.tracer is None:
+            keep = node.sampler.keep(table.lineage)
+        else:
+            with self.tracer.span("draw.lineage_hash", kind="kernel"):
+                keep = node.sampler.keep(table.lineage)
+        return table.filter(keep)
 
     def _gus(self, node: p.GUSNode) -> Table:
         raise ExecutionError(
@@ -267,8 +304,14 @@ class Executor:
     def _join(self, node: p.Join) -> Table:
         left = self.execute(node.left)
         right = self.execute(node.right)
-        li, ri = join_rows(left, right, node.left_keys, node.right_keys)
-        return self._combine(left, right, li, ri)
+        if self.tracer is None:
+            li, ri = join_rows(left, right, node.left_keys, node.right_keys)
+            return self._combine(left, right, li, ri)
+        with self.tracer.span("join.factorize_probe", kind="kernel") as sp:
+            li, ri = join_rows(left, right, node.left_keys, node.right_keys)
+            sp.attrs["matches"] = int(li.shape[0])
+        with self.tracer.span("join.gather", kind="kernel"):
+            return self._combine(left, right, li, ri)
 
     def _cross(self, node: p.CrossProduct) -> Table:
         left = self.execute(node.left)

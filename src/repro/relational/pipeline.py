@@ -47,7 +47,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ExecutionError, PlanError
-from repro.parallel import ChunkScheduler
+from repro.obs.trace import get_tracer
+from repro.parallel import ChunkScheduler, worker_label
 from repro.relational import plan as p
 from repro.relational.aggregates import (
     evaluate_aggregates,
@@ -347,11 +348,44 @@ class ChunkedExecutor:
         align = required_alignment(plan)
         source = self._compile(plan, columns, align)
         fn = source.fn
+        tracer = get_tracer()
 
-        def task_fn(task):
-            return per_chunk(fn(task))
+        if tracer is None:
 
-        yield from self.scheduler.imap(task_fn, source.tasks)
+            def task_fn(task):
+                return per_chunk(fn(task))
+
+            yield from self.scheduler.imap(task_fn, source.tasks)
+            return
+
+        # Traced path: workers measure their own chunk (never touching
+        # the tracer), and the driver records the spans as results
+        # stream back in chunk order — so span ids and tree shape are
+        # identical at every worker count.
+        from time import perf_counter_ns
+
+        parent = tracer.current_id()
+
+        def traced_fn(task):
+            t0 = perf_counter_ns()
+            chunk = fn(task)
+            rows = chunk.n_rows
+            out = per_chunk(chunk)
+            return out, (t0, perf_counter_ns(), rows, worker_label())
+
+        results = self.scheduler.imap(traced_fn, source.tasks)
+        for index, (out, (t0, t1, rows, worker)) in enumerate(results):
+            tracer.record_span(
+                f"chunk[{index}]",
+                "chunk",
+                start_ns=t0,
+                end_ns=t1,
+                parent_id=parent,
+                chunk=index,
+                rows=rows,
+                worker=worker,
+            )
+            yield out
 
     # -- sampling draws --------------------------------------------------
 

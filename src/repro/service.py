@@ -37,8 +37,10 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY, HistogramSnapshot, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Trace
     from repro.relational.database import Database
     from repro.relational.table import Table
     from repro.store import CatalogStats, ReuseInfo
@@ -64,6 +66,7 @@ class ServiceResponse:
     cached: bool = False
     reuse: "ReuseInfo | None" = field(default=None, repr=False)
     session: str | None = None
+    trace: "Trace | None" = field(default=None, repr=False)
 
 
 @dataclass
@@ -117,6 +120,10 @@ class QueryService:
         self._result_cache_size = int(result_cache_size)
         self._inflight: dict[tuple, Future] = {}
         self.stats = ServiceStats()
+        #: Per-service metrics (latency histograms by outcome); the
+        #: process-wide :data:`~repro.obs.metrics.REGISTRY` keeps the
+        #: store/engine counters shared across services.
+        self.metrics = MetricsRegistry()
 
     # -- serving -----------------------------------------------------------
 
@@ -137,6 +144,7 @@ class QueryService:
         never runs the same request twice at once (dogpile protection),
         and all clients see the one realization.
         """
+        start = time.perf_counter()
         # Only the edges are trimmed: collapsing interior whitespace
         # would rewrite runs of spaces inside SQL string literals.
         text = statement.strip()
@@ -163,11 +171,13 @@ class QueryService:
                 else:
                     owner = False
         if hit is not None:
+            self._observe_latency("result-cache", start)
             return replace(hit, cached=True, session=session)
         if not owner:
             response = pending.result()  # raises what the owner raised
             with self._lock:
                 self.stats.coalesced_hits += 1
+            self._observe_latency("coalesced", start)
             return replace(response, cached=True, session=session)
         try:
             response = self._execute(key)
@@ -176,6 +186,7 @@ class QueryService:
                 self.stats.errors += 1
                 self._inflight.pop(key, None)
             pending.set_exception(exc)
+            self._observe_latency("error", start)
             raise
         with self._lock:
             self._results[key] = response
@@ -183,7 +194,13 @@ class QueryService:
                 self._results.popitem(last=False)
             self._inflight.pop(key, None)
         pending.set_result(response)
+        self._observe_latency("fresh", start)
         return replace(response, session=session)
+
+    def _observe_latency(self, outcome: str, start: float) -> None:
+        self.metrics.histogram(
+            "repro_service_latency_seconds", outcome=outcome
+        ).observe(time.perf_counter() - start)
 
     def _execute(self, key: tuple) -> ServiceResponse:
         """Run one (statement, seed) pair on the engine (no caching)."""
@@ -203,6 +220,7 @@ class QueryService:
             elapsed=elapsed,
             cached=False,
             reuse=getattr(result, "reuse", None),
+            trace=getattr(result, "trace", None),
         )
 
     def query_many(
@@ -232,13 +250,82 @@ class QueryService:
             self._results.clear()
 
     def snapshot_stats(self) -> tuple[ServiceStats, "CatalogStats"]:
-        with self._lock:
-            service = self.stats.copy()
+        """One consistent snapshot of service and catalog counters.
+
+        Both copies are taken under the service lock.  Every query
+        increments ``stats.queries`` (under this lock) *before* its
+        store lookup happens, so reading the catalog inside the same
+        critical section guarantees ``store.lookups <= service.queries``
+        in every snapshot — reading the two sides at different times
+        (the old behavior) let a concurrent query's lookup land between
+        the reads and break that invariant.
+        """
         assert self.db.synopses is not None
-        return service, self.db.synopses.snapshot_stats()
+        with self._lock:
+            return self.stats.copy(), self.db.synopses.snapshot_stats()
+
+    def latency_snapshot(self) -> HistogramSnapshot:
+        """Serve latency over *all* outcomes, merged from the per-outcome
+        histograms (merge is exact, so this equals one big histogram)."""
+        merged = HistogramSnapshot.empty()
+        snap = self.metrics.snapshot()
+        for (name, _labels), value in snap.items():
+            if name == "repro_service_latency_seconds" and isinstance(
+                value, HistogramSnapshot
+            ):
+                merged = merged.merge(value)
+        return merged
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition: service, store, and engine metrics."""
+        service, store = self.snapshot_stats()
+        reg = MetricsRegistry()
+        reg.counter("repro_service_queries_total").inc(service.queries)
+        reg.counter("repro_service_result_cache_hits_total").inc(
+            service.result_cache_hits
+        )
+        reg.counter("repro_service_coalesced_hits_total").inc(
+            service.coalesced_hits
+        )
+        reg.counter("repro_service_errors_total").inc(service.errors)
+        reg.counter("repro_catalog_lookups_total").inc(store.lookups)
+        reg.counter("repro_catalog_hits_total", mode="exact").inc(
+            store.exact_hits
+        )
+        reg.counter("repro_catalog_hits_total", mode="pushdown").inc(
+            store.pushdown_hits
+        )
+        reg.counter("repro_catalog_hits_total", mode="thin").inc(
+            store.thin_hits
+        )
+        reg.counter("repro_catalog_misses_total").inc(store.misses)
+        reg.counter("repro_catalog_puts_total").inc(store.puts)
+        reg.counter("repro_catalog_evictions_total").inc(store.evictions)
+        reg.counter("repro_catalog_invalidations_total").inc(
+            store.invalidations
+        )
+        reg.gauge("repro_catalog_entries").set(float(len(self.db.synopses)))
+        reg.gauge("repro_catalog_resident_bytes").set(
+            float(self.db.synopses.resident_bytes)
+        )
+        parts = [reg.render_prometheus()]
+        latency = self.metrics.render_prometheus()
+        if latency:
+            parts.append(latency)
+        engine = REGISTRY.render_prometheus()
+        if engine:
+            parts.append(engine)
+        return "\n".join(parts)
 
     def stats_line(self) -> str:
         service, store = self.snapshot_stats()
+        latency = self.latency_snapshot()
+        quantiles = (
+            f", p50 {latency.quantile(0.5) * 1e3:.1f} ms "
+            f"p99 {latency.quantile(0.99) * 1e3:.1f} ms"
+            if latency.count
+            else ""
+        )
         return (
             f"served {service.queries} "
             f"(result-cache {service.result_cache_hits}, "
@@ -247,7 +334,7 @@ class QueryService:
             f"[{store.exact_hits} exact, {store.pushdown_hits} pushdown, "
             f"{store.thin_hits} thin], "
             f"misses {store.misses}, evictions {store.evictions}, "
-            f"invalidations {store.invalidations})"
+            f"invalidations {store.invalidations}{quantiles})"
         )
 
 
@@ -287,12 +374,33 @@ def serve_statements(
     Failures are isolated per statement — one malformed line prints an
     error and the rest of the stream is still served.  Returns the
     number of statements answered successfully.
+
+    Lines starting with a backslash are service commands, answered at
+    their position in the output stream (they see whatever concurrent
+    statements have completed by then): ``\\stats`` prints the one-line
+    counter summary with latency quantiles, ``\\metrics`` the full
+    Prometheus exposition.
     """
     items = list(statements)
     served = 0
     with ThreadPoolExecutor(max_workers=max(1, int(workers))) as pool:
-        futures = [pool.submit(service.query, s) for s in items]
+        futures = [
+            None if s.startswith("\\") else pool.submit(service.query, s)
+            for s in items
+        ]
         for statement, future in zip(items, futures):
+            if future is None:
+                command = statement[1:].strip().lower()
+                if command == "stats":
+                    out(f"-- {service.stats_line()}")
+                elif command == "metrics":
+                    out(service.metrics_text().rstrip())
+                else:
+                    out(
+                        f"-- unknown command {statement!r}; "
+                        "try \\stats or \\metrics"
+                    )
+                continue
             try:
                 response = future.result()
             except ReproError as exc:
@@ -348,12 +456,12 @@ def selftest(
         if previous != response.text:
             consistent = False
             out(f"MISMATCH for {response.statement!r}")
-    _, store = service.snapshot_stats()
+    stats, store = service.snapshot_stats()
     ok = (
         consistent
         and store.hits > 0
-        and service.stats.result_cache_hits + service.stats.coalesced_hits > 0
-        and service.stats.errors == 0
+        and stats.result_cache_hits + stats.coalesced_hits > 0
+        and stats.errors == 0
     )
     out(
         f"selftest {'ok' if ok else 'FAILED'}: "

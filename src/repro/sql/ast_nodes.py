@@ -140,6 +140,7 @@ class SelectQuery:
     view_columns: tuple[str, ...] = field(default=())
     budget: ErrorBudgetClause | None = None
     explain_sampling: bool = False
+    explain_analyze: bool = False
 
     @property
     def has_aggregates(self) -> bool:

@@ -33,6 +33,7 @@ KEYWORDS = {
     "CONFIDENCE",
     "EXPLAIN",
     "SAMPLING",
+    "ANALYZE",
 }
 
 #: Multi-character operators first so maximal munch applies.

@@ -2,7 +2,7 @@
 
 Grammar (EBNF, keywords case-insensitive)::
 
-    query        := [EXPLAIN SAMPLING] [create_view]
+    query        := [EXPLAIN (SAMPLING | ANALYZE)] [create_view]
                     SELECT items FROM tables [WHERE bool_expr]
                     [GROUP BY column ("," column)* [HAVING bool_expr]]
                     [budget]
@@ -118,9 +118,13 @@ class _Parser:
 
     def parse_query(self) -> SelectQuery:
         explain_sampling = False
+        explain_analyze = False
         if self.accept_kw("EXPLAIN"):
-            self.expect_kw("SAMPLING")
-            explain_sampling = True
+            if self.accept_kw("ANALYZE"):
+                explain_analyze = True
+            else:
+                self.expect_kw("SAMPLING")
+                explain_sampling = True
         view_name: str | None = None
         view_columns: tuple[str, ...] = ()
         if self.accept_kw("CREATE"):
@@ -182,6 +186,7 @@ class _Parser:
             view_columns=view_columns,
             budget=budget,
             explain_sampling=explain_sampling,
+            explain_analyze=explain_analyze,
         )
 
     def parse_group_key(self) -> ColumnRef:

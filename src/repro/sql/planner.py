@@ -52,6 +52,14 @@ def plan_query(query: ast.SelectQuery, db: "Database") -> p.PlanNode:
             "supported for GROUP BY queries; the optimizer targets a "
             "single aggregate's interval"
         )
+    if query.explain_analyze and (
+        query.budget is not None or query.explain_sampling
+    ):
+        raise SQLError(
+            "EXPLAIN ANALYZE traces one plain execution; it cannot be "
+            "combined with EXPLAIN SAMPLING or a WITHIN/CONFIDENCE "
+            "budget (the optimizer runs many plans)"
+        )
     return _Planner(query, db).plan()
 
 

@@ -110,6 +110,8 @@ def query_to_sql(query: ast.SelectQuery) -> str:
     parts = []
     if query.explain_sampling:
         parts.append("EXPLAIN SAMPLING")
+    if query.explain_analyze:
+        parts.append("EXPLAIN ANALYZE")
     if query.view_name:
         cols = (
             " (" + ", ".join(query.view_columns) + ")"

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.gus import GUSParams
+from repro.obs.metrics import REGISTRY
 from repro.relational.plan import PlanNode
 from repro.relational.table import Table
 from repro.store.fingerprint import CanonicalPlan
@@ -198,11 +199,15 @@ class SynopsisCatalog:
                 self.stats.thin_hits += 1
             if synopsis.entry_id in self._entries:
                 self._entries.move_to_end(synopsis.entry_id)
+        REGISTRY.counter("repro_store_lookups_total").inc()
+        REGISTRY.counter("repro_store_hits_total", mode=kind).inc()
 
     def record_miss(self) -> None:
         with self._lock:
             self.stats.lookups += 1
             self.stats.misses += 1
+        REGISTRY.counter("repro_store_lookups_total").inc()
+        REGISTRY.counter("repro_store_misses_total").inc()
 
     # -- mutation ----------------------------------------------------------
 
@@ -263,6 +268,7 @@ class SynopsisCatalog:
             self._by_key.setdefault(canon.core_key, []).append(syn.entry_id)
             self._bytes += nbytes
             self.stats.puts += 1
+            REGISTRY.counter("repro_store_puts_total").inc()
             self._enforce_bounds(keep=syn.entry_id)
             return syn
 
@@ -279,7 +285,8 @@ class SynopsisCatalog:
             for entry_id in stale:
                 self._evict(entry_id, count_eviction=False)
             self.stats.invalidations += len(stale)
-            return len(stale)
+        REGISTRY.counter("repro_store_invalidations_total").inc(len(stale))
+        return len(stale)
 
     def clear(self) -> None:
         with self._lock:
@@ -314,3 +321,4 @@ class SynopsisCatalog:
                 del self._by_key[syn.canon.core_key]
         if count_eviction:
             self.stats.evictions += 1
+            REGISTRY.counter("repro_store_evictions_total").inc()

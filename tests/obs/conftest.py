@@ -1,0 +1,17 @@
+"""Fixtures for observability tests."""
+
+import pytest
+
+from repro.data.tpch import tpch_database
+from repro.relational.database import Database
+
+
+@pytest.fixture
+def tpch_db_catalog() -> Database:
+    """A fresh small TPC-H instance with a synopsis catalog attached.
+
+    Function-scoped: catalog contents are mutated by the tests.
+    """
+    db = tpch_database(scale=0.02, seed=7)
+    db.attach_catalog()
+    return db

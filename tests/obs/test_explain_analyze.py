@@ -1,0 +1,125 @@
+"""EXPLAIN ANALYZE through the SQL stack: parse, print, execute, render."""
+
+import pytest
+
+from repro.errors import SQLError, SQLSyntaxError
+from repro.obs.report import ExplainAnalyzeReport
+from repro.sql.parser import parse
+from repro.sql.printer import query_to_sql
+
+JOIN_Q = (
+    "SELECT SUM(l_extendedprice) AS rev "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11), orders "
+    "WHERE l_orderkey = o_orderkey"
+)
+
+
+class TestParsing:
+    def test_parse_sets_flag(self):
+        q = parse("EXPLAIN ANALYZE SELECT SUM(x) AS s FROM t")
+        assert q.explain_analyze
+        assert not q.explain_sampling
+
+    def test_plain_query_has_no_flag(self):
+        assert not parse("SELECT SUM(x) AS s FROM t").explain_analyze
+
+    def test_explain_alone_still_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN SELECT SUM(x) FROM t")
+
+    def test_print_roundtrip(self):
+        text = "EXPLAIN ANALYZE SELECT SUM(x) AS s FROM t"
+        q = parse(text)
+        printed = query_to_sql(q)
+        assert printed.startswith("EXPLAIN ANALYZE")
+        assert parse(printed) == q
+
+
+class TestValidation:
+    def test_rejected_with_budget(self, tpch_db):
+        with pytest.raises(SQLError, match="EXPLAIN ANALYZE"):
+            tpch_db.plan_sql(
+                "EXPLAIN ANALYZE SELECT SUM(l_extendedprice) AS rev "
+                "FROM lineitem WITHIN 5 % CONFIDENCE 0.95"
+            )
+
+
+class TestExecution:
+    def test_report_matches_plain_run_bit_for_bit(self, tpch_db):
+        plain = tpch_db.sql(JOIN_Q, seed=5)
+        report = tpch_db.sql("EXPLAIN ANALYZE " + JOIN_Q, seed=5)
+        assert isinstance(report, ExplainAnalyzeReport)
+        assert report.result.values == plain.values
+        assert all(
+            report.result.estimates[a].variance_raw
+            == plain.estimates[a].variance_raw
+            for a in plain.values
+        )
+        assert report.result.trace is report.trace
+
+    def test_trace_has_per_node_timings_and_rows(self, tpch_db):
+        # workers=0 pins the serial engine, whose trace carries one
+        # span per plan node (the chunked engine traces per chunk).
+        report = tpch_db.sql("EXPLAIN ANALYZE " + JOIN_Q, seed=5, workers=0)
+        nodes = [s for s in report.trace.spans if s.kind == "node"]
+        assert {"Scan(lineitem)", "Scan(orders)"} <= {
+            s.name for s in nodes
+        }
+        assert all("rows_out" in s.attrs for s in nodes)
+        assert all(s.end_ns >= s.start_ns for s in report.trace.spans)
+        text = report.render_trace()
+        assert text.startswith("-- EXPLAIN ANALYZE")
+        assert "Scan(lineitem)" in text
+        assert "rows_out=" in text
+
+    def test_chunked_trace_has_per_chunk_spans(self, tpch_db):
+        report = tpch_db.sql("EXPLAIN ANALYZE " + JOIN_Q, seed=5, workers=4)
+        chunks = [s for s in report.trace.spans if s.kind == "chunk"]
+        assert chunks
+        assert [s.attrs["chunk"] for s in chunks] == list(range(len(chunks)))
+        assert all("rows" in s.attrs and "worker" in s.attrs for s in chunks)
+
+    def test_catalog_hit_shows_reuse_mode(self, tpch_db_catalog):
+        db = tpch_db_catalog
+        db.sql(JOIN_Q, seed=5)  # populate the synopsis
+        report = db.sql("EXPLAIN ANALYZE " + JOIN_Q, seed=5)
+        assert report.result.reuse is not None
+        assert report.result.reuse.kind == "exact"
+        (probe,) = report.trace.find("store.probe")
+        assert probe.attrs["outcome"] == "hit"
+        assert probe.attrs["mode"] == "exact"
+        (serve,) = report.trace.find("store.serve")
+        assert serve.attrs["mode"] == "exact"
+        header = report.render_trace().splitlines()[0]
+        assert "reuse: exact" in header
+
+    def test_grouped_query_traces(self, tpch_db):
+        report = tpch_db.sql(
+            "EXPLAIN ANALYZE SELECT l_returnflag, SUM(l_quantity) AS q "
+            "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (3) "
+            "GROUP BY l_returnflag",
+            seed=2,
+        )
+        assert isinstance(report, ExplainAnalyzeReport)
+        assert report.result.trace is report.trace
+        assert report.trace.find("estimate")
+
+    def test_non_aggregate_query_returns_table_report(self, tpch_db):
+        report = tpch_db.sql(
+            "EXPLAIN ANALYZE SELECT l_extendedprice FROM lineitem "
+            "WHERE l_quantity > 30",
+            workers=0,
+        )
+        assert isinstance(report, ExplainAnalyzeReport)
+        assert report.result.n_rows > 0
+        assert report.trace.find("Scan(lineitem)")
+
+    def test_shell_formats_report(self, tpch_db):
+        from repro.cli import run_statement
+
+        out = run_statement(tpch_db, "EXPLAIN ANALYZE " + JOIN_Q)
+        assert "rev = " in out
+        assert "-- EXPLAIN ANALYZE" in out
+        # The estimate phase appears on both engines (the shell leaves
+        # the engine choice to REPRO_WORKERS).
+        assert "estimate" in out

@@ -1,0 +1,175 @@
+"""Metrics registry: merge algebra, quantiles, export, thread safety."""
+
+import math
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper_bound,
+    phase_seconds_delta,
+)
+
+values = st.floats(
+    min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _hist(observations) -> HistogramSnapshot:
+    h = Histogram()
+    for v in observations:
+        h.observe(v)
+    return h.snapshot()
+
+
+def _assert_equivalent(a: HistogramSnapshot, b: HistogramSnapshot) -> None:
+    """Equal up to float-summation order in ``total``.
+
+    Bucket counts, count, and extrema merge exactly; the running sum
+    is a float whose grouping may differ at the last ulp.
+    """
+    assert a.counts == b.counts
+    assert a.count == b.count
+    assert a.minimum == b.minimum
+    assert a.maximum == b.maximum
+    assert math.isclose(a.total, b.total, rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestBuckets:
+    def test_upper_bound_brackets_value(self):
+        for v in (1e-9, 3.7e-4, 0.5, 1.0, 123.456, 9.9e5):
+            i = bucket_index(v)
+            assert v <= bucket_upper_bound(i)
+            if i > 0:
+                assert bucket_upper_bound(i - 1) < v * 1.0000001
+
+    def test_nonpositive_clamps_low(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-5.0) == 0
+
+    @given(values)
+    def test_bounded_relative_error(self, v):
+        bound = bucket_upper_bound(bucket_index(v))
+        assert v <= bound <= v * 2 ** 0.25 * 1.0000001
+
+
+class TestMergeAlgebra:
+    @given(st.lists(values), st.lists(values))
+    @settings(max_examples=60)
+    def test_merge_equals_single_histogram(self, a, b):
+        merged = _hist(a).merge(_hist(b))
+        _assert_equivalent(merged, _hist(a + b))
+
+    @given(st.lists(values), st.lists(values), st.lists(values))
+    @settings(max_examples=60)
+    def test_merge_associative_and_commutative(self, a, b, c):
+        ha, hb, hc = _hist(a), _hist(b), _hist(c)
+        _assert_equivalent(
+            ha.merge(hb).merge(hc), ha.merge(hb.merge(hc))
+        )
+        _assert_equivalent(ha.merge(hb), hb.merge(ha))
+
+    def test_empty_is_identity(self):
+        h = _hist([0.5, 2.0])
+        assert HistogramSnapshot.empty().merge(h) == h
+        assert h.merge(HistogramSnapshot.empty()) == h
+
+    @given(st.lists(values, min_size=1))
+    @settings(max_examples=60)
+    def test_quantile_within_min_max(self, obs):
+        snap = _hist(obs)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert min(obs) <= snap.quantile(q) <= max(obs)
+
+    @given(st.lists(values, min_size=1))
+    @settings(max_examples=60)
+    def test_quantile_bounds_true_quantile(self, obs):
+        # The reported p50 is an upper bound for the true median within
+        # one bucket's resolution.
+        snap = _hist(obs)
+        median = sorted(obs)[(len(obs) + 1) // 2 - 1]
+        assert snap.quantile(0.5) >= median * (1 - 1e-9)
+        assert snap.quantile(0.5) <= max(
+            median * 2 ** 0.25 * 1.0000001, snap.minimum
+        )
+
+    def test_mean_and_count(self):
+        snap = _hist([1.0, 3.0])
+        assert snap.count == 2
+        assert snap.mean == 2.0
+        assert HistogramSnapshot.empty().mean == 0.0
+        assert HistogramSnapshot.empty().quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.counter("c", mode="a") is not reg.counter("c", mode="b")
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        assert reg.counter("c").value == 3.5
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7.0
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc()
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap[("c", (("k", "v"),))] == 1.0
+        assert isinstance(snap[("h", ())], HistogramSnapshot)
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", mode="exact").inc(3)
+        reg.gauge("repro_y").set(1.5)
+        reg.histogram("repro_z_seconds").observe(0.25)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{mode="exact"} 3' in text
+        assert "# TYPE repro_y gauge" in text
+        assert "repro_y 1.5" in text
+        assert "# TYPE repro_z_seconds summary" in text
+        assert 'repro_z_seconds{quantile="0.5"}' in text
+        assert "repro_z_seconds_count 1" in text
+        assert "repro_z_seconds_sum 0.25" in text
+
+    def test_concurrent_hammering_loses_nothing(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for i in range(per_thread):
+                reg.counter("hits").inc()
+                reg.histogram("lat").observe(0.001 * (i + 1))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits").value == n_threads * per_thread
+        snap = reg.histogram("lat").snapshot()
+        assert snap.count == n_threads * per_thread
+        assert sum(snap.counts) == snap.count
+
+
+class TestPhaseDelta:
+    def test_delta_subtracts_and_drops_idle_phases(self):
+        before = {"draw": {"count": 2, "seconds": 1.0}}
+        after = {
+            "draw": {"count": 5, "seconds": 2.5},
+            "estimate": {"count": 4, "seconds": 0.5},
+            "merge": {"count": 4, "seconds": 0.25},
+        }
+        delta = phase_seconds_delta(before, after)
+        assert delta["draw"] == {"count": 3, "seconds": 1.5}
+        assert delta["estimate"] == {"count": 4, "seconds": 0.5}
+        before_same = {"merge": {"count": 4, "seconds": 0.25}}
+        assert "merge" not in phase_seconds_delta(before_same, after)

@@ -1,0 +1,68 @@
+"""The profile surface: self-time attribution and the CLI subcommand."""
+
+import re
+
+from repro.obs.report import profile_table
+from repro.obs.trace import start_trace
+
+JOIN_Q = (
+    "SELECT SUM(l_extendedprice) AS rev "
+    "FROM lineitem TABLESAMPLE (20 PERCENT) REPEATABLE (11), orders "
+    "WHERE l_orderkey = o_orderkey"
+)
+
+
+def _attributed_percent(table: str) -> float:
+    match = re.search(r"-- attributed ([0-9.]+)% of", table)
+    assert match, table
+    return float(match.group(1))
+
+
+class TestAttribution:
+    def test_profile_attributes_most_of_traced_time(self, tpch_db):
+        with start_trace("profile") as tracer:
+            tpch_db.sql(JOIN_Q, seed=5, workers=0)
+        trace = tracer.finish_trace()
+        table = profile_table(trace)
+        # Self-time decomposition is exhaustive by construction; the
+        # acceptance bar is >= 90% of traced wall time attributed.
+        assert _attributed_percent(table) >= 90.0
+        assert "join key factorization + probe" in table
+
+    def test_profile_attribution_chunked(self, tpch_db):
+        with start_trace("profile") as tracer:
+            tpch_db.sql(JOIN_Q, seed=5, workers=4)
+        trace = tracer.finish_trace()
+        assert _attributed_percent(profile_table(trace)) >= 90.0
+
+
+class TestProfileCLI:
+    def test_profile_subcommand_end_to_end(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "--scale",
+                "0.02",
+                "--workers",
+                "0",
+                "profile",
+                "SELECT SUM(l_extendedprice) AS rev FROM lineitem "
+                "TABLESAMPLE (20 PERCENT) REPEATABLE (7)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rev = " in out
+        assert "hot path" in out
+        assert "draw.table_sample (table-sample draw)" in out
+        assert _attributed_percent(out) >= 90.0
+
+    def test_profile_rejects_bad_sql(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["--scale", "0.02", "profile", "SELECT FROM nothing WHERE"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -19,8 +19,15 @@ check_regression = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(check_regression)
 
 
-def write(path: pathlib.Path, workloads: list[dict]) -> pathlib.Path:
-    path.write_text(json.dumps({"workloads": workloads}))
+def write(
+    path: pathlib.Path,
+    workloads: list[dict],
+    schema_version: int | None = check_regression.SCHEMA_VERSION,
+) -> pathlib.Path:
+    payload: dict = {"workloads": workloads}
+    if schema_version is not None:
+        payload["schema_version"] = schema_version
+    path.write_text(json.dumps(payload))
     return path
 
 
@@ -87,6 +94,48 @@ class TestCompare:
             0.25,
         )
         assert failures and "no baseline workload" in failures[0]
+
+
+class TestSchemaGate:
+    def test_missing_schema_version_fails(self, baseline, tmp_path, capsys):
+        fresh = write(
+            tmp_path / "fresh.json",
+            [{"benchmark": "mix", "throughput_ratio": 4.0, "hit_rate": 0.9}],
+            schema_version=None,
+        )
+        code = check_regression.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(fresh),
+                "--metrics", "throughput_ratio",
+            ]
+        )
+        assert code == 1
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_stale_schema_version_fails(self, baseline, tmp_path, capsys):
+        stale = write(
+            tmp_path / "stale.json",
+            [{"benchmark": "mix", "throughput_ratio": 4.0, "hit_rate": 0.9}],
+            schema_version=check_regression.SCHEMA_VERSION - 1,
+        )
+        code = check_regression.main(
+            [
+                "--baseline", str(stale),
+                "--fresh", str(baseline),
+                "--metrics", "throughput_ratio",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "baseline" in err and "schema_version" in err
+
+    def test_check_schema_reports_label(self):
+        failures = check_regression.check_schema({}, "fresh")
+        assert failures and failures[0].startswith("fresh:")
+        assert check_regression.check_schema(
+            {"schema_version": check_regression.SCHEMA_VERSION}, "fresh"
+        ) == []
 
 
 class TestMain:
