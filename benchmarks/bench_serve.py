@@ -1,0 +1,344 @@
+"""Eval-H: the network serving tier — progressive answers under load.
+
+Contractual claims, recorded machine-readably in ``BENCH_serve.json``
+(run ``python benchmarks/bench_serve.py --json`` to regenerate):
+
+* **first answers arrive early** — under a concurrent progressive mix
+  the client-side time-to-first-estimate (TTFE: request sent → first
+  frame) is a small fraction of the time-to-budget (TTB: request sent
+  → terminal result).  ``first_frame_speedup = ttb_p50 / ttfe_p50`` is
+  the guarded ratio; the escalation ladder's geometric rungs mean the
+  pilot frame costs a sliver of the full refinement;
+* **refinement converges** — every streamed interval is no wider than
+  its predecessor and the met queries' final frames realize their
+  error budgets (the bit-identity and envelope proofs live in
+  ``tests/serve/``; here we guard the served wiring end to end);
+* **overload sheds accuracy, not availability** — driving the server
+  well past its configured capacity with a tiny queue produces a
+  nonzero shed rate (degrades + rejects) while the queries it *does*
+  serve stay within the latency SLO: ``slo_headroom =
+  slo_seconds / served_p99`` ≥ 1.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the data and relaxes the
+performance floors so CI exercises every code path cheaply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import tpch_database
+from repro.errors import ServeError
+from repro.serve import ServeClient, ServeConfig, start_server
+from repro.service import QueryService
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SCALE = 0.5 if SMOKE else 4.0
+CONNECTIONS = 6 if SMOKE else 8
+QUERIES_PER_CONNECTION = 2 if SMOKE else 4
+#: One worker per connection in the mix phase: queue wait is additive
+#: on TTFE and TTB alike, so any wait floor erodes the ratio between
+#: them without telling us anything about the ladder.
+WORKERS = CONNECTIONS
+#: Arrival stagger between connections and per-connection think time
+#: (seconds): the mix keeps several queries in flight — a busy service,
+#: not a saturation storm (the overload workload below covers that).
+#: Saturating a GIL-bound pool makes every pilot wait behind other
+#: queries' refinements, which measures queueing, not the ladder.
+STAGGER_SECONDS = 0.02 if SMOKE else 0.15
+THINK_SECONDS = 0.0 if SMOKE else 0.35
+
+#: The progressive statement: a budget tight enough that the ladder's
+#: right-sized refinement draws most of the relation, so the pilot
+#: frame (TTFE) costs a sliver of the full answer (TTB).  It tightens
+#: with scale because relative half-width shrinks like 1/sqrt(N).
+BUDGET_PERCENT = 0.7 if SMOKE else 0.25
+PROGRESSIVE_STATEMENT = (
+    "SELECT SUM(l_extendedprice) AS rev FROM lineitem "
+    f"TABLESAMPLE (5 PERCENT) WITHIN {BUDGET_PERCENT:g} % "
+    "CONFIDENCE 0.95"
+)
+
+#: Overload phase: a burst far past capacity with a tiny queue.
+OVERLOAD_CONNECTIONS = 8
+OVERLOAD_REQUESTS_PER_CONNECTION = 3
+OVERLOAD_CAPACITY = 4.0
+OVERLOAD_QUEUE_LIMIT = 3
+OVERLOAD_STATEMENT = (
+    "SELECT AVG(l_quantity) AS avg_qty FROM lineitem "
+    "TABLESAMPLE (10 PERCENT)"
+)
+
+#: Floors.  Smoke shrinks them because tiny data makes fixed per-rung
+#: overhead (parse, plan, RPC) a larger share of every frame; the full
+#: floor stays below the ~10x a quiet machine shows because the
+#: wall-clock throughput of the refinement scan varies several-fold on
+#: shared hardware while the pilot stays overhead-bound.
+MIN_FIRST_FRAME_SPEEDUP = 2.0 if SMOKE else 3.0
+SLO_SECONDS = 5.0 if SMOKE else 2.0
+MIN_SLO_HEADROOM = 1.0
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def build_service() -> QueryService:
+    db = tpch_database(scale=SCALE, seed=42)
+    db.attach_catalog()
+    return QueryService(db)
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    values = np.asarray(samples, dtype=float)
+    return float(np.percentile(values, 50)), float(np.percentile(values, 99))
+
+
+async def _progressive_mix() -> dict:
+    """Concurrent progressive queries; client-side TTFE/TTB per query."""
+    service = build_service()
+    server = await start_server(
+        service,
+        ServeConfig(
+            port=0, http_port=0, workers=WORKERS,
+            capacity=100_000.0, queue_limit=1024,
+        ),
+    )
+    ttfe: list[float] = []
+    ttb: list[float] = []
+    met: list[bool] = []
+    monotone: list[bool] = []
+    frame_counts: list[int] = []
+
+    async def one_connection(conn: int) -> None:
+        await asyncio.sleep(conn * STAGGER_SECONDS)
+        client = await ServeClient.connect("127.0.0.1", server.tcp_port)
+        try:
+            for q in range(QUERIES_PER_CONNECTION):
+                if q and THINK_SECONDS:
+                    # Deterministic jitter: fixed think times let the
+                    # connections re-synchronize into bursts.
+                    jitter = 0.5 + ((conn * 7 + q * 3) % 8) / 8.0
+                    await asyncio.sleep(THINK_SECONDS * jitter)
+                # Unique seed per request: no two queries share lineage,
+                # so nothing is served from the catalog and every TTB
+                # reflects a full ladder.
+                seed = 1_000 + conn * 97 + q
+                start = time.perf_counter()
+                marks: dict[str, float] = {}
+                frames: list[dict] = []
+
+                def on_frame(frame: dict) -> None:
+                    marks.setdefault("first", time.perf_counter())
+                    frames.append(frame)
+
+                result = await client.query(
+                    PROGRESSIVE_STATEMENT,
+                    seed=seed,
+                    progressive=True,
+                    on_frame=on_frame,
+                )
+                done = time.perf_counter()
+                assert result["status"] == "ok", result
+                ttfe.append(marks["first"] - start)
+                ttb.append(done - start)
+                met.append(bool(result.get("met")))
+                widths = [f["ci_hi"] - f["ci_lo"] for f in frames]
+                monotone.append(
+                    all(b <= a + 1e-9 for a, b in zip(widths, widths[1:]))
+                )
+                frame_counts.append(len(frames))
+        finally:
+            await client.close()
+
+    # Warm the server (cost-model calibration, lazy imports) so the
+    # measured queries see steady state, as a live service would.
+    warm = await ServeClient.connect("127.0.0.1", server.tcp_port)
+    await warm.query(PROGRESSIVE_STATEMENT, seed=999, progressive=True)
+    await warm.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(one_connection(i) for i in range(CONNECTIONS))
+    )
+    elapsed = time.perf_counter() - start
+    await server.drain()
+    stats, store = service.snapshot_stats()
+    assert store.lookups <= stats.queries, (store.lookups, stats.queries)
+
+    ttfe_p50, ttfe_p99 = _percentiles(ttfe)
+    ttb_p50, ttb_p99 = _percentiles(ttb)
+    return {
+        "benchmark": "progressive_concurrent_mix",
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "connections": CONNECTIONS,
+        "queries": len(ttb),
+        "workers": WORKERS,
+        "budget_percent": BUDGET_PERCENT,
+        "elapsed_seconds": elapsed,
+        "ttfe_p50_ms": ttfe_p50 * 1e3,
+        "ttfe_p99_ms": ttfe_p99 * 1e3,
+        "ttb_p50_ms": ttb_p50 * 1e3,
+        "ttb_p99_ms": ttb_p99 * 1e3,
+        "first_frame_speedup": ttb_p50 / ttfe_p50,
+        "first_frame_speedup_p99": ttb_p99 / ttfe_p99,
+        "frames_mean": float(np.mean(frame_counts)),
+        "met_fraction": sum(met) / len(met),
+        "widths_monotone": all(monotone),
+    }
+
+
+async def _overload_shedding() -> dict:
+    """A burst past capacity: shed rate vs served-query tail latency."""
+    service = build_service()
+    server = await start_server(
+        service,
+        ServeConfig(
+            port=0, http_port=0, workers=2,
+            capacity=OVERLOAD_CAPACITY,
+            queue_limit=OVERLOAD_QUEUE_LIMIT,
+        ),
+    )
+    latencies: list[float] = []
+    outcomes: list[str] = []
+
+    async def burst_connection(conn: int) -> None:
+        client = await ServeClient.connect("127.0.0.1", server.tcp_port)
+        try:
+            for q in range(OVERLOAD_REQUESTS_PER_CONNECTION):
+                start = time.perf_counter()
+                try:
+                    result = await client.query(
+                        OVERLOAD_STATEMENT, seed=conn * 31 + q
+                    )
+                    latencies.append(time.perf_counter() - start)
+                    outcomes.append(result["status"])
+                except ServeError:
+                    outcomes.append("rejected")
+        finally:
+            await client.close()
+
+    await asyncio.gather(
+        *(burst_connection(i) for i in range(OVERLOAD_CONNECTIONS))
+    )
+    decisions = dict(server.admission.decisions)
+    shed_rate = server.admission.shed_rate()
+    await server.drain()
+    assert server.admission.queued == 0
+
+    served_p50, served_p99 = _percentiles(latencies)
+    return {
+        "benchmark": "overload_shedding",
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "connections": OVERLOAD_CONNECTIONS,
+        "requests": len(outcomes),
+        "capacity": OVERLOAD_CAPACITY,
+        "queue_limit": OVERLOAD_QUEUE_LIMIT,
+        "served": outcomes.count("ok"),
+        "rejected": outcomes.count("rejected"),
+        "admitted_unchanged": decisions["admit"],
+        "degraded": decisions["degrade"],
+        "shed_rate": shed_rate,
+        "served_p50_ms": served_p50 * 1e3,
+        "served_p99_ms": served_p99 * 1e3,
+        "slo_seconds": SLO_SECONDS,
+        # Capped: headroom beyond 10x is all hardware, and the committed
+        # baseline must stay meaningful on slower CI machines.
+        "slo_headroom": min(10.0, SLO_SECONDS / served_p99),
+    }
+
+
+def run_serve_benchmark() -> dict[str, dict]:
+    mix = asyncio.run(_progressive_mix())
+    overload = asyncio.run(_overload_shedding())
+    return {"mix": mix, "overload": overload}
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return run_serve_benchmark()
+
+
+class TestServeBenchmark:
+    def test_first_frame_beats_budget(self, metrics, repro_report):
+        mix = metrics["mix"]
+        repro_report.add(
+            "serve (Eval-H)",
+            f"TTFE vs TTB p50 over {mix['queries']} progressive queries",
+            f">= {MIN_FIRST_FRAME_SPEEDUP:g}x",
+            f"{mix['first_frame_speedup']:.1f}x"
+            + (" (smoke)" if SMOKE else ""),
+        )
+        assert (
+            mix["first_frame_speedup"] >= MIN_FIRST_FRAME_SPEEDUP
+        ), mix
+
+    def test_refinement_converges(self, metrics):
+        mix = metrics["mix"]
+        assert mix["widths_monotone"]
+        assert mix["met_fraction"] == 1.0, mix
+        assert mix["frames_mean"] >= 2.0
+
+    def test_overload_sheds_but_meets_slo(self, metrics, repro_report):
+        overload = metrics["overload"]
+        repro_report.add(
+            "serve (Eval-H)",
+            f"served p99 under {overload['requests']}-request burst "
+            f"(capacity {overload['capacity']:g})",
+            f"<= {SLO_SECONDS:g}s SLO",
+            f"{overload['served_p99_ms'] / 1e3:.2f}s, "
+            f"shed {overload['shed_rate']:.0%}",
+        )
+        assert overload["shed_rate"] > 0.0, overload
+        assert overload["served"] >= 1, overload
+        assert overload["slo_headroom"] >= MIN_SLO_HEADROOM, overload
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Serving-tier benchmark; asserts the Eval-H claims "
+        "and optionally records them machine-readably."
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=str(JSON_PATH),
+        default=None,
+        metavar="PATH",
+        help=f"write results as JSON (default path: {JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+    results = run_serve_benchmark()
+    payload = {
+        "suite": "bench_serve",
+        "schema_version": 1,
+        "workloads": [results["mix"], results["overload"]],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        pathlib.Path(args.json).write_text(text + "\n")
+        print(f"\nwrote {args.json}")
+    mix, overload = results["mix"], results["overload"]
+    ok = (
+        mix["first_frame_speedup"] >= MIN_FIRST_FRAME_SPEEDUP
+        and mix["widths_monotone"]
+        and mix["met_fraction"] == 1.0
+        and overload["shed_rate"] > 0.0
+        and overload["served"] >= 1
+        and overload["slo_headroom"] >= MIN_SLO_HEADROOM
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,10 @@ Usage::
     python -m repro stream --windows 8 --shards 4   # streaming engine demo
     cat workload.sql | python -m repro serve --workers 8   # catalog service
     python -m repro serve --selftest                # concurrent self-check
+    python -m repro serve --tcp --port 7799         # network serving tier
+    python -m repro query --connect 127.0.0.1:7799 --progressive \
+        "SELECT SUM(l_extendedprice) AS rev FROM lineitem \
+         TABLESAMPLE (5 PERCENT) WITHIN 2 % CONFIDENCE 0.95"
 
 Shell commands:
 
@@ -175,6 +179,37 @@ def _add_serve_subcommand(subcommands) -> None:
         "answers are repeat-identical",
     )
     serve.add_argument(
+        "--tcp", action="store_true",
+        help="serve the NDJSON protocol plus HTTP /query /metrics "
+        "/healthz over TCP instead of reading stdin",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (--tcp)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7799,
+        help="NDJSON port, 0 for ephemeral (--tcp; default 7799)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="HTTP port, 0 for ephemeral (--tcp; default ephemeral)",
+    )
+    serve.add_argument(
+        "--capacity", type=float, default=32.0,
+        help="admission capacity in requests/second before queries "
+        "are degraded to lower sampling rates (--tcp; default 32)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="waiting requests before arrivals are rejected "
+        "(--tcp; default 64)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=30_000.0,
+        help="default per-request deadline for progressive queries "
+        "(--tcp; default 30000)",
+    )
+    serve.add_argument(
         "--scale", type=float, default=argparse.SUPPRESS,
         help="TPC-H scale factor",
     )
@@ -206,6 +241,8 @@ def _run_serve(args) -> int:
         return 2
     db.attach_catalog()
     service = QueryService(db, level=args.level)
+    if args.tcp:
+        return _run_serve_tcp(service, args)
     statements = [line.strip() for line in sys.stdin if line.strip()]
     if not statements:
         print("serve: no statements on stdin", file=sys.stderr)
@@ -216,6 +253,133 @@ def _run_serve(args) -> int:
     # Per-statement errors are printed in-stream; the exit code only
     # signals total failure.
     return 0 if served else 1
+
+
+def _run_serve_tcp(service, args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, start_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        workers=args.serve_workers,
+        capacity=args.capacity,
+        queue_limit=args.queue_limit,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+    async def run() -> None:
+        server = await start_server(service, config)
+        print(
+            f"serving NDJSON on {config.host}:{server.tcp_port}, "
+            f"HTTP on {config.host}:{server.http_port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.drain()
+            print(f"-- {service.stats_line()}", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _add_query_subcommand(subcommands) -> None:
+    """Register ``repro query`` — the remote client of a ``serve --tcp``.
+
+    Connects, runs one statement, prints progressive frames as they
+    stream in (``--progressive``), and exits with the terminal answer.
+    """
+    query = subcommands.add_parser(
+        "query",
+        help="run one statement against a running `repro serve --tcp`",
+        description="Remote query client: connects to a serving tier, "
+        "streams progressive frames if asked, prints the final answer.",
+    )
+    query.add_argument("statement", help="SQL statement to run")
+    query.add_argument(
+        "--connect", default="127.0.0.1:7799", metavar="HOST:PORT",
+        help="server address (default 127.0.0.1:7799)",
+    )
+    query.add_argument(
+        "--progressive", action="store_true",
+        help="stream tightening (estimate, ci) frames as the "
+        "escalation ladder runs",
+    )
+    query.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline (progressive)",
+    )
+    query.add_argument(
+        "--budget", type=float, default=None, metavar="PERCENT",
+        help="error budget when the statement has no WITHIN clause",
+    )
+    query.add_argument(
+        "--confidence", type=float, default=None,
+        help="confidence level of the budget (default 0.95)",
+    )
+    query.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
+    )
+
+
+def _run_query(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import query_once
+
+    host, _, port_text = args.connect.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --connect needs HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+
+    def on_frame(frame: dict) -> None:
+        print(
+            f"-- frame {frame['sequence']} [{frame['stage']}] "
+            f"{frame['alias']} = {frame['estimate']:.6g} "
+            f"[{frame['ci_lo']:.6g}, {frame['ci_hi']:.6g}] "
+            f"rate {frame['rate']:.3g}, n={frame['n_sample']}",
+            flush=True,
+        )
+
+    try:
+        result = query_once(
+            host,
+            port,
+            args.statement,
+            seed=getattr(args, "seed", None),
+            progressive=args.progressive,
+            deadline_ms=args.deadline_ms,
+            budget_percent=args.budget,
+            confidence=args.confidence,
+            on_frame=on_frame if args.progressive else None,
+        )
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    status = result.get("status", "ok")
+    if "text" in result:
+        print(result["text"])
+    elif "estimate" in result:
+        print(
+            f"{result.get('alias', 'value')} = {result['estimate']:.6g}   "
+            f"[{result['ci_lo']:.6g}, {result['ci_hi']:.6g}]"
+        )
+    if status != "ok":
+        print(f"-- {status} after {result.get('frames', 0)} frame(s)")
+        return 1
+    return 0
 
 
 def _add_profile_subcommand(subcommands) -> None:
@@ -284,9 +448,10 @@ def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     to the ground truth the simulator knows.
     """
     subcommands = parser.add_subparsers(
-        dest="subcommand", metavar="{stream,serve,profile}"
+        dest="subcommand", metavar="{stream,serve,query,profile}"
     )
     _add_serve_subcommand(subcommands)
+    _add_query_subcommand(subcommands)
     _add_profile_subcommand(subcommands)
     stream = subcommands.add_parser(
         "stream",
@@ -438,6 +603,8 @@ def main(argv=None) -> int:
         return _run_stream(args)
     if args.subcommand == "serve":
         return _run_serve(args)
+    if args.subcommand == "query":
+        return _run_query(args)
     if args.subcommand == "profile":
         return _run_profile(args)
 

@@ -53,6 +53,34 @@ class SQLError(ReproError):
     """SQL text could not be lexed, parsed, or planned."""
 
 
+class ServeError(ReproError):
+    """A failure in the network serving tier."""
+
+
+class ProtocolError(ServeError):
+    """A client frame could not be decoded or validated.
+
+    Carries a machine-readable ``code`` so the wire error response can
+    tell malformed JSON from a well-formed but invalid request.
+    """
+
+    def __init__(self, message: str, code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class AdmissionRejected(ServeError):
+    """The admission queue is full; the request was shed outright."""
+
+
+class QueryCancelled(ServeError):
+    """The client went away; the in-flight ladder was abandoned."""
+
+
+class DeadlineExceeded(ServeError):
+    """The per-request deadline passed before the budget was met."""
+
+
 class SQLSyntaxError(SQLError):
     """The SQL text violates the grammar.
 

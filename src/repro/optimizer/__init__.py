@@ -24,6 +24,7 @@ from repro.optimizer.candidates import (
     enumerate_assignments,
     escalate_methods,
     join_orders,
+    max_rate,
     reusable_methods,
 )
 from repro.optimizer.cost import CostEstimate, CostModel
@@ -50,6 +51,7 @@ __all__ = [
     "enumerate_assignments",
     "escalate_methods",
     "join_orders",
+    "max_rate",
     "reusable_methods",
     "CostEstimate",
     "CostModel",

@@ -411,6 +411,31 @@ def escalate_methods(
     return out
 
 
+def max_rate(
+    methods: Mapping[str, SamplingMethod],
+    table_sizes: Mapping[str, int] | None = None,
+) -> float:
+    """The largest per-relation sampling fraction of an assignment.
+
+    The serving tier labels each progressive frame with this — "how
+    much of the data has been drawn so far" — so it must be a fraction
+    for every family: rate-based methods report ``p`` directly,
+    size-based ones (WOR) the realized ``n / N`` when sizes are known.
+    """
+    best = 0.0
+    for rel, method in methods.items():
+        p = getattr(method, "p", None)
+        if p is not None:
+            best = max(best, float(p))
+        elif isinstance(method, WithoutReplacement) and table_sizes:
+            total = table_sizes.get(rel, 0)
+            if total > 0:
+                best = max(best, method.size / total)
+        else:
+            best = max(best, 1.0)
+    return best if methods else 1.0
+
+
 def is_fully_escalated(
     methods: Mapping[str, SamplingMethod], table_sizes: Mapping[str, int]
 ) -> bool:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from time import perf_counter
 
@@ -45,6 +45,7 @@ from repro.optimizer.candidates import (
     escalate_methods,
     is_fully_escalated,
     join_orders,
+    max_rate,
     relation_seed,
     reusable_methods,
 )
@@ -85,13 +86,19 @@ class ScoredCandidate:
 
 @dataclass(frozen=True)
 class AttemptRecord:
-    """One execution of the escalation loop."""
+    """One execution of the escalation loop.
+
+    ``rate`` is the largest per-relation sampling fraction of the
+    attempt's method assignment — the "how much data so far" label a
+    progressive client displays next to the tightening interval.
+    """
 
     attempt: int
     methods_label: str
     n_sample: int
     realized_relative_half_width: float
     met: bool
+    rate: float = float("nan")
 
 
 @dataclass(frozen=True)
@@ -234,18 +241,20 @@ class SamplingPlanOptimizer:
                 owner[column] = name
         return owner
 
+    def pilot_relation_rate(self, skeleton: QuerySkeleton) -> float:
+        """Per-relation rates multiply through the join (Prop 6), so take
+        the k-th root: the pilot retains ~pilot_rate of the *joined*
+        result however many relations are sampled."""
+        return self.pilot_rate ** (1.0 / max(1, len(skeleton.sampled)))
+
     def _pilot(self, skeleton: QuerySkeleton, seed: int) -> VariancePredictor:
-        # Per-relation rates multiply through the join (Prop 6), so take
-        # the k-th root: the pilot retains ~pilot_rate of the *joined*
-        # result however many relations are sampled.
-        #
         # The pilot runs through the database's SBox, so with a synopsis
         # catalog attached its sample is stored and reused like any
         # other — repeated report()/optimize()/EXPLAIN SAMPLING calls
         # skip re-piloting, and a stored pilot can later serve plain
         # queries by thinning (a valid GUS sample with rescaled
         # coefficients; the algebra does not care who drew it).
-        per_rel = self.pilot_rate ** (1.0 / max(1, len(skeleton.sampled)))
+        per_rel = self.pilot_relation_rate(skeleton)
         pilot_methods = {
             rel: LineageHashBernoulli(
                 per_rel, seed=relation_seed(seed + 1, rel)
@@ -304,8 +313,18 @@ class SamplingPlanOptimizer:
         budget: ErrorBudget,
         *,
         seed: int | None = None,
+        on_pilot: "Callable[[QueryResult, float], None] | None" = None,
+        before_execute: "Callable[[str], None] | None" = None,
     ) -> OptimizerReport:
-        """Enumerate, score, and rank — the ``EXPLAIN SAMPLING`` path."""
+        """Enumerate, score, and rank — the ``EXPLAIN SAMPLING`` path.
+
+        ``on_pilot`` (if given) receives the executed pilot result and
+        its per-relation sampling rate — the progressive serving tier's
+        first streamed estimate.  ``before_execute`` is called with a
+        stage label before any engine execution; raising from it aborts
+        the run (cooperative cancellation).  Neither hook touches the
+        RNG, so hooked and hook-free runs stay bit-identical.
+        """
         seed = self.seed if seed is None else int(seed)
         skeleton = decompose(plan, self._column_owner())
         if not skeleton.sampled:
@@ -315,12 +334,16 @@ class SamplingPlanOptimizer:
             )
         tracer = get_tracer()
         t_pilot = perf_counter()
+        if before_execute is not None:
+            before_execute("pilot")
         with maybe_span(tracer, "optimizer.pilot", kind="optimizer") as sp:
             predictor = self._pilot(skeleton, seed)
             sp.attrs["pilot_rows"] = predictor.pilot.sample.n_rows
         REGISTRY.histogram(
             "repro_optimizer_seconds", stage="pilot"
         ).observe(perf_counter() - t_pilot)
+        if on_pilot is not None:
+            on_pilot(predictor.pilot, self.pilot_relation_rate(skeleton))
         sizes = self.db.sizes()
         schema = frozenset(skeleton.relations)
         orders = join_orders(skeleton, limit=self.order_limit)
@@ -419,10 +442,32 @@ class SamplingPlanOptimizer:
         budget: ErrorBudget,
         *,
         seed: int | None = None,
+        on_pilot: "Callable[[QueryResult, float], None] | None" = None,
+        on_attempt: (
+            "Callable[[AttemptRecord, QueryResult], None] | None"
+        ) = None,
+        before_execute: "Callable[[str], None] | None" = None,
     ) -> OptimizedResult:
-        """Choose, execute, and escalate until the budget is realized."""
+        """Choose, execute, and escalate until the budget is realized.
+
+        The hooks expose the loop's intermediate state to streaming
+        callers: ``on_pilot`` fires after the pilot execution,
+        ``on_attempt`` after every escalation attempt (with its full
+        :class:`~repro.core.sbox.QueryResult`), and ``before_execute``
+        before each engine run — raising from it aborts the loop, which
+        is how a serving deadline or client disconnect cancels an
+        in-flight ladder between (never inside) executions.  Hooks only
+        observe results; the RNG stream, the chosen plan, and the final
+        answer are bit-identical to a hook-free ``optimize`` call.
+        """
         seed = self.seed if seed is None else int(seed)
-        report = self.report(plan, budget, seed=seed)
+        report = self.report(
+            plan,
+            budget,
+            seed=seed,
+            on_pilot=on_pilot,
+            before_execute=before_execute,
+        )
         skeleton = report.chosen.candidate.skeleton
         order = report.chosen.candidate.order
         sizes = self.db.sizes()
@@ -431,6 +476,8 @@ class SamplingPlanOptimizer:
         tracer = get_tracer()
         attempts: list[AttemptRecord] = []
         for attempt in range(self.max_escalations + 1):
+            if before_execute is not None:
+                before_execute(f"attempt[{attempt}]")
             executable = skeleton.build(order, methods)
             with maybe_span(
                 tracer,
@@ -448,15 +495,17 @@ class SamplingPlanOptimizer:
                 )
                 sp.attrs["n_sample"] = result.sample.n_rows
                 sp.attrs["met"] = met
-            attempts.append(
-                AttemptRecord(
-                    attempt=attempt,
-                    methods_label=methods_label(methods),
-                    n_sample=result.sample.n_rows,
-                    realized_relative_half_width=realized,
-                    met=met,
-                )
+            record = AttemptRecord(
+                attempt=attempt,
+                methods_label=methods_label(methods),
+                n_sample=result.sample.n_rows,
+                realized_relative_half_width=realized,
+                met=met,
+                rate=max_rate(methods, sizes),
             )
+            attempts.append(record)
+            if on_attempt is not None:
+                on_attempt(record, result)
             if met or is_fully_escalated(methods, sizes):
                 break
             REGISTRY.counter("repro_optimizer_escalations_total").inc()

@@ -1,0 +1,49 @@
+"""The network serving tier: progressive answers over asyncio.
+
+Layers, transport-independent first:
+
+* :mod:`repro.serve.protocol` — the NDJSON wire format;
+* :mod:`repro.serve.progressive` — the escalation ladder as a stream of
+  monotonically tightening frames (bit-identical to a non-progressive
+  run at the same seed);
+* :mod:`repro.serve.admission` — admit / degrade / reject, with the
+  Section 8 load shedder as the policy engine;
+* :mod:`repro.serve.handler` — the one request brain every front-end
+  (TCP, HTTP, the ``repro serve`` stdin loop) shares;
+* :mod:`repro.serve.server` — the asyncio TCP + HTTP tier;
+* :mod:`repro.serve.client` — the async client and the CLI's sync
+  one-shot wrapper.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    degrade_statement,
+)
+from repro.serve.client import ServeClient, query_once
+from repro.serve.handler import RequestHandler
+from repro.serve.progressive import (
+    ProgressiveFrame,
+    ProgressiveOutcome,
+    run_progressive,
+)
+from repro.serve.protocol import Request, decode_request, encode
+from repro.serve.server import ReproServer, ServeConfig, start_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "degrade_statement",
+    "ServeClient",
+    "query_once",
+    "RequestHandler",
+    "ProgressiveFrame",
+    "ProgressiveOutcome",
+    "run_progressive",
+    "Request",
+    "decode_request",
+    "encode",
+    "ReproServer",
+    "ServeConfig",
+    "start_server",
+]

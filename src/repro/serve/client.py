@@ -1,0 +1,203 @@
+"""Async client for the serving tier, plus a sync one-shot wrapper.
+
+:class:`ServeClient` speaks the NDJSON protocol over one TCP
+connection and multiplexes pipelined requests by id: a background
+reader task routes every incoming object to its request's queue, so
+``await client.query(...)`` calls can overlap freely and progressive
+frames reach the right caller's ``on_frame`` callback in order.
+
+:func:`query_once` is the synchronous convenience the CLI uses
+(``repro query --connect``): one connection, one query, frames printed
+as they land.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable
+
+from repro.errors import ServeError
+
+#: Response types that end a request.
+_TERMINAL = ("result", "error")
+
+OnFrame = Callable[[dict], None] | None
+
+
+class ServeClient:
+    """One NDJSON connection; safe for concurrent ``await`` callers."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Queue] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                queue = self._pending.get(payload.get("id"))
+                if queue is not None:
+                    queue.put_nowait(payload)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            # Wake every waiter with a synthetic terminal error.
+            for queue in self._pending.values():
+                queue.put_nowait(
+                    {"type": "error", "code": "disconnected",
+                     "error": "server closed the connection"}
+                )
+
+    async def _send(self, payload: dict) -> int:
+        self._next_id += 1
+        rid = payload["id"] = self._next_id
+        self._pending[rid] = asyncio.Queue()
+        self._writer.write(
+            (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        )
+        await self._writer.drain()
+        return rid
+
+    async def _finish(self, rid: int, on_frame: OnFrame = None) -> dict:
+        queue = self._pending[rid]
+        try:
+            while True:
+                payload = await queue.get()
+                if payload.get("type") in _TERMINAL:
+                    return payload
+                if payload.get("type") == "frame" and on_frame is not None:
+                    on_frame(payload)
+        finally:
+            self._pending.pop(rid, None)
+
+    # -- requests ----------------------------------------------------------
+
+    async def query(
+        self,
+        statement: str,
+        *,
+        seed: int | None = None,
+        progressive: bool = False,
+        deadline_ms: float | None = None,
+        budget_percent: float | None = None,
+        confidence: float | None = None,
+        on_frame: OnFrame = None,
+    ) -> dict:
+        """One statement to its terminal payload (raises on error)."""
+        payload: dict = {
+            "op": "query",
+            "statement": statement,
+            "mode": "progressive" if progressive else "final",
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if budget_percent is not None:
+            payload["budget_percent"] = budget_percent
+        if confidence is not None:
+            payload["confidence"] = confidence
+        rid = await self._send(payload)
+        terminal = await self._finish(rid, on_frame)
+        if terminal.get("type") == "error":
+            raise ServeError(
+                f"[{terminal.get('code')}] {terminal.get('error')}"
+            )
+        return terminal
+
+    async def cancel(self, target: int) -> dict:
+        rid = await self._send({"op": "cancel", "target": target})
+        return await self._finish(rid)
+
+    async def start_query(self, statement: str, **kwargs) -> int:
+        """Fire a query without waiting; returns its request id.
+
+        Pair with :meth:`wait` (or :meth:`cancel`) — used by tests and
+        the bench to cancel mid-query.
+        """
+        payload: dict = {"op": "query", "statement": statement, **kwargs}
+        return await self._send(payload)
+
+    async def wait(self, rid: int, on_frame: OnFrame = None) -> dict:
+        return await self._finish(rid, on_frame)
+
+    async def stats(self) -> str:
+        rid = await self._send({"op": "stats"})
+        return (await self._finish(rid)).get("text", "")
+
+    async def metrics(self) -> str:
+        rid = await self._send({"op": "metrics"})
+        return (await self._finish(rid)).get("text", "")
+
+    async def ping(self) -> bool:
+        rid = await self._send({"op": "ping"})
+        return bool((await self._finish(rid)).get("pong"))
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def _one_shot(
+    host: str, port: int, fn: Callable[[ServeClient], Awaitable]
+):
+    client = await ServeClient.connect(host, port)
+    try:
+        return await fn(client)
+    finally:
+        await client.close()
+
+
+def query_once(
+    host: str,
+    port: int,
+    statement: str,
+    *,
+    seed: int | None = None,
+    progressive: bool = False,
+    deadline_ms: float | None = None,
+    budget_percent: float | None = None,
+    confidence: float | None = None,
+    on_frame: OnFrame = None,
+) -> dict:
+    """Synchronous connect → query → close (the CLI's remote path)."""
+    return asyncio.run(
+        _one_shot(
+            host,
+            port,
+            lambda c: c.query(
+                statement,
+                seed=seed,
+                progressive=progressive,
+                deadline_ms=deadline_ms,
+                budget_percent=budget_percent,
+                confidence=confidence,
+                on_frame=on_frame,
+            ),
+        )
+    )

@@ -48,6 +48,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Default size of the per-service result cache (answers, not samples).
 DEFAULT_RESULT_CACHE = 256
 
+#: Default bound on tracked sessions (LRU-evicted beyond this).
+DEFAULT_MAX_SESSIONS = 1024
+
 
 def default_seed(statement: str) -> int:
     """Stable per-statement seed, so identical statements are cacheable."""
@@ -83,6 +86,7 @@ class ServiceStats:
     result_cache_hits: int = 0
     coalesced_hits: int = 0
     errors: int = 0
+    sessions_evicted: int = 0
 
     def copy(self) -> "ServiceStats":
         return replace(self)
@@ -110,6 +114,7 @@ class QueryService:
         *,
         level: float = 0.95,
         result_cache_size: int = DEFAULT_RESULT_CACHE,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
     ) -> None:
         if db.synopses is None:
             db.attach_catalog()
@@ -119,6 +124,8 @@ class QueryService:
         self._results: OrderedDict[tuple, ServiceResponse] = OrderedDict()
         self._result_cache_size = int(result_cache_size)
         self._inflight: dict[tuple, Future] = {}
+        self._sessions: OrderedDict[str, ServiceSession] = OrderedDict()
+        self._max_sessions = max(1, int(max_sessions))
         self.stats = ServiceStats()
         #: Per-service metrics (latency histograms by outcome); the
         #: process-wide :data:`~repro.obs.metrics.REGISTRY` keeps the
@@ -234,7 +241,44 @@ class QueryService:
             return list(pool.map(self.query, items))
 
     def session(self, name: str) -> ServiceSession:
-        return ServiceSession(self, name)
+        """Get-or-create the named session handle (bounded registry).
+
+        Sessions are tracked in an LRU so many-connection churn (one
+        session per TCP connection, connections come and go) cannot
+        grow service memory without bound: beyond ``max_sessions`` the
+        least-recently-touched session record is evicted and counted in
+        ``stats.sessions_evicted``.  An evicted name can reconnect —
+        it simply gets a fresh handle with a zeroed query count.
+        """
+        with self._lock:
+            existing = self._sessions.get(name)
+            if existing is not None:
+                self._sessions.move_to_end(name)
+                return existing
+            created = self._sessions[name] = ServiceSession(self, name)
+            while len(self._sessions) > self._max_sessions:
+                self._sessions.popitem(last=False)
+                self.stats.sessions_evicted += 1
+            return created
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def note_execution(self, count: int = 1) -> None:
+        """Account engine executions driven by an external loop.
+
+        The progressive serving tier runs the optimizer's pilot and
+        escalation attempts directly against this service's database;
+        each of those executions may probe the synopsis catalog.
+        Recording them here — under the same lock, *before* the
+        execution happens — preserves the snapshot invariant
+        ``store.lookups <= service.queries`` that
+        :meth:`snapshot_stats` guarantees for the plain query path.
+        """
+        with self._lock:
+            self.stats.queries += int(count)
 
     # -- administration ----------------------------------------------------
 
@@ -288,6 +332,10 @@ class QueryService:
             service.coalesced_hits
         )
         reg.counter("repro_service_errors_total").inc(service.errors)
+        reg.counter("repro_service_sessions_evicted_total").inc(
+            service.sessions_evicted
+        )
+        reg.gauge("repro_service_sessions").set(float(self.session_count))
         reg.counter("repro_catalog_lookups_total").inc(store.lookups)
         reg.counter("repro_catalog_hits_total", mode="exact").inc(
             store.exact_hits
@@ -334,7 +382,9 @@ class QueryService:
             f"[{store.exact_hits} exact, {store.pushdown_hits} pushdown, "
             f"{store.thin_hits} thin], "
             f"misses {store.misses}, evictions {store.evictions}, "
-            f"invalidations {store.invalidations}{quantiles})"
+            f"invalidations {store.invalidations}, "
+            f"sessions {self.session_count} "
+            f"(evicted {service.sessions_evicted}){quantiles})"
         )
 
 
@@ -381,43 +431,27 @@ def serve_statements(
     counter summary with latency quantiles, ``\\metrics`` the full
     Prometheus exposition.
     """
+    # The per-statement logic (serving, tagging, error isolation) and
+    # the \stats/\metrics commands are the network tier's request
+    # handler — one implementation for stdin and TCP alike.
+    from repro.serve.handler import RequestHandler
+
+    handler = RequestHandler(service)
     items = list(statements)
     served = 0
     with ThreadPoolExecutor(max_workers=max(1, int(workers))) as pool:
         futures = [
-            None if s.startswith("\\") else pool.submit(service.query, s)
+            None if s.startswith("\\") else pool.submit(handler.serve_text, s)
             for s in items
         ]
         for statement, future in zip(items, futures):
             if future is None:
-                command = statement[1:].strip().lower()
-                if command == "stats":
-                    out(f"-- {service.stats_line()}")
-                elif command == "metrics":
-                    out(service.metrics_text().rstrip())
-                else:
-                    out(
-                        f"-- unknown command {statement!r}; "
-                        "try \\stats or \\metrics"
-                    )
+                out(handler.command_text(statement))
                 continue
-            try:
-                response = future.result()
-            except ReproError as exc:
-                out(f"-- [error] {statement}")
-                out(f"error: {exc}")
-                continue
-            tag = (
-                "result-cache"
-                if response.cached
-                else (response.reuse.kind if response.reuse else "fresh")
-            )
-            out(
-                f"-- [{tag}, {response.elapsed * 1e3:.1f} ms] "
-                f"{response.statement}"
-            )
-            out(response.text)
-            served += 1
+            lines, ok = future.result()
+            for line in lines:
+                out(line)
+            served += ok
     out(f"-- {service.stats_line()}")
     return served
 

@@ -1,0 +1,20 @@
+"""Shared fixtures for the serving-tier tests.
+
+``shared_service`` reuses one TPC-H instance across read-only tests;
+tests that assert counter invariants build their own fresh service
+(:func:`serveutil.fresh_service`) so other tests' catalog traffic
+cannot pollute the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from serveutil import fresh_service
+
+from repro.service import QueryService
+
+
+@pytest.fixture(scope="session")
+def shared_service() -> QueryService:
+    return fresh_service()

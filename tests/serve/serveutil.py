@@ -1,0 +1,25 @@
+"""Helpers shared by the serving-tier tests."""
+
+from __future__ import annotations
+
+from repro.data.tpch import tpch_database
+from repro.service import QueryService
+
+
+def fresh_service(scale: float = 0.01, seed: int = 0) -> QueryService:
+    db = tpch_database(scale=scale, seed=seed)
+    db.attach_catalog()
+    return QueryService(db)
+
+
+#: A budgeted statement loose enough to converge in a few rungs.
+BUDGETED = (
+    "SELECT SUM(l_extendedprice) AS rev FROM lineitem "
+    "TABLESAMPLE (5 PERCENT) WITHIN 10 % CONFIDENCE 0.95"
+)
+
+#: A plain statement for the result-cache/catalog path.
+PLAIN = (
+    "SELECT AVG(l_quantity) AS avg_qty FROM lineitem "
+    "TABLESAMPLE (10 PERCENT) REPEATABLE (3)"
+)

@@ -1,0 +1,155 @@
+"""Progressive refinement: convergence, bit-identity, cancellation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from serveutil import BUDGETED, fresh_service
+
+from repro.errors import PlanError
+from repro.serve.progressive import run_progressive
+
+
+class TestConvergence:
+    def test_frames_converge_and_meet_budget(self, shared_service):
+        service = shared_service
+        frames = []
+        outcome = run_progressive(
+            service.db, BUDGETED, seed=11, emit=frames.append
+        )
+        assert outcome.status == "ok"
+        assert outcome.met
+        assert len(frames) >= 2  # pilot plus at least one attempt
+        assert [f.sequence for f in frames] == list(range(len(frames)))
+        assert frames[0].stage == "pilot"
+        # The advertised contract: never-widening intervals.
+        widths = [f.width for f in outcome.frames]
+        assert all(b <= a + 1e-9 for a, b in zip(widths, widths[1:]))
+        # Every frame's interval contains its own estimate.
+        for f in outcome.frames:
+            assert f.ci_lo <= f.estimate <= f.ci_hi
+        # The final frame realizes the budget: half-width within 10%.
+        last = outcome.frames[-1]
+        assert (last.ci_hi - last.ci_lo) / 2 <= 0.10 * abs(last.estimate)
+
+    def test_rates_come_from_the_ladder(self, shared_service):
+        outcome = run_progressive(shared_service.db, BUDGETED, seed=11)
+        assert outcome.frames[0].rate == pytest.approx(0.1)
+        attempt_rates = [f.rate for f in outcome.frames[1:]]
+        assert all(r > 0 for r in attempt_rates)
+        assert attempt_rates == sorted(attempt_rates)
+
+    def test_bit_identical_to_non_progressive(self, shared_service):
+        db = shared_service.db
+        reference = db.sql(BUDGETED, seed=23)
+        outcome = run_progressive(db, BUDGETED, seed=23)
+        assert outcome.optimized is not None
+        assert outcome.optimized.result.values == reference.result.values
+        assert outcome.frames[-1].estimate == reference.result.values["rev"]
+        # And the other direction: progressive first, plain second.
+        outcome2 = run_progressive(db, BUDGETED, seed=24)
+        reference2 = db.sql(BUDGETED, seed=24)
+        assert (
+            outcome2.optimized.result.values == reference2.result.values
+        )
+
+    def test_default_budget_without_within_clause(self, shared_service):
+        statement = (
+            "SELECT SUM(l_extendedprice) AS rev FROM lineitem "
+            "TABLESAMPLE (5 PERCENT)"
+        )
+        outcome = run_progressive(
+            shared_service.db,
+            statement,
+            seed=5,
+            budget_percent=15.0,
+            confidence=0.9,
+        )
+        assert outcome.status == "ok"
+        last = outcome.frames[-1]
+        assert (last.ci_hi - last.ci_lo) / 2 <= 0.15 * abs(last.estimate)
+
+
+class TestRejectsNonProgressiveShapes:
+    def test_explain_rejected(self, shared_service):
+        with pytest.raises(PlanError):
+            run_progressive(
+                shared_service.db, "EXPLAIN SAMPLING " + BUDGETED
+            )
+
+    def test_grouped_rejected(self, shared_service):
+        with pytest.raises(PlanError):
+            run_progressive(
+                shared_service.db,
+                "SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem "
+                "TABLESAMPLE (10 PERCENT) GROUP BY l_returnflag",
+            )
+
+    def test_non_aggregate_rejected(self, shared_service):
+        with pytest.raises(PlanError):
+            run_progressive(
+                shared_service.db,
+                "SELECT l_quantity FROM lineitem TABLESAMPLE (10 PERCENT)",
+            )
+
+
+class TestCancellationAndDeadline:
+    def test_cancel_after_first_frame(self):
+        service = fresh_service()
+        seen = []
+
+        def cancelled() -> bool:
+            return bool(seen)
+
+        outcome = run_progressive(
+            service.db,
+            BUDGETED,
+            seed=3,
+            emit=seen.append,
+            cancelled=cancelled,
+            note_execution=service.note_execution,
+        )
+        assert outcome.status == "cancelled"
+        assert outcome.optimized is None
+        assert len(outcome.frames) >= 1  # the pilot frame survived
+        # Counters stay consistent: every engine run was accounted
+        # before it could touch the catalog.
+        stats, store = service.snapshot_stats()
+        assert store.lookups <= stats.queries
+
+    def test_expired_deadline_stops_before_any_execution(self):
+        service = fresh_service()
+        outcome = run_progressive(
+            service.db,
+            BUDGETED,
+            seed=3,
+            deadline=time.monotonic() - 1.0,
+            note_execution=service.note_execution,
+        )
+        assert outcome.status == "deadline"
+        assert outcome.frames == ()
+        _, store = service.snapshot_stats()
+        assert store.lookups == 0
+
+    def test_cancellation_storm_keeps_invariant(self):
+        service = fresh_service()
+        # Cancel at every possible rung boundary, repeatedly.
+        for cancel_after in (0, 1, 2, 0, 1):
+            seen: list = []
+
+            def cancelled() -> bool:
+                return len(seen) > cancel_after
+
+            outcome = run_progressive(
+                service.db,
+                BUDGETED,
+                seed=cancel_after,
+                emit=seen.append,
+                cancelled=cancelled,
+                note_execution=service.note_execution,
+            )
+            assert outcome.status in ("cancelled", "ok")
+            stats, store = service.snapshot_stats()
+            assert store.lookups <= stats.queries
