@@ -437,6 +437,58 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _add_fuzz_subcommand(subcommands) -> None:
+    """Register ``repro fuzz`` — the differential fuzzer.
+
+    Generates random queries over the built-in adversarial schema,
+    checks each against the exact oracle, engine determinism, catalog
+    reuse, and (on a subsample) sequential statistical acceptance, and
+    shrinks every failure to a minimal statement + seed.  Exit status 1
+    means surviving counterexamples; ``--json`` writes them (with
+    ready-to-paste regression tests) for CI artifact upload.
+    """
+    fuzz = subcommands.add_parser(
+        "fuzz",
+        help="differential fuzzing: random queries vs exact oracle, "
+        "determinism, reuse, and statistical acceptance",
+        description="Fuzz the engine with random sampled queries and "
+        "report shrunk counterexamples.",
+    )
+    fuzz.add_argument(
+        "--seconds", type=float, default=60.0, metavar="N",
+        help="time budget for the campaign (default 60)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="campaign seed: the query stream is a pure function of it",
+    )
+    fuzz.add_argument(
+        "--max-queries", type=int, default=None, metavar="N",
+        help="stop after N queries even if time remains",
+    )
+    fuzz.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full report (shrunk statements, seeds, "
+        "generated regression tests) as JSON",
+    )
+
+
+def _run_fuzz(args) -> int:
+    from repro.fuzz import run_fuzz
+
+    if args.seconds <= 0:
+        print(f"error: --seconds {args.seconds} must be > 0", file=sys.stderr)
+        return 2
+    report = run_fuzz(
+        seconds=args.seconds, seed=args.seed, max_queries=args.max_queries
+    )
+    print(report.summary())
+    if args.json is not None:
+        report.write_json(args.json)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     """Register ``repro stream`` — the streaming-engine demo.
 
@@ -448,11 +500,12 @@ def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     to the ground truth the simulator knows.
     """
     subcommands = parser.add_subparsers(
-        dest="subcommand", metavar="{stream,serve,query,profile}"
+        dest="subcommand", metavar="{stream,serve,query,profile,fuzz}"
     )
     _add_serve_subcommand(subcommands)
     _add_query_subcommand(subcommands)
     _add_profile_subcommand(subcommands)
+    _add_fuzz_subcommand(subcommands)
     stream = subcommands.add_parser(
         "stream",
         help="streaming engine demo: sharded, windowed estimates "
@@ -607,6 +660,8 @@ def main(argv=None) -> int:
         return _run_query(args)
     if args.subcommand == "profile":
         return _run_profile(args)
+    if args.subcommand == "fuzz":
+        return _run_fuzz(args)
 
     try:
         db = _build_database(args)

@@ -61,6 +61,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import ReuseInfo, SynopsisCatalog
 
 
+def apply_having_grouped(
+    having,
+    keys: dict[str, np.ndarray],
+    values: dict[str, np.ndarray],
+    estimates: dict[str, "GroupedEstimates"],
+) -> tuple[dict, dict, dict]:
+    """Filter grouped output through a HAVING predicate, NaN-safely.
+
+    Empty and singleton groups carry ``NaN`` estimates (and CI bounds)
+    by design, so a raw comparison would decide their fate via IEEE
+    NaN truthiness — ``NaN > x`` is False, but ``NOT (NaN > x)`` is
+    True, which silently *kept* uninformative groups under negated
+    predicates.  Policy: a group whose HAVING predicate references an
+    aggregate whose estimate is ``NaN`` is dropped, never admitted by
+    NaN semantics.  Key columns are exempt — NaN keys are data, and
+    the exact engine keeps them consistently.
+    """
+    probe = Table(None, {**keys, **values})
+    mask = np.asarray(having.eval(probe), dtype=bool)
+    for name in having.columns_used():
+        col = values.get(name)
+        if col is not None and np.issubdtype(col.dtype, np.floating):
+            mask &= ~np.isnan(col)
+    picked = np.flatnonzero(mask)
+    return (
+        {k: col[picked] for k, col in keys.items()},
+        {a: v[picked] for a, v in values.items()},
+        {a: e.take(picked) for a, e in estimates.items()},
+    )
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """Everything an approximate aggregate query returns.
@@ -743,14 +774,9 @@ class SBox:
                     else est.values
                 )
             if plan.having is not None:
-                probe = Table(None, {**keys, **values})
-                mask = np.asarray(plan.having.eval(probe), dtype=bool)
-                picked = np.flatnonzero(mask)
-                keys = {k: col[picked] for k, col in keys.items()}
-                values = {a: v[picked] for a, v in values.items()}
-                estimates = {
-                    a: e.take(picked) for a, e in estimates.items()
-                }
+                keys, values, estimates = apply_having_grouped(
+                    plan.having, keys, values, estimates
+                )
         observe_phase_seconds("estimate", perf_counter() - t0)
         return GroupedQueryResult(
             keys=keys,
@@ -882,14 +908,9 @@ class SBox:
                     else est.values
                 )
             if plan.having is not None:
-                probe = Table(None, {**keys, **values})
-                mask = np.asarray(plan.having.eval(probe), dtype=bool)
-                picked = np.flatnonzero(mask)
-                keys = {k: col[picked] for k, col in keys.items()}
-                values = {a: v[picked] for a, v in values.items()}
-                estimates = {
-                    a: e.take(picked) for a, e in estimates.items()
-                }
+                keys, values, estimates = apply_having_grouped(
+                    plan.having, keys, values, estimates
+                )
         observe_phase_seconds("estimate", perf_counter() - t0)
         return GroupedQueryResult(
             keys=keys,

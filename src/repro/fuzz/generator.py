@@ -1,0 +1,270 @@
+"""Seeded random generation of fuzz schemas and queries.
+
+Queries are generated as ASTs (:mod:`repro.sql.ast_nodes`) and rendered
+through the printer, so every generated statement exercises the
+``parse ∘ print`` fixed point by construction.  The generator only
+emits statements the planner accepts — a planning error on generated
+text is itself a reportable failure, not generator noise.
+
+The schema is small but adversarial: a skewed fact table, a dimension
+for joins, a three-row ``tiny`` table (singleton-group fodder), and a
+zero-row ``void`` table (the empty-input corner every hand-written
+suite skips).  Column names are globally unique, as the planner
+requires.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.sql import ast_nodes as ast
+
+__all__ = ["QueryGenerator", "build_fuzz_tables", "FUZZ_TABLES"]
+
+#: Sampling-rate ladder (percent).  Includes the tiny rates that
+#: degradation produces (exponent-form literals) and rates low enough
+#: that small tables survive with zero rows.
+RATE_LADDER = (90.0, 75.0, 50.0, 25.0, 10.0, 5.0, 1.0, 0.5, 0.01, 1e-05)
+
+#: table → (numeric columns, group-key columns, join key)
+FUZZ_TABLES = {
+    "fact": (("f_val", "f_flag"), ("f_cat", "f_flag"), "f_key"),
+    "dim": (("d_weight",), ("d_grp",), "d_key"),
+    "tiny": (("t_val",), ("t_key",), "t_key"),
+    "void": (("v_val",), ("v_key",), "v_key"),
+}
+
+#: (left, right) table pairs joinable on their join keys.
+JOIN_PAIRS = (("fact", "dim"), ("fact", "tiny"), ("fact", "void"))
+
+
+def build_fuzz_tables(seed: int = 0) -> dict[str, dict[str, np.ndarray]]:
+    """Column arrays for the fuzz schema, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    n_fact, n_dim = 400, 60
+    # Skewed foreign keys: a few dimension rows soak up most of the
+    # fact rows (join fanout stress), some dimension rows match nothing.
+    f_key = np.minimum(
+        rng.geometric(0.08, size=n_fact) - 1, n_dim - 1
+    ).astype(np.int64)
+    f_val = np.where(
+        rng.random(n_fact) < 0.1,
+        rng.normal(0.0, 1e4, size=n_fact),  # heavy tail
+        rng.normal(10.0, 3.0, size=n_fact),
+    )
+    return {
+        "fact": {
+            "f_key": f_key,
+            "f_val": f_val,
+            "f_cat": rng.integers(0, 5, size=n_fact, dtype=np.int64),
+            "f_flag": rng.integers(0, 2, size=n_fact, dtype=np.int64),
+        },
+        "dim": {
+            "d_key": np.arange(n_dim, dtype=np.int64),
+            "d_weight": rng.normal(1.0, 0.5, size=n_dim),
+            "d_grp": rng.integers(0, 3, size=n_dim, dtype=np.int64),
+        },
+        "tiny": {
+            "t_key": np.arange(3, dtype=np.int64),
+            "t_val": np.array([1.5, -2.0, 40.0]),
+        },
+        "void": {
+            "v_key": np.array([], dtype=np.int64),
+            "v_val": np.array([], dtype=np.float64),
+        },
+    }
+
+
+class QueryGenerator:
+    """A deterministic stream of planner-valid random queries.
+
+    ``query()`` returns a :class:`~repro.sql.ast_nodes.SelectQuery`;
+    the i-th query of two generators built with the same seed is
+    identical, which is what makes every fuzz failure replayable from
+    ``(seed, index)`` alone.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rand = random.Random(seed)
+        self._alias_n = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def _chance(self, p: float) -> bool:
+        return self.rand.random() < p
+
+    def _pick(self, seq):
+        return self.rand.choice(list(seq))
+
+    # -- schema-aware pieces ----------------------------------------------
+
+    def _tables(self) -> tuple[list[str], ast.SqlExpr | None]:
+        """Pick the FROM tables and the join predicate (if any)."""
+        if self._chance(0.35):
+            left, right = self._pick(JOIN_PAIRS)
+            join = ast.Compare(
+                "=",
+                ast.ColumnRef(FUZZ_TABLES[left][2]),
+                ast.ColumnRef(FUZZ_TABLES[right][2]),
+            )
+            return [left, right], join
+        weights = {"fact": 0.7, "tiny": 0.15, "void": 0.15}
+        roll = self.rand.random()
+        acc = 0.0
+        for name, w in weights.items():
+            acc += w
+            if roll < acc:
+                return [name], None
+        return ["fact"], None
+
+    def _numeric_columns(self, tables: list[str]) -> list[str]:
+        cols: list[str] = []
+        for t in tables:
+            cols.extend(FUZZ_TABLES[t][0])
+        return cols
+
+    def _group_columns(self, tables: list[str]) -> list[str]:
+        cols: list[str] = []
+        for t in tables:
+            cols.extend(FUZZ_TABLES[t][1])
+        return sorted(set(cols))
+
+    def _agg_argument(self, tables: list[str]) -> ast.SqlExpr:
+        cols = self._numeric_columns(tables)
+        base: ast.SqlExpr = ast.ColumnRef(self._pick(cols))
+        if self._chance(0.25):
+            op = self._pick("+-*")
+            other: ast.SqlExpr = (
+                ast.ColumnRef(self._pick(cols))
+                if self._chance(0.5) and len(cols) > 1
+                else ast.NumberLit(float(self._pick((1, 2, 0.5, 10))))
+            )
+            base = ast.Arithmetic(op, base, other)
+        return base
+
+    def _aggregate(self, tables: list[str], *, allow_quantile: bool):
+        roll = self.rand.random()
+        if roll < 0.45:
+            agg = ast.AggCall("sum", self._agg_argument(tables))
+        elif roll < 0.60:
+            agg = ast.AggCall("count", None)
+        elif roll < 0.70:
+            agg = ast.AggCall(
+                "count", ast.ColumnRef(self._pick(self._numeric_columns(tables)))
+            )
+        else:
+            agg = ast.AggCall("avg", self._agg_argument(tables))
+        expr: ast.SqlExpr = agg
+        if allow_quantile and self._chance(0.15):
+            expr = ast.QuantileCall(agg, self._pick((0.5, 0.9, 0.95)))
+        alias = f"a{self._alias_n}"
+        self._alias_n += 1
+        return ast.SelectItem(expr, alias)
+
+    def _sample(self) -> ast.SampleClause | None:
+        roll = self.rand.random()
+        if roll < 0.25:
+            return None
+        if roll < 0.65:
+            # REPEATABLE is percent-only: fixed-size and block draws
+            # have no per-tuple hash form for the planner to pin.
+            seed = (
+                self.rand.randrange(1_000_000) if self._chance(0.5) else None
+            )
+            return ast.SampleClause(
+                "percent", self._pick(RATE_LADDER), repeatable_seed=seed
+            )
+        if roll < 0.80:
+            return ast.SampleClause(
+                "rows", float(self._pick((1, 5, 50, 200)))
+            )
+        kind = "system_percent" if roll < 0.90 else "system_blocks"
+        amount = (
+            self._pick((50.0, 20.0, 5.0))
+            if kind == "system_percent"
+            else float(self._pick((1, 2, 8)))
+        )
+        return ast.SampleClause(
+            kind, amount, rows_per_block=self._pick((4, 16, 64))
+        )
+
+    def _filter_predicate(self, tables: list[str]) -> ast.SqlExpr:
+        col = self._pick(self._numeric_columns(tables))
+        op = self._pick(("<", "<=", ">", ">=", "=", "!="))
+        threshold = float(self._pick((0, 1, 8.0, 12.5, -5, 100)))
+        pred: ast.SqlExpr = ast.Compare(
+            op, ast.ColumnRef(col), ast.NumberLit(threshold)
+        )
+        if self._chance(0.2):
+            pred = ast.NotOp(pred)
+        if self._chance(0.2):
+            other = self._filter_predicate(tables)
+            pred = ast.BoolOp(self._pick(("AND", "OR")), pred, other)
+        return pred
+
+    def _having(self, items, keys) -> ast.SqlExpr:
+        targets = [i.alias for i in items] + [k.name for k in keys]
+        pred: ast.SqlExpr = ast.Compare(
+            self._pick(("<", "<=", ">", ">=")),
+            ast.ColumnRef(self._pick(targets)),
+            ast.NumberLit(float(self._pick((0, 1, 50, 1000, -100)))),
+        )
+        if self._chance(0.25):
+            pred = ast.NotOp(pred)
+        return pred
+
+    # -- the generator proper ----------------------------------------------
+
+    def query(self) -> ast.SelectQuery:
+        """One random, planner-valid aggregate query."""
+        self._alias_n = 0
+        tables, join = self._tables()
+
+        budget = None
+        if len(tables) == 1 and tables[0] == "fact" and self._chance(0.06):
+            budget = ast.ErrorBudgetClause(
+                percent=float(self._pick((5, 10, 20, 40))),
+                level=self._pick((0.9, 0.95)),
+            )
+
+        # Budget queries go through the optimizer: single plain
+        # aggregate, no GROUP BY, no QUANTILE.
+        n_aggs = 1 if budget is not None else self.rand.randint(1, 3)
+        items = tuple(
+            self._aggregate(tables, allow_quantile=budget is None)
+            for _ in range(n_aggs)
+        )
+
+        refs = tuple(
+            ast.TableRef(name, sample=self._sample()) for name in tables
+        )
+
+        where = join
+        if self._chance(0.40):
+            extra = self._filter_predicate(tables)
+            where = (
+                extra if where is None else ast.BoolOp("AND", where, extra)
+            )
+
+        group_by: tuple[ast.ColumnRef, ...] = ()
+        having = None
+        if budget is None and self._chance(0.45):
+            candidates = self._group_columns(tables)
+            self.rand.shuffle(candidates)
+            group_by = tuple(
+                ast.ColumnRef(c)
+                for c in candidates[: self.rand.randint(1, 2)]
+            )
+            if self._chance(0.40):
+                having = self._having(items, group_by)
+
+        return ast.SelectQuery(
+            items=items,
+            tables=refs,
+            where=where,
+            group_by=group_by,
+            having=having,
+            budget=budget,
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.gus import GUSParams, without_replacement_gus
+from repro.core.gus import GUSParams, identity_gus, without_replacement_gus
 from repro.errors import ReproError
 from repro.sampling.base import Draw, SamplingMethod, row_lineage
 
@@ -38,6 +38,12 @@ class WithoutReplacement(SamplingMethod):
         return Draw(mask=mask, lineage=row_lineage(n_rows))
 
     def gus(self, relation: str, n_rows: int) -> GUSParams:
+        if n_rows == 0:
+            # The "table smaller than size → keep the whole table"
+            # branch, taken vacuously: every (zero) tuple survives with
+            # certainty, so this is identity sampling of an empty
+            # relation, not the undefined 0/0 WOR ratio.
+            return identity_gus([relation])
         return without_replacement_gus(
             relation, self.effective_size(n_rows), n_rows
         )

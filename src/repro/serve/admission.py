@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 from repro.apps.load_shedding import LoadShedder
@@ -35,6 +36,17 @@ from repro.errors import SQLError
 #: Never degrade a statement's sampling below this fraction of its
 #: requested rates — past that the answer is noise, not an estimate.
 DEFAULT_MIN_RATE = 0.25
+
+#: Ceiling for a widened ``WITHIN`` budget: the grammar requires the
+#: percentage to stay strictly below 100, and an interval wider than
+#: this is vacuous anyway.  Widening saturates here instead of
+#: producing unparseable statements.
+MAX_BUDGET_PERCENT = 95.0
+
+#: How many recently issued degraded statement texts the controller
+#: remembers so a degraded statement that loops back through admission
+#: is admitted unchanged instead of being degraded again.
+DEGRADED_MEMORY = 256
 
 #: Default arrival window the capacity is measured against (seconds).
 DEFAULT_WINDOW_SECONDS = 1.0
@@ -63,9 +75,12 @@ def degrade_statement(statement: str, rate: float) -> str | None:
 
     Scales every ``TABLESAMPLE`` percent/rows amount by ``rate`` and
     widens any ``WITHIN p %`` budget to ``p / rate`` (half-width scales
-    like ``1/√n``, so ``1/rate`` is a conservative widening).  Returns
-    ``None`` when the statement has no degradable clause — unparsable
-    text also returns ``None`` so the engine proper reports the error.
+    like ``1/√n``, so ``1/rate`` is a conservative widening), saturating
+    at :data:`MAX_BUDGET_PERCENT` so the result always re-parses and a
+    budget already at the cap is never widened (or narrowed) further.
+    Returns ``None`` when the statement has no degradable clause —
+    unparsable text also returns ``None`` so the engine proper reports
+    the error.
     """
     from repro.sql.parser import parse
     from repro.sql.printer import query_to_sql
@@ -92,8 +107,10 @@ def degrade_statement(statement: str, rate: float) -> str | None:
         tables.append(replace(ref, sample=sample))
     budget = query.budget
     if budget is not None:
-        budget = replace(budget, percent=budget.percent / rate)
-        changed = True
+        widened = min(budget.percent / rate, MAX_BUDGET_PERCENT)
+        if widened > budget.percent:
+            budget = replace(budget, percent=widened)
+            changed = True
     if not changed:
         return None
     return query_to_sql(
@@ -128,12 +145,23 @@ class AdmissionController:
         self._window_start = clock()
         self._window_arrivals = 0
         self._queued = 0
+        #: Recently issued degraded texts (LRU): a degraded statement
+        #: that comes back through admission — retries, progressive
+        #: refinement re-submission — is admitted unchanged rather than
+        #: compounding another round of degradation on top.
+        self._degraded_texts: OrderedDict[str, None] = OrderedDict()
         #: Totals by action, for /metrics and the bench's shed rate.
         self.decisions: dict[str, int] = {
             "admit": 0,
             "degrade": 0,
             "reject": 0,
         }
+
+    def _remember_degraded(self, text: str) -> None:
+        self._degraded_texts[text] = None
+        self._degraded_texts.move_to_end(text)
+        while len(self._degraded_texts) > DEGRADED_MEMORY:
+            self._degraded_texts.popitem(last=False)
 
     def _arrive(self) -> int:
         now = self._clock()
@@ -158,9 +186,10 @@ class AdmissionController:
                     ),
                 )
             rate = self.shedder.rate_for(arrivals)
-            if rate < 1.0:
+            if rate < 1.0 and statement not in self._degraded_texts:
                 rewritten = degrade_statement(statement, rate)
                 if rewritten is not None:
+                    self._remember_degraded(rewritten)
                     self.decisions["degrade"] += 1
                     self._queued += 1
                     return AdmissionDecision(

@@ -1,6 +1,19 @@
-"""Statistical extensions: the delta method for AVG and running moments."""
+"""Statistical extensions: the delta method, running moments, and
+sequential acceptance tests."""
 
 from repro.stats.delta import covariance_estimate, ratio_estimate
 from repro.stats.moments import RunningMoments
+from repro.stats.sequential import (
+    BernoulliSPRT,
+    SequentialBiasGuard,
+    SequentialVerdict,
+)
 
-__all__ = ["ratio_estimate", "covariance_estimate", "RunningMoments"]
+__all__ = [
+    "ratio_estimate",
+    "covariance_estimate",
+    "RunningMoments",
+    "BernoulliSPRT",
+    "SequentialBiasGuard",
+    "SequentialVerdict",
+]

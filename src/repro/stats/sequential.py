@@ -1,0 +1,212 @@
+"""Sequential statistical acceptance tests.
+
+The differential fuzzer needs to decide "is this estimator unbiased
+with honest confidence intervals?" from repeated randomized trials.
+A fixed trial count wastes work on obviously-clean queries and gives
+weak evidence on marginal ones, because per-query estimator variance
+varies over orders of magnitude (cf. Szegedy & Thorup's subset-sum
+variance analysis).  The classical answer is Wald's sequential
+probability-ratio test: accumulate a log-likelihood ratio per
+observation and stop the moment the evidence crosses either boundary,
+with both error rates controlled at preset levels.
+
+Two tests live here:
+
+* :class:`BernoulliSPRT` — the workhorse: a two-point SPRT on
+  Bernoulli indicators (here: "did the confidence interval cover the
+  true value?").  A clean estimator accepts after a few dozen hits; a
+  biased one — whose intervals sit beside the truth — rejects after a
+  handful of misses.
+* :class:`SequentialBiasGuard` — a reject-only anytime bound on the
+  *self-normalized* running mean of raw errors ``estimate − truth``.
+  Coverage alone can miss a small systematic bias hidden by wide
+  intervals; the drift of the mean error cannot.  Self-normalization
+  (the observed errors' own empirical spread, not the estimator's
+  reported σ̂) matters: on heavy-tailed data a sample that misses the
+  tail underestimates its own variance by orders of magnitude, so
+  σ̂-standardized errors are heavy-tailed even for a perfectly
+  unbiased estimator.  The boundary is union-bounded over all stopping
+  times, so peeking every trial is sound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "BernoulliSPRT",
+    "SequentialBiasGuard",
+    "SequentialVerdict",
+]
+
+
+@dataclass(frozen=True)
+class SequentialVerdict:
+    """Outcome of a sequential test.
+
+    ``decision`` is ``'accept'`` (evidence for the healthy hypothesis),
+    ``'reject'`` (evidence for the broken one), or ``'undecided'``
+    (the trial budget ran out first — treated as a pass by callers
+    that bound trials, since rejection needs positive evidence).
+    """
+
+    decision: str
+    n: int
+    statistic: float
+
+    @property
+    def failed(self) -> bool:
+        return self.decision == "reject"
+
+    @property
+    def stopped_early(self) -> bool:
+        return self.decision in ("accept", "reject")
+
+
+class BernoulliSPRT:
+    """Wald SPRT on Bernoulli indicators.
+
+    Tests H0 ``p >= p_pass`` (healthy) against H1 ``p <= p_fail``
+    (broken) with type-I error ``alpha`` (rejecting a healthy
+    estimator) and type-II error ``beta`` (accepting a broken one).
+    Each observation adds ``log P(x | p_fail) − log P(x | p_pass)`` to
+    the running statistic; crossing ``log((1−β)/α)`` rejects, crossing
+    ``log(β/(1−α))`` accepts.  ``min_n`` observations are required
+    before *accepting* — a lucky first hit must not end the test —
+    while rejection is allowed at any time (each miss carries far more
+    evidence than a hit when ``p_pass`` is near 1).
+
+    The indifference region ``(p_fail, p_pass)`` is deliberately wide
+    for fuzzing: normal-approximation intervals on skewed data
+    under-cover somewhat at small sample sizes, and only collapsed
+    coverage should fail a query.
+    """
+
+    def __init__(
+        self,
+        p_pass: float = 0.95,
+        p_fail: float = 0.60,
+        *,
+        alpha: float = 1e-3,
+        beta: float = 1e-3,
+        min_n: int = 8,
+    ) -> None:
+        if not 0.0 < p_fail < p_pass < 1.0:
+            raise ValueError(
+                f"need 0 < p_fail < p_pass < 1, got {p_fail}, {p_pass}"
+            )
+        if not (0.0 < alpha < 0.5 and 0.0 < beta < 0.5):
+            raise ValueError("alpha and beta must lie in (0, 0.5)")
+        self.p_pass = p_pass
+        self.p_fail = p_fail
+        self.alpha = alpha
+        self.beta = beta
+        self.min_n = int(min_n)
+        self._llr_hit = math.log(p_fail / p_pass)
+        self._llr_miss = math.log((1.0 - p_fail) / (1.0 - p_pass))
+        self._upper = math.log((1.0 - beta) / alpha)  # reject H0
+        self._lower = math.log(beta / (1.0 - alpha))  # accept H0
+        self.llr = 0.0
+        self.n = 0
+        self.hits = 0
+        self._decision = "undecided"
+
+    def observe(self, hit: bool) -> str:
+        """Fold in one indicator; returns the current decision."""
+        if self._decision != "undecided":
+            return self._decision
+        self.n += 1
+        if hit:
+            self.hits += 1
+            self.llr += self._llr_hit
+        else:
+            self.llr += self._llr_miss
+        if self.llr >= self._upper:
+            self._decision = "reject"
+        elif self.llr <= self._lower and self.n >= self.min_n:
+            self._decision = "accept"
+        return self._decision
+
+    @property
+    def decision(self) -> str:
+        return self._decision
+
+    def verdict(self) -> SequentialVerdict:
+        return SequentialVerdict(self._decision, self.n, self.llr)
+
+
+class SequentialBiasGuard:
+    """Reject-only anytime test that raw errors drift away from zero.
+
+    Feeds on ``e_i = estimate_i − truth`` and tracks the
+    self-normalized statistic ``t_n = |ē| / (s_e / √n)`` — the running
+    mean error over its own empirical standard error (Welford
+    accumulation).  Under an unbiased estimator ``t_n`` is
+    asymptotically standard normal at every ``n``; under a systematic
+    bias it grows like ``√n``.  The test rejects when ``t_n`` exceeds a
+    boundary union-bounded over all ``n`` (each ``n`` gets
+    ``6 α / (π² n²)`` of the error budget, summing to ``α``), so
+    continuous monitoring never inflates the false-positive rate much
+    beyond ``alpha``; ``min_n`` keeps the normal approximation of the
+    t-statistic out of its worst small-sample regime.  Errors with zero
+    empirical spread yield **no** verdict: ``n`` identical observations
+    cannot distinguish a deterministic bias from the probability-≈1
+    atom of an under-resolved mixture (every draw at a 10⁻⁷ sampling
+    rate is empty, so every estimate is 0 even though the estimator is
+    unbiased), and deterministically wrong code paths are what the
+    rate-1 oracle comparison exists to catch.
+
+    It never accepts: "no drift yet" is an absence of evidence, which
+    the caller's coverage SPRT (see :class:`BernoulliSPRT`) converts
+    into affirmative acceptance.
+    """
+
+    def __init__(self, alpha: float = 1e-3, *, min_n: int = 10) -> None:
+        if not 0.0 < alpha < 0.5:
+            raise ValueError("alpha must lie in (0, 0.5)")
+        self.alpha = alpha
+        self.min_n = int(min_n)
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._decision = "undecided"
+
+    def boundary(self, n: int | None = None) -> float:
+        """The rejection boundary on ``t_n`` at step ``n``."""
+        n = self.n if n is None else n
+        if n < 1:
+            return math.inf
+        spend = 6.0 * self.alpha / (math.pi**2 * n * n)
+        # Two-sided normal tail bound: P(|Z| > b) <= exp(-b²/2).
+        return math.sqrt(2.0 * math.log(2.0 / spend))
+
+    def statistic(self) -> float:
+        """``t_n = |ē| / (s_e / √n)``; 0 when the spread is 0."""
+        if self.n < 2:
+            return 0.0
+        variance = self._m2 / (self.n - 1)
+        if variance == 0.0:
+            return 0.0  # no spread observed: no verdict (see class doc)
+        return abs(self._mean) / math.sqrt(variance / self.n)
+
+    def observe(self, error: float) -> str:
+        """Fold in one raw error ``estimate − truth``; returns decision."""
+        if self._decision != "undecided":
+            return self._decision
+        if not math.isfinite(error):
+            return self._decision  # non-informative trial
+        self.n += 1
+        delta = error - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (error - self._mean)
+        if self.n >= self.min_n and self.statistic() > self.boundary():
+            self._decision = "reject"
+        return self._decision
+
+    @property
+    def decision(self) -> str:
+        return self._decision
+
+    def verdict(self) -> SequentialVerdict:
+        return SequentialVerdict(self._decision, self.n, self.statistic())

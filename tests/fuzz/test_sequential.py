@@ -1,0 +1,175 @@
+"""Sequential acceptance tests: the coverage SPRT and the bias guard.
+
+The fuzzer's acceptance criterion is that both tests *stop early* —
+a clean estimator is accepted after a couple dozen trials instead of a
+fixed budget, and a deliberately biased one is rejected after a
+handful — with both error rates controlled.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.stats.sequential import (
+    BernoulliSPRT,
+    SequentialBiasGuard,
+    SequentialVerdict,
+)
+
+
+class TestBernoulliSPRT:
+    def test_clean_estimator_accepts_early(self):
+        test = BernoulliSPRT()
+        steps = 0
+        while test.observe(True) == "undecided":
+            steps += 1
+            assert steps < 200
+        assert test.decision == "accept"
+        # Far before any fixed 60-trial budget would have finished.
+        assert test.n < 30
+        verdict = test.verdict()
+        assert verdict.stopped_early and not verdict.failed
+
+    def test_biased_estimator_rejects_early(self):
+        test = BernoulliSPRT()
+        steps = 0
+        while test.observe(False) == "undecided":
+            steps += 1
+            assert steps < 200
+        assert test.decision == "reject"
+        assert test.n <= 10  # a handful of misses is decisive
+        assert test.verdict().failed
+
+    def test_noisy_clean_stream_accepts(self):
+        rng = random.Random(5)
+        test = BernoulliSPRT(0.90, 0.50)
+        for _ in range(400):
+            if test.observe(rng.random() < 0.97) != "undecided":
+                break
+        assert test.decision == "accept"
+
+    def test_noisy_broken_stream_rejects(self):
+        rng = random.Random(5)
+        test = BernoulliSPRT(0.90, 0.50)
+        for _ in range(400):
+            if test.observe(rng.random() < 0.20) != "undecided":
+                break
+        assert test.decision == "reject"
+
+    def test_min_n_blocks_lucky_acceptance(self):
+        test = BernoulliSPRT(min_n=8)
+        for _ in range(7):
+            assert test.observe(True) == "undecided"
+
+    def test_decided_test_is_frozen(self):
+        test = BernoulliSPRT()
+        while test.observe(False) == "undecided":
+            pass
+        n_at_decision = test.n
+        assert test.observe(True) == "reject"
+        assert test.n == n_at_decision
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliSPRT(0.5, 0.9)  # p_fail above p_pass
+        with pytest.raises(ValueError):
+            BernoulliSPRT(alpha=0.7)
+
+    def test_false_rejection_rate_controlled(self):
+        # alpha = 1e-3: across 300 genuinely-clean streams (hit rate
+        # 0.97 > p_pass = 0.9), no rejections are expected.
+        rejects = 0
+        for rep in range(300):
+            rng = random.Random(rep)
+            test = BernoulliSPRT(0.90, 0.50)
+            for _ in range(400):
+                if test.observe(rng.random() < 0.97) != "undecided":
+                    break
+            rejects += test.decision == "reject"
+        assert rejects == 0
+
+    def test_false_acceptance_rate_controlled(self):
+        # beta = 1e-3: collapsed coverage (0.2 < p_fail) never accepts.
+        accepts = 0
+        for rep in range(300):
+            rng = random.Random(rep)
+            test = BernoulliSPRT(0.90, 0.50)
+            for _ in range(400):
+                if test.observe(rng.random() < 0.20) != "undecided":
+                    break
+            accepts += test.decision == "accept"
+        assert accepts == 0
+
+
+class TestSequentialBiasGuard:
+    def test_unbiased_stream_never_rejected(self):
+        rng = random.Random(0)
+        guard = SequentialBiasGuard()
+        for _ in range(500):
+            guard.observe(rng.gauss(0.0, 3.0))
+        assert guard.decision == "undecided"
+
+    def test_biased_stream_rejects_early(self):
+        rng = random.Random(0)
+        guard = SequentialBiasGuard()
+        steps = 0
+        while guard.observe(rng.gauss(1.0, 1.0)) == "undecided":
+            steps += 1
+            assert steps < 500
+        assert guard.decision == "reject"
+        assert guard.verdict().failed
+        assert guard.n < 100  # σ-sized bias found well before 500 trials
+
+    def test_zero_spread_yields_no_verdict(self):
+        # n identical observations cannot distinguish a deterministic
+        # bias from the probability-≈1 atom of an under-resolved
+        # mixture (every draw at a tiny rate is empty), so constant
+        # errors must NOT reject — the rate-1 oracle owns that case.
+        guard = SequentialBiasGuard(min_n=5)
+        for _ in range(50):
+            guard.observe(-123.4)
+        assert guard.decision == "undecided"
+        assert guard.statistic() == 0.0
+
+    def test_rare_event_unbiased_mixture_not_rejected(self):
+        # Mean zero, but carried by a rare large outcome — the shape a
+        # sampled SUM has when one tuple dominates the total.
+        rng = random.Random(1)
+        guard = SequentialBiasGuard(min_n=30)
+        for _ in range(300):
+            guard.observe(30.0 if rng.random() < 1 / 31 else -1.0)
+        assert guard.decision == "undecided"
+
+    def test_non_finite_errors_are_skipped(self):
+        guard = SequentialBiasGuard()
+        guard.observe(math.nan)
+        guard.observe(math.inf)
+        assert guard.n == 0
+
+    def test_decided_guard_is_frozen(self):
+        guard = SequentialBiasGuard(min_n=2)
+        guard.observe(5.0)
+        guard.observe(5.000001)
+        assert guard.decision == "reject"
+        n_at_decision = guard.n
+        guard.observe(-1000.0)
+        assert guard.n == n_at_decision
+
+    def test_boundary_is_finite_and_grows_slowly(self):
+        guard = SequentialBiasGuard()
+        assert guard.boundary(0) == math.inf
+        assert 3.0 < guard.boundary(10) < guard.boundary(10_000) < 10.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SequentialBiasGuard(alpha=0.9)
+
+
+def test_verdict_properties():
+    assert SequentialVerdict("reject", 5, 3.2).failed
+    assert SequentialVerdict("accept", 12, -7.0).stopped_early
+    undecided = SequentialVerdict("undecided", 60, 0.5)
+    assert not undecided.failed and not undecided.stopped_early

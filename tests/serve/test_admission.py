@@ -4,7 +4,14 @@ re-parsable statement with scaled rates and a widened budget."""
 
 from __future__ import annotations
 
-from repro.serve.admission import AdmissionController, degrade_statement
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.admission import (
+    MAX_BUDGET_PERCENT,
+    AdmissionController,
+    degrade_statement,
+)
 from repro.sql.parser import parse
 
 STMT = (
@@ -43,6 +50,45 @@ class TestDegradeStatement:
         assert parse(rewritten) == parse(
             degrade_statement(STMT, 0.3)
         )
+
+    def test_budget_widening_clamped_to_valid_range(self):
+        # Found by the fuzzer: rate 0.01 would widen WITHIN 5 % to
+        # 500 %, which the grammar rejects on re-parse.
+        rewritten = degrade_statement(STMT, 0.01)
+        assert rewritten is not None
+        query = parse(rewritten)
+        assert query.budget.percent == MAX_BUDGET_PERCENT
+
+    def test_budget_at_cap_never_narrowed_on_re_degrade(self):
+        once = degrade_statement(STMT, 0.01)
+        again = degrade_statement(once, 0.5)
+        assert again is not None  # sampling still scales
+        assert parse(again).budget.percent == MAX_BUDGET_PERCENT
+
+    def test_budget_only_statement_at_cap_is_undegradable(self):
+        at_cap = (
+            "SELECT SUM(l_extendedprice) AS rev FROM lineitem "
+            f"WITHIN {MAX_BUDGET_PERCENT} % CONFIDENCE 0.95"
+        )
+        # Nothing left to shed: no sampling clause, budget saturated.
+        assert degrade_statement(at_cap, 0.5) is None
+
+    @given(
+        rate=st.floats(min_value=0.001, max_value=1.0),
+        percent=st.floats(min_value=1.0, max_value=90.0),
+        budget=st.floats(min_value=0.5, max_value=94.0),
+    )
+    def test_degrade_round_trip_property(self, rate, percent, budget):
+        statement = (
+            "SELECT SUM(x) AS s FROM t "
+            f"TABLESAMPLE ({percent!r} PERCENT) "
+            f"WITHIN {budget!r} % CONFIDENCE 0.9"
+        )
+        rewritten = degrade_statement(statement, rate)
+        assert rewritten is not None
+        query = parse(rewritten)  # always re-parses, whatever the rate
+        assert query.tables[0].sample.amount <= percent
+        assert budget <= query.budget.percent <= MAX_BUDGET_PERCENT
 
 
 class FakeClock:
@@ -111,6 +157,19 @@ class TestAdmissionController:
         ctl.decide("SELECT COUNT(*) AS n FROM t")
         decision = ctl.decide("SELECT COUNT(*) AS n FROM t")
         assert decision.action == "admit"
+
+    def test_degraded_statement_not_degraded_again(self):
+        # A degraded statement that loops back through admission
+        # (retry, progressive-refinement re-submission) must be
+        # admitted unchanged, not compounded toward the rate floor.
+        clock = FakeClock()
+        ctl = AdmissionController(capacity=1, queue_limit=100, clock=clock)
+        ctl.decide(STMT)
+        degraded = ctl.decide(STMT)
+        assert degraded.action == "degrade"
+        resubmitted = ctl.decide(degraded.statement)
+        assert resubmitted.action == "admit"
+        assert resubmitted.statement == degraded.statement
 
     def test_shed_rate_counts_non_admits(self):
         ctl = AdmissionController(capacity=100, queue_limit=1)

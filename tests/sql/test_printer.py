@@ -310,6 +310,40 @@ class TestTablesampleExactRoundTrip:
         assert float(token.value) == value
 
 
+class TestExponentFormLiterals:
+    """Exponent-form numbers (``1e-07``): the printer emits them for
+    tiny magnitudes — admission degradation drives TABLESAMPLE rates
+    there — and the lexer must take every one of them back."""
+
+    @pytest.mark.parametrize("literal", ["1e-07", "2.5e-06", "1e-05", "9.999e-08"])
+    def test_exponent_rate_round_trips(self, literal):
+        text = f"SELECT SUM(x) AS s FROM t TABLESAMPLE ({literal} PERCENT)"
+        q1 = parse(text)
+        rendered = query_to_sql(q1)
+        assert parse(rendered) == q1, rendered
+        assert q1.tables[0].sample.amount == float(literal)
+
+    def test_printer_emits_exponent_form_for_tiny_rates(self):
+        from repro.sql.printer import number_to_sql
+
+        rendered = number_to_sql(1e-07)
+        assert "e" in rendered.lower()
+        text = f"SELECT SUM(x) AS s FROM t TABLESAMPLE ({rendered} PERCENT)"
+        assert parse(text).tables[0].sample.amount == 1e-07
+
+    @given(
+        st.floats(
+            min_value=1e-12, max_value=1e-5, allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_tiny_literals_in_predicates_round_trip(self, value):
+        expr = ast.Compare(">", ast.ColumnRef("x"), ast.NumberLit(value))
+        text = "SELECT SUM(x) AS s FROM t WHERE " + expr_to_sql(expr)
+        assert parse(text).where == expr, text
+
+
 class TestBudgetRoundTrip:
     def test_budget_clause_rendered(self):
         q = parse(
