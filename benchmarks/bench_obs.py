@@ -204,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
     metrics = run_obs_benchmark()
     payload = {
         "suite": "bench_obs",
-        "schema_version": 1,
+        "schema_version": 2,
         "workloads": [metrics],
     }
     text = json.dumps(payload, indent=2, sort_keys=True)

@@ -33,7 +33,11 @@ import numpy as np
 import pytest
 
 from repro.data.tpch import generate_tpch
-from repro.obs.metrics import phase_seconds_delta, phase_seconds_snapshot
+from repro.obs.metrics import (
+    phase_seconds_delta,
+    phase_seconds_snapshot,
+    update_peak_rss_gauge,
+)
 from repro.relational.database import Database
 from repro.relational.expressions import col, lit
 from repro.relational.plan import (
@@ -248,6 +252,7 @@ def run_pipeline_benchmark(db: Database | None = None) -> dict:
         # folds, estimate = moment -> estimate reduction), from the
         # always-on metrics registry.
         "phase_seconds": phase_seconds,
+        "peak_rss_bytes": update_peak_rss_gauge(),
     }
 
 
@@ -353,7 +358,7 @@ def main(argv: list[str] | None = None) -> int:
     identity = run_q1_identity_check(db)
     payload = {
         "suite": "bench_pipeline",
-        "schema_version": 1,
+        "schema_version": 2,
         "workloads": [metrics, identity],
     }
     text = json.dumps(payload, indent=2, sort_keys=True)

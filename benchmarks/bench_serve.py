@@ -320,7 +320,7 @@ def main(argv: list[str] | None = None) -> int:
     results = run_serve_benchmark()
     payload = {
         "suite": "bench_serve",
-        "schema_version": 1,
+        "schema_version": 2,
         "workloads": [results["mix"], results["overload"]],
     }
     text = json.dumps(payload, indent=2, sort_keys=True)

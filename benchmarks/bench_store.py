@@ -263,7 +263,7 @@ def main(argv: list[str] | None = None) -> int:
     metrics = run_store_benchmark()
     payload = {
         "suite": "bench_store",
-        "schema_version": 1,
+        "schema_version": 2,
         "workloads": [metrics],
     }
     text = json.dumps(payload, indent=2, sort_keys=True)

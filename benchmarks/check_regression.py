@@ -34,8 +34,10 @@ DEFAULT_TOLERANCE = 0.25
 
 #: Payload schema this checker understands.  Baseline and fresh files
 #: must both carry it: comparing across schema generations silently
-#: compares metrics with different meanings.
-SCHEMA_VERSION = 1
+#: compares metrics with different meanings.  Version 2 adds
+#: ``peak_rss_bytes`` (the ``repro_peak_rss_bytes`` gauge) alongside
+#: ``phase_seconds`` in the pipeline and colstore suites.
+SCHEMA_VERSION = 2
 
 
 def load_payload(path: pathlib.Path) -> dict:

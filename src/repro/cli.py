@@ -13,6 +13,9 @@ Usage::
     python -m repro query --connect 127.0.0.1:7799 --progressive \
         "SELECT SUM(l_extendedprice) AS rev FROM lineitem \
          TABLESAMPLE (5 PERCENT) WITHIN 2 % CONFIDENCE 0.95"
+    python -m repro ingest big.csv tables/big        # CSV -> columnar dir
+    python -m repro --attach big=tables/big          # query it out-of-core
+    python -m repro --mmap                           # TPC-H, spilled to mmap
 
 Shell commands:
 
@@ -39,22 +42,42 @@ from repro.errors import ReproError
 def _build_database(args):
     from repro.relational.database import Database
 
-    if args.load:
-        from repro.relational.io import read_csv
-
+    attach = getattr(args, "attach", None) or []
+    if args.load or attach:
         db = Database(seed=args.seed, workers=args.workers)
-        for spec in args.load:
+        if args.load:
+            from repro.relational.io import read_csv
+
+            for spec in args.load:
+                if "=" not in spec:
+                    raise ReproError(
+                        f"--load expects name=path.csv, got {spec!r}"
+                    )
+                name, path = spec.split("=", 1)
+                db.register(name, read_csv(path, name=name))
+        for spec in attach:
             if "=" not in spec:
                 raise ReproError(
-                    f"--load expects name=path.csv, got {spec!r}"
+                    f"--attach expects name=directory, got {spec!r}"
                 )
             name, path = spec.split("=", 1)
-            db.register(name, read_csv(path, name=name))
-        return db
-    from repro.data.tpch import tpch_database
+            db.attach(name, path)
+    else:
+        from repro.data.tpch import tpch_database
 
-    db = tpch_database(scale=args.scale, seed=args.seed)
-    db.workers = args.workers
+        db = tpch_database(scale=args.scale, seed=args.seed)
+        db.workers = args.workers
+    if getattr(args, "mmap", False):
+        import os
+        import tempfile
+
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-mmap-")
+        # Keep the directory alive for the session; queries read the
+        # mapped files lazily, so cleanup must wait for the db.
+        db._mmap_tmpdir = tmpdir
+        for name, table in list(db.tables.items()):
+            if not table.is_mmap:
+                db.persist(name, os.path.join(tmpdir.name, name))
     return db
 
 
@@ -489,6 +512,55 @@ def _run_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _add_ingest_subcommand(subcommands) -> None:
+    """Register ``repro ingest`` — streaming CSV → columnar conversion.
+
+    Streams a CSV of any size into the on-disk columnar layout with
+    O(block) memory (two passes: type inference, then conversion), and
+    prints the resulting table's shape.  The output directory can then
+    be served out-of-core via ``--attach name=dir``.
+    """
+    ingest = subcommands.add_parser(
+        "ingest",
+        help="stream a CSV into an out-of-core columnar table directory",
+        description="Convert a CSV to the memory-mapped columnar layout "
+        "with O(block) memory; attach the result with --attach.",
+    )
+    ingest.add_argument("csv", help="source CSV path")
+    ingest.add_argument("dest", help="destination table directory")
+    ingest.add_argument(
+        "--name", default=None,
+        help="table name stored in the footer (default: CSV stem)",
+    )
+    ingest.add_argument(
+        "--block-rows", type=int, default=None, metavar="N",
+        help="rows per streamed block (default 65536)",
+    )
+
+
+def _run_ingest(args) -> int:
+    from repro.relational.io import INGEST_BLOCK_ROWS, ingest_csv
+
+    block_rows = (
+        args.block_rows if args.block_rows is not None else INGEST_BLOCK_ROWS
+    )
+    if block_rows < 1:
+        print(f"error: --block-rows {block_rows} must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        table = ingest_csv(
+            args.csv, args.dest, name=args.name, block_rows=block_rows
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{table.name}: {table.n_rows} rows x "
+        f"{len(table.schema.names)} columns -> {args.dest}"
+    )
+    return 0
+
+
 def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     """Register ``repro stream`` — the streaming-engine demo.
 
@@ -500,12 +572,13 @@ def _add_stream_subcommand(parser: argparse.ArgumentParser) -> None:
     to the ground truth the simulator knows.
     """
     subcommands = parser.add_subparsers(
-        dest="subcommand", metavar="{stream,serve,query,profile,fuzz}"
+        dest="subcommand", metavar="{stream,serve,query,profile,fuzz,ingest}"
     )
     _add_serve_subcommand(subcommands)
     _add_query_subcommand(subcommands)
     _add_profile_subcommand(subcommands)
     _add_fuzz_subcommand(subcommands)
+    _add_ingest_subcommand(subcommands)
     stream = subcommands.add_parser(
         "stream",
         help="streaming engine demo: sharded, windowed estimates "
@@ -636,6 +709,17 @@ def main(argv=None) -> int:
         help="load a CSV instead of generating TPC-H (repeatable)",
     )
     parser.add_argument(
+        "--attach", action="append", default=[],
+        metavar="NAME=DIR",
+        help="attach a persisted columnar table directory, memory-"
+        "mapped rather than loaded (repeatable; see `repro ingest`)",
+    )
+    parser.add_argument(
+        "--mmap", action="store_true",
+        help="persist generated/loaded tables to a temporary columnar "
+        "store and run queries out-of-core over the mapped files",
+    )
+    parser.add_argument(
         "-c", "--command", default=None,
         help="run one statement and exit",
     )
@@ -662,6 +746,8 @@ def main(argv=None) -> int:
         return _run_profile(args)
     if args.subcommand == "fuzz":
         return _run_fuzz(args)
+    if args.subcommand == "ingest":
+        return _run_ingest(args)
 
     try:
         db = _build_database(args)

@@ -1,0 +1,25 @@
+"""Out-of-core memory-mapped columnar storage.
+
+The on-disk layout (one binary file per column plus a JSON footer) is
+defined in :mod:`repro.colstore.format`; :class:`~repro.relational.table.Table`
+grows ``persist``/``from_mmap`` on top of it so the chunked pipeline can
+stream scans from disk without materializing tables in RAM.
+"""
+
+from repro.colstore.format import (
+    FOOTER_NAME,
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    ColumnarData,
+    ColumnarWriter,
+    load_columnar,
+)
+
+__all__ = [
+    "FOOTER_NAME",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ColumnarData",
+    "ColumnarWriter",
+    "load_columnar",
+]

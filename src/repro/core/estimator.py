@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core import confidence
+from repro.core import confidence, kernels
 from repro.core.gus import GUSParams
 from repro.core.lattice import (
     SubsetLattice,
@@ -68,76 +68,11 @@ __all__ = [
 ]
 
 
-def _pack_columns(
-    columns: Sequence[np.ndarray], n_rows: int
-) -> np.ndarray | None:
-    """Pack integer key columns into one int64 key, order-preserving.
-
-    The packed key reproduces ``np.lexsort``'s ordering exactly (last
-    column primary, so it occupies the most significant bits); sorting
-    one int64 array uses numpy's radix path and is several times faster
-    than a multi-column lexsort.  Returns ``None`` when a column is
-    non-integer or the combined value ranges exceed 63 bits — callers
-    fall back to lexsort.
-    """
-    parts: list[tuple[np.ndarray, int, int]] = []
-    total_bits = 0
-    for col in columns:
-        col = np.asarray(col)
-        if not np.issubdtype(col.dtype, np.integer):
-            return None
-        lo = int(col.min())
-        hi = int(col.max())
-        bits = (hi - lo).bit_length()
-        parts.append((col, lo, bits))
-        total_bits += bits
-        if total_bits > 63:
-            return None
-    packed = np.zeros(n_rows, dtype=np.int64)
-    shift = 0
-    for col, lo, bits in parts:
-        if bits:
-            # Offsets are computed modulo 2^64: casting any int64/uint64
-            # value to uint64 and subtracting the (wrapped) minimum
-            # yields the true offset for spans up to 63 bits, without
-            # the int64 overflow a direct `col - lo` would hit on
-            # uint64 ids >= 2^63 or ranges crossing 2^62.
-            wrapped_lo = np.uint64(lo % (1 << 64))
-            with np.errstate(over="ignore"):
-                offset = (col.astype(np.uint64) - wrapped_lo).astype(
-                    np.int64
-                )
-            packed |= offset << shift
-            shift += bits
-    return packed
-
-
-def _sorted_boundaries(
-    columns: Sequence[np.ndarray], n_rows: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Sort rows by key and mark where a new key starts.
-
-    Returns ``(order, boundary)``: ``order`` sorts the rows by key and
-    ``boundary[i]`` is True when sorted row ``i`` opens a new group.
-    The single sort here is the workhorse behind both :func:`group_ids`
-    and :func:`group_reduce`; integer keys take the packed single-array
-    radix path, everything else the general lexsort.
-    """
-    packed = _pack_columns(columns, n_rows)
-    if packed is not None:
-        order = np.argsort(packed, kind="stable")
-        sorted_packed = packed[order]
-        boundary = np.empty(n_rows, dtype=bool)
-        boundary[0] = True
-        boundary[1:] = sorted_packed[1:] != sorted_packed[:-1]
-        return order, boundary
-    order = np.lexsort(tuple(columns))
-    boundary = np.zeros(n_rows, dtype=bool)
-    boundary[0] = True
-    for col in columns:
-        sorted_col = col[order]
-        boundary[1:] |= sorted_col[1:] != sorted_col[:-1]
-    return order, boundary
+# The packing/sort kernels live in repro.core.kernels (shared with the
+# pipeline's join factorization and optionally JIT-compiled); the
+# historical private names stay importable here.
+_pack_columns = kernels.pack_columns
+_sorted_boundaries = kernels.sorted_boundaries
 
 
 def group_ids(columns: Sequence[np.ndarray], n_rows: int) -> tuple[np.ndarray, int]:
@@ -215,7 +150,7 @@ def group_reduce_multi(
     firsts = order[boundary]
     keys = [np.asarray(col)[firsts] for col in columns]
     sums = [
-        np.bincount(gids_sorted, weights=w[order], minlength=n_groups)
+        kernels.group_sums(gids_sorted, w[order], n_groups)
         for w in weights
     ]
     return keys, sums

@@ -1,0 +1,258 @@
+"""Hot-path kernels: lineage hashing, key packing, group reduction.
+
+Profiling the chunked pipeline keeps naming three kernels: the
+lineage-hash Bernoulli draw, multi-key join factorization, and the
+per-group weight reduction behind every moment computation.  They live
+here in two interchangeable forms:
+
+* **Vectorized numpy** (always available) — branch-free SplitMix64 over
+  uint64 arrays, radix-packed multi-key sort, ``np.bincount`` group
+  sums.
+* **Numba-compiled** (opt-in via ``REPRO_JIT=1``, used only when numba
+  imports) — the same arithmetic as explicit loops.  The JIT variants
+  are *bit-identical* by construction: SplitMix64 is exact integer
+  arithmetic, and the JIT group-sum accumulates in the same
+  row-major order as ``np.bincount``, so float addition order (and
+  therefore every estimate, variance, and CI downstream) is unchanged.
+  When ``REPRO_JIT`` is unset or numba is missing, the numpy forms run
+  and :func:`jit_active` reports ``False`` — no hard dependency.
+
+The per-row ``hashlib.blake2b`` reference implementation is kept for
+the committed micro-benchmark (``benchmarks/bench_colstore.py``): it is
+what a naive cryptographic-hash draw costs, and what SplitMix64 is
+measured against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "jit_active",
+    "hash01",
+    "hash01_blake2b",
+    "pack_columns",
+    "sorted_boundaries",
+    "group_sums",
+]
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_INV_2_64 = 1.0 / float(2**64)
+
+
+def _jit_requested() -> bool:
+    return os.environ.get("REPRO_JIT", "") not in ("", "0")
+
+
+_numba = None
+if _jit_requested():  # pragma: no cover - numba optional
+    try:
+        import numba as _numba
+    except ImportError:
+        _numba = None
+
+
+def jit_active() -> bool:
+    """Whether the numba-compiled kernel variants are in use."""
+    return _numba is not None
+
+
+# -- lineage hash ----------------------------------------------------------
+
+
+def _finalize(z: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: two xor-shift-multiply rounds."""
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+def _seed_mix(seed: int) -> np.uint64:
+    with np.errstate(over="ignore"):
+        return _finalize(np.uint64(seed % (2**64)) * _GAMMA + _GAMMA)
+
+
+def hash01(seed: int, ids: np.ndarray) -> np.ndarray:
+    """Map ``(seed, id)`` pairs to deterministic uniforms in ``[0, 1)``.
+
+    The seed is finalized *before* being combined with the id stream:
+    a plain additive combination would make ``hash01(s, i)`` a function
+    of ``s + i`` only, perfectly correlating filters with nearby seeds
+    at shifted ids — a real bias source for multi-stream sampling.
+    """
+    ids_u64 = np.asarray(ids, dtype=np.uint64)
+    seed_mix = _seed_mix(seed)
+    if _numba is not None:  # pragma: no cover - numba optional
+        return _hash01_jit()(seed_mix, ids_u64)
+    with np.errstate(over="ignore"):
+        z = _finalize(seed_mix ^ (ids_u64 * _GAMMA))
+    return z.astype(np.float64) * _INV_2_64
+
+
+def hash01_blake2b(seed: int, ids: np.ndarray) -> np.ndarray:
+    """Per-row blake2b reference draw (micro-benchmark baseline only).
+
+    One 8-byte digest per row through :mod:`hashlib` — cryptographic
+    strength the sampler does not need, at per-row Python cost the hot
+    path cannot afford.  Kept so the committed benchmark measures the
+    SplitMix64 kernel against a real alternative.
+    """
+    ids_u64 = np.asarray(ids, dtype=np.uint64)
+    out = np.empty(ids_u64.shape[0], dtype=np.float64)
+    prefix = int(seed % (2**64)).to_bytes(8, "little")
+    for i, value in enumerate(ids_u64.tolist()):
+        digest = hashlib.blake2b(
+            prefix + value.to_bytes(8, "little"), digest_size=8
+        ).digest()
+        out[i] = int.from_bytes(digest, "little") * _INV_2_64
+    return out
+
+
+_HASH01_JIT = None
+
+
+def _hash01_jit():  # pragma: no cover - numba optional
+    global _HASH01_JIT
+    if _HASH01_JIT is None:
+        gamma = np.uint64(_GAMMA)
+        mix1 = np.uint64(_MIX1)
+        mix2 = np.uint64(_MIX2)
+        inv = _INV_2_64
+
+        @_numba.njit(cache=True)
+        def kernel(seed_mix, ids):
+            out = np.empty(ids.shape[0], dtype=np.float64)
+            for i in range(ids.shape[0]):
+                z = seed_mix ^ (ids[i] * gamma)
+                z = (z ^ (z >> np.uint64(30))) * mix1
+                z = (z ^ (z >> np.uint64(27))) * mix2
+                z = z ^ (z >> np.uint64(31))
+                out[i] = z * inv
+            return out
+
+        _HASH01_JIT = kernel
+    return _HASH01_JIT
+
+
+# -- multi-key factorization ----------------------------------------------
+
+
+def pack_columns(
+    columns: Sequence[np.ndarray], n_rows: int
+) -> np.ndarray | None:
+    """Pack integer key columns into one int64 key, order-preserving.
+
+    The fused multi-key factorization kernel: the packed key reproduces
+    ``np.lexsort``'s ordering exactly (last column primary, so it
+    occupies the most significant bits); sorting one int64 array uses
+    numpy's radix path and is several times faster than a multi-column
+    lexsort.  Returns ``None`` when a column is non-integer or the
+    combined value ranges exceed 63 bits — callers fall back to
+    lexsort.
+    """
+    parts: list[tuple[np.ndarray, int, int]] = []
+    total_bits = 0
+    for col in columns:
+        col = np.asarray(col)
+        if not np.issubdtype(col.dtype, np.integer):
+            return None
+        lo = int(col.min())
+        hi = int(col.max())
+        bits = (hi - lo).bit_length()
+        parts.append((col, lo, bits))
+        total_bits += bits
+        if total_bits > 63:
+            return None
+    packed = np.zeros(n_rows, dtype=np.int64)
+    shift = 0
+    for col, lo, bits in parts:
+        if bits:
+            # Offsets are computed modulo 2^64: casting any int64/uint64
+            # value to uint64 and subtracting the (wrapped) minimum
+            # yields the true offset for spans up to 63 bits, without
+            # the int64 overflow a direct `col - lo` would hit on
+            # uint64 ids >= 2^63 or ranges crossing 2^62.
+            wrapped_lo = np.uint64(lo % (1 << 64))
+            with np.errstate(over="ignore"):
+                offset = (col.astype(np.uint64) - wrapped_lo).astype(
+                    np.int64
+                )
+            packed |= offset << shift
+            shift += bits
+    return packed
+
+
+def sorted_boundaries(
+    columns: Sequence[np.ndarray], n_rows: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort rows by key and mark where a new key starts.
+
+    Returns ``(order, boundary)``: ``order`` sorts the rows by key and
+    ``boundary[i]`` is True when sorted row ``i`` opens a new group.
+    The single sort here is the workhorse behind both ``group_ids``
+    and ``group_reduce``; integer keys take the packed single-array
+    radix path, everything else the general lexsort.
+    """
+    packed = pack_columns(columns, n_rows)
+    if packed is not None:
+        order = np.argsort(packed, kind="stable")
+        sorted_packed = packed[order]
+        boundary = np.empty(n_rows, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_packed[1:] != sorted_packed[:-1]
+        return order, boundary
+    order = np.lexsort(tuple(columns))
+    boundary = np.zeros(n_rows, dtype=bool)
+    boundary[0] = True
+    for col in columns:
+        sorted_col = col[order]
+        boundary[1:] |= sorted_col[1:] != sorted_col[:-1]
+    return order, boundary
+
+
+# -- group reduction -------------------------------------------------------
+
+
+def group_sums(
+    gids_sorted: np.ndarray, weights_sorted: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Single-pass per-group weight sums over pre-sorted dense ids.
+
+    The numpy form is ``np.bincount``; the JIT form is the equivalent
+    sequential loop.  Both accumulate in row order over the sorted
+    input, so the float addition order — and with it the bit pattern of
+    every downstream moment — is identical.
+    """
+    if _numba is not None:  # pragma: no cover - numba optional
+        return _group_sums_jit()(
+            np.asarray(gids_sorted, dtype=np.int64),
+            np.asarray(weights_sorted, dtype=np.float64),
+            n_groups,
+        )
+    return np.bincount(
+        gids_sorted, weights=weights_sorted, minlength=n_groups
+    )
+
+
+_GROUP_SUMS_JIT = None
+
+
+def _group_sums_jit():  # pragma: no cover - numba optional
+    global _GROUP_SUMS_JIT
+    if _GROUP_SUMS_JIT is None:
+
+        @_numba.njit(cache=True)
+        def kernel(gids_sorted, weights_sorted, n_groups):
+            out = np.zeros(n_groups, dtype=np.float64)
+            for i in range(gids_sorted.shape[0]):
+                out[gids_sorted[i]] += weights_sorted[i]
+            return out
+
+        _GROUP_SUMS_JIT = kernel
+    return _GROUP_SUMS_JIT

@@ -276,6 +276,40 @@ def _eval_vectors(recipes: list[tuple], table: Table) -> list[np.ndarray]:
     return out
 
 
+class _ChunkFold:
+    """Picklable per-chunk fold: chunk → (moment contribution, sample?).
+
+    A module-level ``__slots__`` class (not a closure) so process-mode
+    schedulers can broadcast it to workers; only the compact bundle —
+    and, when the caller keeps the sample, the chunk — crosses back.
+    """
+
+    __slots__ = ("recipes", "lattice", "grouped", "keys", "keep_sample")
+
+    def __init__(self, recipes, lattice, grouped, keys, keep_sample) -> None:
+        self.recipes = recipes
+        self.lattice = lattice
+        self.grouped = grouped
+        self.keys = tuple(keys)
+        self.keep_sample = keep_sample
+
+    def __call__(self, chunk: Table):
+        from repro.stream.sketch import GroupedMomentBundle, MomentSketchBundle
+
+        fs = _eval_vectors(self.recipes, chunk)
+        if self.grouped:
+            contrib: object = GroupedMomentBundle(
+                self.lattice, len(self.keys), len(self.recipes)
+            )
+            contrib.update(
+                fs, chunk.lineage, [chunk.column(k) for k in self.keys]
+            )
+        else:
+            contrib = MomentSketchBundle(self.lattice, len(self.recipes))
+            contrib.update(fs, chunk.lineage)
+        return contrib, (chunk if self.keep_sample else None)
+
+
 def _needed_columns(plan: "Aggregate | GroupAggregate") -> frozenset[str]:
     """Data columns the estimator reads from the sample."""
     cols: frozenset[str] = frozenset()
@@ -567,7 +601,6 @@ class SBox:
         """Partition-parallel estimation: fold chunks, merge sketches."""
         from repro.relational.partition import DEFAULT_CHUNK_ROWS
         from repro.relational.pipeline import ChunkedExecutor, concat_tables
-        from repro.stream.sketch import GroupedMomentBundle, MomentSketchBundle
 
         grouped = isinstance(plan, GroupAggregate)
         if subsample is not None and grouped:
@@ -608,23 +641,10 @@ class SBox:
             )
         pruned = params.project_out_inactive()
         recipes, labels, spec_inputs = _vector_plan(plan.specs)
-        n_vectors = len(recipes)
         keys = plan.keys if grouped else ()
-
-        def per_chunk(chunk: Table):
-            fs = _eval_vectors(recipes, chunk)
-            if grouped:
-                contrib: object = GroupedMomentBundle(
-                    pruned.lattice, len(keys), n_vectors
-                )
-                contrib.update(
-                    fs, chunk.lineage, [chunk.column(k) for k in keys]
-                )
-            else:
-                contrib = MomentSketchBundle(pruned.lattice, n_vectors)
-                contrib.update(fs, chunk.lineage)
-            return contrib, (chunk if keep_sample else None)
-
+        per_chunk = _ChunkFold(
+            recipes, pruned.lattice, grouped, keys, keep_sample
+        )
         merged = None
         kept: list[Table] = []
         merge_seconds = 0.0

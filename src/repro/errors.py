@@ -53,6 +53,16 @@ class SQLError(ReproError):
     """SQL text could not be lexed, parsed, or planned."""
 
 
+class StorageError(ReproError):
+    """The on-disk columnar layout is missing, torn, or inconsistent.
+
+    Raised when a column file's size disagrees with the footer, the
+    footer itself is absent or unparsable, or a dtype in the footer is
+    not one the reader supports.  A torn write must fail loud here
+    rather than surface later as silently-wrong numbers.
+    """
+
+
 class ServeError(ReproError):
     """A failure in the network serving tier."""
 

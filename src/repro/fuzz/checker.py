@@ -11,8 +11,9 @@ Every statement is checked against independent evidence:
    serial engine, the chunked engine, and worker counts (chunked
    results are bit-identical across worker counts; serial vs chunked
    may differ in the last ulp when lineage keys collide, so that
-   comparison gets a 1e-12 relative tolerance), and across a synopsis
-   catalog miss → hit;
+   comparison gets a 1e-12 relative tolerance), across the in-RAM and
+   memory-mapped columnar storage backends (bit-identical: same bytes,
+   different page source), and across a synopsis catalog miss → hit;
 4. **statistical** — unbiasedness and CI coverage over re-randomized
    trials, decided by the sequential tests in
    :mod:`repro.stats.sequential` instead of a fixed trial count.
@@ -184,6 +185,15 @@ def _scalar(value) -> float:
     return float(value)
 
 
+def _key_item(value):
+    """A hashable python value from one group-key cell.
+
+    Numeric cells unbox through ``.item()``; object-array cells
+    (dictionary-encoded strings, None) already are python values.
+    """
+    return value.item() if isinstance(value, np.generic) else value
+
+
 def _values_close(a: float, b: float, rtol: float, atol: float = 0.0) -> bool:
     a, b = float(a), float(b)
     if math.isnan(a) or math.isnan(b):
@@ -214,7 +224,7 @@ def fingerprint(result):
     n_groups = cols[0].shape[0] if cols else 0
     out: dict[tuple, dict[str, float]] = {}
     for g in range(n_groups):
-        key = tuple(c[g].item() for c in cols)
+        key = tuple(_key_item(c[g]) for c in cols)
         out[key] = {
             alias: _scalar(v[g]) for alias, v in result.values.items()
         }
@@ -229,7 +239,7 @@ def _table_fingerprint(table: Table, group_keys: tuple[str, ...]):
     key_cols = [table.column(k) for k in group_keys]
     out: dict[tuple, dict[str, float]] = {}
     for g in range(table.n_rows):
-        key = tuple(c[g].item() for c in key_cols)
+        key = tuple(_key_item(c[g]) for c in key_cols)
         out[key] = {a: _scalar(table.column(a)[g]) for a in aliases}
     return out
 
@@ -320,6 +330,20 @@ class CheckContext:
         }
         self.db = Database.from_tables(self.tables)
         self.max_trials = max_trials
+        # The mmap twin: the same tables persisted to the columnar
+        # layout once and memory-mapped back, so the determinism check
+        # can difference the storage backends.  The directory object is
+        # held for the context's lifetime (mapped files must outlive
+        # every query).
+        import os
+        import tempfile
+
+        self._mmap_dir = tempfile.TemporaryDirectory(prefix="repro-fuzz-mmap-")
+        self.mmap_db = Database()
+        for name, table in self.tables.items():
+            self.mmap_db.register(
+                name, table.persist(os.path.join(self._mmap_dir.name, name))
+            )
 
     def fresh_db(self, *, catalog: bool = False) -> Database:
         return Database.from_tables(self.tables, catalog=catalog)
@@ -407,13 +431,17 @@ class CheckContext:
         return []
 
     def check_determinism(self, statement: str, seed: int) -> list[CheckFailure]:
-        """Serial vs chunked vs cross-worker-count agreement."""
+        """Serial vs chunked vs cross-worker-count vs mmap agreement."""
+        query = parse(statement)
         quantile_aliases = frozenset(
             item.alias
-            for item in parse(statement).items
+            for item in query.items
             if isinstance(item.expression, ast.QuantileCall)
         )
-        serial = _outcome(self.db.sql, statement, seed=seed)
+        # workers=0 forces the legacy serial path even when the ambient
+        # environment (REPRO_WORKERS) routes queries through the
+        # chunked executor — the baseline must actually be serial.
+        serial = _outcome(self.db.sql, statement, seed=seed, workers=0)
         w1 = _outcome(self.db.sql, statement, seed=seed, workers=1)
         w3 = _outcome(self.db.sql, statement, seed=seed, workers=3)
         failures = []
@@ -437,17 +465,41 @@ class CheckContext:
                     f"serial vs chunked disagree: {detail}",
                 )
             )
+        if query.budget is None:
+            # Budget queries recalibrate a cost model per database from
+            # timing micro-probes, so the chosen design (and thus the
+            # answer) is legitimately db-instance-specific; every other
+            # statement must be bit-identical across storage backends.
+            mmap_w1 = _outcome(self.mmap_db.sql, statement, seed=seed, workers=1)
+            detail = diff_outcomes(w1, mmap_w1, 0.0)
+            if detail is not None:
+                failures.append(
+                    CheckFailure(
+                        "determinism",
+                        statement,
+                        seed,
+                        f"mmap backend vs in-RAM not bit-identical: {detail}",
+                    )
+                )
         return failures
 
     def check_reuse(self, statement: str, seed: int) -> list[CheckFailure]:
-        """Catalog miss, then hit, vs a catalog-free run — all equal."""
+        """Catalog miss, then hit, vs a catalog-free run — all equal.
+
+        Bit-equality is pinned to the serial path (``workers=0``): the
+        catalog populates and serves from the *materialized* sample,
+        while the catalog-free chunked path merges per-chunk folds —
+        the same sample bits summed in a different order.  Chunked
+        execution gets its own catalog comparison below, at the same
+        tolerance the serial-vs-chunked determinism check uses.
+        """
         query = parse(statement)
         if query.budget is not None:
             return []  # the optimizer owns its own sampling design
-        plain = _outcome(self.fresh_db().sql, statement, seed=seed)
+        plain = _outcome(self.fresh_db().sql, statement, seed=seed, workers=0)
         with_catalog = self.fresh_db(catalog=True)
-        miss = _outcome(with_catalog.sql, statement, seed=seed)
-        hit = _outcome(with_catalog.sql, statement, seed=seed)
+        miss = _outcome(with_catalog.sql, statement, seed=seed, workers=0)
+        hit = _outcome(with_catalog.sql, statement, seed=seed, workers=0)
         failures = []
         detail = diff_outcomes(plain, miss, 0.0)
         if detail is not None:
@@ -467,6 +519,24 @@ class CheckContext:
                     statement,
                     seed,
                     f"catalog hit differs from miss: {detail}",
+                )
+            )
+        quantile_aliases = frozenset(
+            item.alias
+            for item in query.items
+            if isinstance(item.expression, ast.QuantileCall)
+        )
+        chunked = _outcome(self.fresh_db().sql, statement, seed=seed, workers=2)
+        chunked_miss = _outcome(self.fresh_db(catalog=True).sql, statement, seed=seed, workers=2)
+        detail = diff_outcomes(chunked, chunked_miss, SERIAL_CHUNKED_RTOL, quantile_aliases)
+        if detail is not None:
+            failures.append(
+                CheckFailure(
+                    "reuse",
+                    statement,
+                    seed,
+                    f"chunked catalog miss vs catalog-free run beyond "
+                    f"fold tolerance: {detail}",
                 )
             )
         return failures

@@ -20,6 +20,7 @@ runs are bit-identical to untraced runs at every worker count.
 """
 
 from repro.obs.metrics import (
+    PEAK_RSS_BYTES,
     REGISTRY,
     Histogram,
     HistogramSnapshot,
@@ -27,6 +28,8 @@ from repro.obs.metrics import (
     observe_phase_seconds,
     phase_seconds_delta,
     phase_seconds_snapshot,
+    read_peak_rss_bytes,
+    update_peak_rss_gauge,
 )
 from repro.obs.report import ExplainAnalyzeReport, profile_table, render_trace
 from repro.obs.trace import (
@@ -40,6 +43,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "PEAK_RSS_BYTES",
     "REGISTRY",
     "ExplainAnalyzeReport",
     "Histogram",
@@ -55,6 +59,8 @@ __all__ = [
     "phase_seconds_delta",
     "phase_seconds_snapshot",
     "profile_table",
+    "read_peak_rss_bytes",
     "render_trace",
     "start_trace",
+    "update_peak_rss_gauge",
 ]

@@ -296,6 +296,42 @@ def phase_seconds_snapshot() -> dict[str, dict]:
     return out
 
 
+#: Gauge name for the process's peak resident set size, in bytes.
+PEAK_RSS_BYTES = "repro_peak_rss_bytes"
+
+
+def read_peak_rss_bytes() -> float:
+    """The process's high-water resident set size, in bytes.
+
+    Reads ``VmHWM`` from ``/proc/self/status`` where procfs exists and
+    falls back to ``resource.getrusage`` elsewhere (``ru_maxrss`` is
+    KiB on Linux, bytes on macOS).  Returns 0.0 when neither source is
+    available.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) * 1024.0
+    except OSError:  # pragma: no cover - non-procfs platforms
+        pass
+    try:  # pragma: no cover - non-procfs platforms
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return float(peak) if sys.platform == "darwin" else peak * 1024.0
+    except Exception:  # pragma: no cover - no rusage either
+        return 0.0
+
+
+def update_peak_rss_gauge() -> float:
+    """Refresh the peak-RSS gauge from the OS and return the reading."""
+    peak = read_peak_rss_bytes()
+    REGISTRY.gauge(PEAK_RSS_BYTES).set(peak)
+    return peak
+
+
 def phase_seconds_delta(before: dict, after: dict) -> dict[str, dict]:
     """Per-phase counts/seconds accrued between two snapshots.
 

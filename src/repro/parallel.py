@@ -17,9 +17,16 @@ bit-for-bit reproducibility claim survives parallelism:
 Worker processes are only worth their pickling freight for very large
 partitions, so the default backend is threads — NumPy releases the GIL
 inside sorts, gathers, and ufunc loops, which is where this engine
-spends its time.  ``mode="process"`` switches to a fork-based
-``ProcessPoolExecutor`` where the platform supports it (POSIX) and
-falls back to threads elsewhere.
+spends its time.  ``mode="process"`` runs a real process pool: the
+mapped function is pickled **once** and broadcast through the pool
+initializer, after which each task ships only its descriptor (for
+pipeline chunk tasks, a ``(start, stop)`` bounds tuple — O(bytes), not
+O(rows); mmap-backed tables pickle as path descriptors).  Because the
+function crosses the pipe explicitly, process mode works under every
+start method, including spawn-only platforms (macOS default, Windows).
+Functions that cannot pickle (closures) fall back to fork inheritance
+where fork exists; on spawn-only platforms they fall back to threads
+with an explicit :class:`RuntimeWarning` — never silently.
 
 ``REPRO_WORKERS`` selects an engine-wide default worker count (the CI
 matrix runs the whole tier-1 suite under ``REPRO_WORKERS=4``);
@@ -30,9 +37,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
+import warnings
 from collections.abc import Callable, Iterable, Iterator, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 from repro.errors import ReproError
@@ -110,6 +119,23 @@ def _invoke_forked(task: Any) -> Any:  # pragma: no cover - child process
     return _FORKED_FN(task)
 
 
+#: The function a descriptor-shipping process pool runs, installed in
+#: each worker by the pool initializer from one pickled payload — so a
+#: map over N tasks pickles the operator stack once, not N times, and
+#: works under spawn where nothing is inherited.
+_POOL_FN: Callable[[Any], Any] | None = None
+
+
+def _install_pool_fn(payload: bytes) -> None:  # pragma: no cover - child
+    global _POOL_FN
+    _POOL_FN = pickle.loads(payload)
+
+
+def _invoke_pool_fn(task: Any) -> Any:  # pragma: no cover - child process
+    assert _POOL_FN is not None
+    return _POOL_FN(task)
+
+
 class ChunkScheduler:
     """Order-preserving map over partition tasks.
 
@@ -129,10 +155,6 @@ class ChunkScheduler:
             raise ReproError(
                 f"unknown scheduler mode {mode!r}; choose from {_MODES}"
             )
-        if mode == "process" and "fork" not in (
-            multiprocessing.get_all_start_methods()
-        ):  # pragma: no cover - non-POSIX fallback
-            mode = "thread"
         self.workers = int(workers)
         self.mode = mode
 
@@ -162,23 +184,59 @@ class ChunkScheduler:
             for task in tasks:
                 yield fn(task)
             return
-        if self.mode == "process":
-            yield from self._imap_forked(fn, tasks)
-            return
         if window is None:
             window = 4 * self.workers
         window = max(window, 1)
+        if self.mode == "process":
+            yield from self._imap_process(fn, tasks, window)
+            return
         with ThreadPoolExecutor(
             max_workers=min(self.workers, len(tasks))
         ) as pool:
-            pending = []
-            submitted = 0
-            while submitted < len(tasks) or pending:
-                while submitted < len(tasks) and len(pending) < window:
-                    pending.append(pool.submit(fn, tasks[submitted]))
-                    submitted += 1
-                future = pending.pop(0)
-                yield future.result()
+            yield from _windowed(pool, fn, tasks, window)
+
+    def _imap_process(
+        self, fn: Callable[[Any], Any], tasks: list[Any], window: int
+    ) -> Iterator[Any]:
+        """Process-mode dispatch: descriptor pool → fork → loud fallback.
+
+        The preferred path pickles ``fn`` once and broadcasts it via the
+        pool initializer (works under any start method).  Unpicklable
+        functions fall back to fork-based closure inheritance where the
+        platform forks; where it does not, the documented fallback is
+        threads, announced with a :class:`RuntimeWarning` rather than
+        silently.
+        """
+        start_methods = multiprocessing.get_all_start_methods()
+        try:
+            payload = pickle.dumps(fn)
+        except Exception:
+            payload = None
+        if payload is not None:
+            method = "fork" if "fork" in start_methods else start_methods[0]
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(tasks)),
+                mp_context=multiprocessing.get_context(method),
+                initializer=_install_pool_fn,
+                initargs=(payload,),
+            ) as pool:
+                yield from _windowed(pool, _invoke_pool_fn, tasks, window)
+            return
+        if "fork" in start_methods:
+            yield from self._imap_forked(fn, tasks)
+            return
+        warnings.warn(
+            "REPRO_SCHEDULER=process: the mapped function cannot be "
+            "pickled and this platform cannot fork, so this map runs on "
+            "threads instead (the documented fallback; results are "
+            "identical, parallelism is thread-level)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(tasks))
+        ) as pool:
+            yield from _windowed(pool, fn, tasks, window)
 
     def _imap_forked(
         self, fn: Callable[[Any], Any], tasks: list[Any]
@@ -202,3 +260,22 @@ class ChunkScheduler:
 
     def __repr__(self) -> str:
         return f"ChunkScheduler(workers={self.workers}, mode={self.mode!r})"
+
+
+def _windowed(
+    pool: Executor, fn: Callable[[Any], Any], tasks: list[Any], window: int
+) -> Iterator[Any]:
+    """Order-preserving sliding-window submission over any executor.
+
+    At most ``window`` tasks are in flight, so a consumer that folds
+    each result immediately keeps peak memory proportional to the
+    window, not the task list.
+    """
+    pending: list = []
+    submitted = 0
+    while submitted < len(tasks) or pending:
+        while submitted < len(tasks) and len(pending) < window:
+            pending.append(pool.submit(fn, tasks[submitted]))
+            submitted += 1
+        future = pending.pop(0)
+        yield future.result()

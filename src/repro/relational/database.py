@@ -163,6 +163,31 @@ class Database:
         self._invalidate_synopses(name)
         return named
 
+    def persist(self, name: str, path: str, *, block_rows: int = 1 << 20) -> Table:
+        """Write a registered table to columnar storage and go mmap.
+
+        The table's columns are streamed to ``path`` in the repro
+        columnar format and the catalog entry is swapped for the
+        memory-mapped reader — subsequent queries against ``name`` read
+        file-backed pages instead of process heap.  Like
+        :meth:`replace_table`, the swap invalidates synopses and the
+        cost model (the *contents* are bit-identical, but synopsis
+        entries hold references into the old arrays that would pin the
+        heap copy alive).
+        """
+        table = self.table(name)
+        mapped = table.persist(path, block_rows=block_rows)
+        return self.replace_table(name, mapped)
+
+    def attach(self, name: str, path: str) -> Table:
+        """Register a persisted columnar directory as a live table.
+
+        Columns are memory-mapped, not loaded: attaching a table far
+        larger than RAM is O(footer), and scans fault in only the pages
+        they touch.
+        """
+        return self.register(name, Table.from_mmap(path, name))
+
     def drop_table(self, name: str) -> None:
         try:
             del self.tables[name]

@@ -43,12 +43,15 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass
+from time import perf_counter_ns
 
 import numpy as np
 
+from repro.core.kernels import _finalize
 from repro.errors import ExecutionError, PlanError
 from repro.obs.trace import get_tracer
 from repro.parallel import ChunkScheduler, worker_label
+from repro.relational import expressions as ex
 from repro.relational import plan as p
 from repro.relational.aggregates import (
     evaluate_aggregates,
@@ -79,10 +82,6 @@ __all__ = ["ChunkedExecutor", "RNG_BLOCK_ROWS", "concat_tables"]
 RNG_BLOCK_ROWS = 1 << 16
 
 _RNG_MODES = ("compat", "spawn")
-
-#: splitmix64 constants for bucketing join keys deterministically.
-_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_2 = np.uint64(0x94D049BB133111EB)
 
 
 def concat_tables(chunks: list[Table]) -> Table:
@@ -186,10 +185,9 @@ def _bucket_of(keys: np.ndarray, n_buckets: int) -> np.ndarray:
     if n_buckets <= 1:
         return np.zeros(keys.shape[0], dtype=np.int64)
     with np.errstate(over="ignore"):
-        x = _key_bits(keys)
-        x = (x ^ (x >> np.uint64(30))) * _MIX_1
-        x = (x ^ (x >> np.uint64(27))) * _MIX_2
-        x = x ^ (x >> np.uint64(31))
+        # The SplitMix64 finalizer from the shared kernel module — the
+        # same mixing (and the same bits) the lineage hash uses.
+        x = _finalize(_key_bits(keys))
     return (x % np.uint64(n_buckets)).astype(np.int64)
 
 
@@ -246,6 +244,325 @@ class _HashJoinBuild:
         ri = np.concatenate(ri_parts)
         order = np.lexsort((li, ri))
         return li[order], ri[order]
+
+
+# -- picklable chunk operators -------------------------------------------
+#
+# Every compiled chunk function is a module-level ``__slots__`` class
+# rather than a closure, so a spawn-mode process pool can pickle the
+# whole operator stack once (pool initializer) and ship only (start,
+# stop) task bounds per chunk.  Mmap-backed base tables pickle as
+# (path, name) descriptors, so the broadcast payload stays O(bytes)
+# regardless of table size.
+
+
+def _identity(table: Table) -> Table:
+    return table
+
+
+class _ComposedTask:
+    """``per_chunk ∘ fn`` as a picklable task callable."""
+
+    __slots__ = ("fn", "per_chunk")
+
+    def __init__(self, fn: Callable, per_chunk: Callable) -> None:
+        self.fn = fn
+        self.per_chunk = per_chunk
+
+    def __call__(self, task):
+        return self.per_chunk(self.fn(task))
+
+
+class _TracedTask:
+    """Task wrapper that measures its own chunk from inside the worker.
+
+    The worker never touches the tracer: it returns the measurement and
+    the driver records the span in chunk order, so span ids and tree
+    shape are identical at every worker count.
+    """
+
+    __slots__ = ("fn", "per_chunk")
+
+    def __init__(self, fn: Callable, per_chunk: Callable) -> None:
+        self.fn = fn
+        self.per_chunk = per_chunk
+
+    def __call__(self, task):
+        t0 = perf_counter_ns()
+        chunk = self.fn(task)
+        rows = chunk.n_rows
+        out = self.per_chunk(chunk)
+        return out, (t0, perf_counter_ns(), rows, worker_label())
+
+
+class _ScanFn:
+    """Slice one chunk out of a base table, column-pruned, zero-copy.
+
+    Holds the base table itself (not pre-sliced views): an mmap-backed
+    table then pickles as a descriptor and each worker maps the file
+    once, paging in only the blocks its chunks touch.
+    """
+
+    __slots__ = ("table", "keep", "schema", "wrap")
+
+    def __init__(self, table: Table, keep, schema, wrap) -> None:
+        self.table = table
+        self.keep = keep
+        self.schema = schema
+        self.wrap = wrap
+
+    def __call__(self, bound: tuple[int, int]) -> Table:
+        # Slice with an explicit row count: a fully pruned scan
+        # (COUNT(*) reads no data columns) still carries its rows.
+        start, stop = bound
+        cols = self.table.columns
+        chunk = Table._share(
+            self.table.name,
+            {n: cols[n][start:stop] for n in self.keep},
+            {},
+            self.schema,
+            stop - start,
+        )
+        return self.wrap(chunk, start, stop)
+
+
+class _LineageWrap:
+    """Scan epilogue: attach positional lineage ids."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, chunk: Table, start: int, stop: int) -> Table:
+        return chunk.with_lineage(
+            self.name, np.arange(start, stop, dtype=np.int64)
+        )
+
+
+class _SampleWrap:
+    """TableSample epilogue: lineage ids plus the draw's keep-mask."""
+
+    __slots__ = ("name", "draw")
+
+    def __init__(self, name: str, draw) -> None:
+        self.name = name
+        self.draw = draw
+
+    def __call__(self, chunk: Table, start: int, stop: int) -> Table:
+        kept = chunk.with_lineage(
+            self.name, self.draw.lineage_range(start, stop)
+        )
+        return kept.filter(self.draw.mask_range(start, stop))
+
+
+class _LineageSampleFn:
+    """Un-fused lineage sample: filter the child chunk by lineage hash."""
+
+    __slots__ = ("child_fn", "sampler")
+
+    def __init__(self, child_fn: Callable, sampler) -> None:
+        self.child_fn = child_fn
+        self.sampler = sampler
+
+    def __call__(self, task) -> Table:
+        t = self.child_fn(task)
+        return t.filter(self.sampler.keep(t.lineage))
+
+
+class _SelectFn:
+    __slots__ = ("child_fn", "predicate")
+
+    def __init__(self, child_fn: Callable, predicate) -> None:
+        self.child_fn = child_fn
+        self.predicate = predicate
+
+    def __call__(self, task) -> Table:
+        t = self.child_fn(task)
+        return t.filter(self.predicate.eval(t))
+
+
+class _ProjectFn:
+    __slots__ = ("child_fn", "outputs")
+
+    def __init__(self, child_fn: Callable, outputs: dict) -> None:
+        self.child_fn = child_fn
+        self.outputs = outputs
+
+    def __call__(self, task) -> Table:
+        t = self.child_fn(task)
+        return Table(
+            t.name,
+            {n: expr.eval(t) for n, expr in self.outputs.items()},
+            t.lineage,
+        )
+
+
+def _sampler_filter(
+    sampler, left_t: Table, rt: Table, li: np.ndarray, ri: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a fused lineage sample to index pairs pre-gather."""
+    lin = {}
+    for rel in sampler.rates:
+        if rel in left_t.lineage:
+            lin[rel] = left_t.lineage[rel][li]
+        else:
+            lin[rel] = rt.lineage[rel][ri]
+    keep = sampler.keep(lin)
+    return li[keep], ri[keep]
+
+
+class _StreamJoinFn:
+    """Single-numeric-key join probe over a streaming right side."""
+
+    __slots__ = ("build", "right_fn", "key_name", "left_table", "sampler")
+
+    def __init__(self, build, right_fn, key_name, left_table, sampler) -> None:
+        self.build = build
+        self.right_fn = right_fn
+        self.key_name = key_name
+        self.left_table = left_table
+        self.sampler = sampler
+
+    def __call__(self, task) -> Table:
+        rt = self.right_fn(task)
+        li, ri = self.build.probe(rt.column(self.key_name))
+        if self.sampler is not None:
+            li, ri = _sampler_filter(self.sampler, self.left_table, rt, li, ri)
+        return combine_rows(self.left_table, rt, li, ri)
+
+
+class _BufferedJoinFn:
+    """Joint-factorized join probe over buffered right chunks."""
+
+    __slots__ = ("build", "rights", "rcodes", "offsets", "left_table", "sampler")
+
+    def __init__(
+        self, build, rights, rcodes, offsets, left_table, sampler
+    ) -> None:
+        self.build = build
+        self.rights = rights
+        self.rcodes = rcodes
+        self.offsets = offsets
+        self.left_table = left_table
+        self.sampler = sampler
+
+    def __call__(self, index: int) -> Table:
+        rt = self.rights[index]
+        codes = self.rcodes[self.offsets[index] : self.offsets[index + 1]]
+        li, ri = self.build.probe(codes)
+        if self.sampler is not None:
+            li, ri = _sampler_filter(self.sampler, self.left_table, rt, li, ri)
+        return combine_rows(self.left_table, rt, li, ri)
+
+
+class _CrossFn:
+    __slots__ = ("left_fn", "right_table")
+
+    def __init__(self, left_fn: Callable, right_table: Table) -> None:
+        self.left_fn = left_fn
+        self.right_table = right_table
+
+    def __call__(self, task) -> Table:
+        lt = self.left_fn(task)
+        li = np.repeat(
+            np.arange(lt.n_rows, dtype=np.int64), self.right_table.n_rows
+        )
+        ri = np.tile(
+            np.arange(self.right_table.n_rows, dtype=np.int64), lt.n_rows
+        )
+        return combine_rows(lt, self.right_table, li, ri)
+
+
+class _SliceFn:
+    """Pipeline breakers re-chunk a materialized result by slicing."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def __call__(self, bound: tuple[int, int]) -> Table:
+        return self.table.slice(*bound)
+
+
+# -- block-stat scan pruning ----------------------------------------------
+
+#: Comparison operators a (col, op, literal) conjunct can prune on.
+_PRUNE_OPS = frozenset(("=", "<", "<=", ">", ">="))
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _predicate_conjuncts(predicate) -> list[tuple[str, str, float]]:
+    """Extract ``col OP literal`` conjuncts reachable through ANDs.
+
+    Only conjunctions are safe to prune on (an OR branch could still
+    match); anything that is not a plain column-vs-numeric-literal
+    comparison is ignored, which is always conservative.
+    """
+    out: list[tuple[str, str, float]] = []
+
+    def walk(node) -> None:
+        if isinstance(node, ex.And):
+            walk(node.left)
+            walk(node.right)
+            return
+        if not isinstance(node, ex.Comparison) or node.op not in _PRUNE_OPS:
+            return
+        left, right, op = node.left, node.right, node.op
+        if isinstance(left, ex.Lit) and isinstance(right, ex.Col):
+            left, right, op = right, left, _FLIP[op]
+        if not (isinstance(left, ex.Col) and isinstance(right, ex.Lit)):
+            return
+        value = right.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        out.append((left.name, op, float(value)))
+
+    walk(predicate)
+    return out
+
+
+def _range_may_satisfy(op: str, lo: float, hi: float, value: float) -> bool:
+    if op == "=":
+        return lo <= value <= hi
+    if op == "<":
+        return lo < value
+    if op == "<=":
+        return lo <= value
+    if op == ">":
+        return hi > value
+    return hi >= value  # ">="
+
+
+def _chunk_may_match(
+    start: int,
+    stop: int,
+    conjuncts: list[tuple[str, str, float]],
+    stats: Mapping[str, list],
+) -> bool:
+    """Whether any row of ``[start, stop)`` can satisfy every conjunct.
+
+    A chunk is pruned when some conjunct is unsatisfiable in *all* the
+    stats blocks it overlaps.  Blocks with ``None`` bounds (all-NaN or
+    unindexed) conservatively may match, and a chunk overlapping no
+    stats block at all is conservatively kept.
+    """
+    for col, op, value in conjuncts:
+        blocks = stats.get(col)
+        if not blocks:
+            continue
+        possible = overlapped = False
+        for bstart, bstop, lo, hi in blocks:
+            if bstop <= start or bstart >= stop:
+                continue
+            overlapped = True
+            if lo is None or _range_may_satisfy(op, lo, hi, value):
+                possible = True
+                break
+        if overlapped and not possible:
+            return False
+    return True
 
 
 # -- the pipeline --------------------------------------------------------
@@ -329,7 +646,7 @@ class ChunkedExecutor:
         self, plan: p.PlanNode, columns: frozenset[str] | None = None
     ) -> Iterator[Table]:
         """Stream the plan's output as chunk tables, in chunk order."""
-        yield from self.map_chunks(plan, lambda t: t, columns=columns)
+        yield from self.map_chunks(plan, _identity, columns=columns)
 
     def map_chunks(
         self,
@@ -351,29 +668,17 @@ class ChunkedExecutor:
         tracer = get_tracer()
 
         if tracer is None:
-
-            def task_fn(task):
-                return per_chunk(fn(task))
-
-            yield from self.scheduler.imap(task_fn, source.tasks)
+            yield from self.scheduler.imap(
+                _ComposedTask(fn, per_chunk), source.tasks
+            )
             return
 
         # Traced path: workers measure their own chunk (never touching
         # the tracer), and the driver records the spans as results
         # stream back in chunk order — so span ids and tree shape are
         # identical at every worker count.
-        from time import perf_counter_ns
-
         parent = tracer.current_id()
-
-        def traced_fn(task):
-            t0 = perf_counter_ns()
-            chunk = fn(task)
-            rows = chunk.n_rows
-            out = per_chunk(chunk)
-            return out, (t0, perf_counter_ns(), rows, worker_label())
-
-        results = self.scheduler.imap(traced_fn, source.tasks)
+        results = self.scheduler.imap(_TracedTask(fn, per_chunk), source.tasks)
         for index, (out, (t0, t1, rows, worker)) in enumerate(results):
             tracer.record_span(
                 f"chunk[{index}]",
@@ -477,54 +782,29 @@ class ChunkedExecutor:
     ) -> _Source:
         base = self._base_table(table_name)
         n_rows = base.n_rows
-        if needed is not None:
-            keep = [c for c in base.schema.names if c in needed]
-            base = base.select_columns(keep)
-        bounds = chunk_bounds(n_rows, self.chunk_size, align)
-        columns = base.columns
+        keep = list(base.schema.names)
         schema = base.schema
-        name = base.name
-
-        def fn(bound: tuple[int, int]) -> Table:
-            # Slice with an explicit row count: a fully pruned scan
-            # (COUNT(*) reads no data columns) still carries its rows.
-            start, stop = bound
-            chunk = Table._share(
-                name,
-                {n: arr[start:stop] for n, arr in columns.items()},
-                {},
-                schema,
-                stop - start,
-            )
-            return wrap(chunk, start, stop)
-
-        return _Source(tasks=bounds, fn=fn)
+        if needed is not None:
+            keep = [c for c in keep if c in needed]
+            # Pruned schema only — the scan holds the *base* table (so
+            # mmap backing and descriptor pickling survive) and slices
+            # the kept columns per chunk.
+            schema = base.select_columns(keep).schema
+        bounds = chunk_bounds(n_rows, self.chunk_size, align)
+        return _Source(tasks=bounds, fn=_ScanFn(base, keep, schema, wrap))
 
     def _compile_scan(
         self, node: p.Scan, needed: frozenset[str] | None, align: int
     ) -> _Source:
         name = node.table_name
-
-        def wrap(chunk: Table, start: int, stop: int) -> Table:
-            return chunk.with_lineage(
-                name, np.arange(start, stop, dtype=np.int64)
-            )
-
-        return self._scan_source(name, needed, align, wrap)
+        return self._scan_source(name, needed, align, _LineageWrap(name))
 
     def _compile_table_sample(
         self, node: p.TableSample, needed: frozenset[str] | None, align: int
     ) -> _Source:
         name = node.child.table_name
         draw = self._draws[id(node)]
-
-        def wrap(chunk: Table, start: int, stop: int) -> Table:
-            kept = chunk.with_lineage(
-                name, draw.lineage_range(start, stop)
-            )
-            return kept.filter(draw.mask_range(start, stop))
-
-        return self._scan_source(name, needed, align, wrap)
+        return self._scan_source(name, needed, align, _SampleWrap(name, draw))
 
     def _compile_lineage_sample(
         self, node: p.LineageSample, needed: frozenset[str] | None, align: int
@@ -538,14 +818,23 @@ class ChunkedExecutor:
                 node.child, needed, align, sampler=node.sampler
             )
         child = self._compile(node.child, needed, align)
-        sampler = node.sampler
-        child_fn = child.fn
+        return _Source(
+            tasks=child.tasks, fn=_LineageSampleFn(child.fn, node.sampler)
+        )
 
-        def fn(task) -> Table:
-            t = child_fn(task)
-            return t.filter(sampler.keep(t.lineage))
+    def _scan_stats(self, node: p.PlanNode) -> Mapping[str, list] | None:
+        """Block min/max stats of the base table a node scans, if any.
 
-        return _Source(tasks=child.tasks, fn=fn)
+        Pruning below a TableSample is sound because draws are fixed
+        per *global* row position in :meth:`_prepare_draws` (never per
+        surviving chunk), so skipping a chunk whose rows the predicate
+        would discard anyway changes no draw and no surviving row.
+        """
+        if isinstance(node, p.Scan):
+            return self._base_table(node.table_name).block_stats
+        if isinstance(node, p.TableSample):
+            return self._base_table(node.child.table_name).block_stats
+        return None
 
     def _compile_select(
         self, node: p.Select, needed: frozenset[str] | None, align: int
@@ -554,14 +843,21 @@ class ChunkedExecutor:
             None if needed is None else needed | node.predicate.columns_used()
         )
         child = self._compile(node.child, child_needed, align)
-        predicate = node.predicate
-        child_fn = child.fn
-
-        def fn(task) -> Table:
-            t = child_fn(task)
-            return t.filter(predicate.eval(t))
-
-        return _Source(tasks=child.tasks, fn=fn)
+        tasks = child.tasks
+        stats = self._scan_stats(node.child)
+        if stats:
+            conjuncts = _predicate_conjuncts(node.predicate)
+            if conjuncts:
+                tasks = [
+                    bound
+                    for bound in tasks
+                    if _chunk_may_match(bound[0], bound[1], conjuncts, stats)
+                ]
+                if not tasks:
+                    # Consumers need at least one (empty) chunk to
+                    # carry the schema.
+                    tasks = [(0, 0)]
+        return _Source(tasks=tasks, fn=_SelectFn(child.fn, node.predicate))
 
     def _compile_project(
         self, node: p.Project, needed: frozenset[str] | None, align: int
@@ -581,17 +877,7 @@ class ChunkedExecutor:
             else frozenset()
         )
         child = self._compile(node.child, child_needed, align)
-        child_fn = child.fn
-
-        def fn(task) -> Table:
-            t = child_fn(task)
-            return Table(
-                t.name,
-                {n: expr.eval(t) for n, expr in outputs.items()},
-                t.lineage,
-            )
-
-        return _Source(tasks=child.tasks, fn=fn)
+        return _Source(tasks=child.tasks, fn=_ProjectFn(child.fn, outputs))
 
     def _compile_join(
         self,
@@ -622,33 +908,15 @@ class ChunkedExecutor:
         n_buckets = min(self.workers, 16)
         right_keys = tuple(node.right_keys)
 
-        def filtered(
-            left_t: Table, rt: Table, li: np.ndarray, ri: np.ndarray
-        ) -> tuple[np.ndarray, np.ndarray]:
-            """Apply a fused lineage sample to index pairs pre-gather."""
-            lin = {}
-            for rel in sampler.rates:
-                if rel in left_t.lineage:
-                    lin[rel] = left_t.lineage[rel][li]
-                else:
-                    lin[rel] = rt.lineage[rel][ri]
-            keep = sampler.keep(lin)
-            return li[keep], ri[keep]
-
         if single_numeric:
             # Streaming probe: raw keys compare directly across sides.
             build = _HashJoinBuild(left_key_cols[0], n_buckets)
-            right_fn = right_src.fn
-            key_name = right_keys[0]
-
-            def fn(task) -> Table:
-                rt = right_fn(task)
-                li, ri = build.probe(rt.column(key_name))
-                if sampler is not None:
-                    li, ri = filtered(left_table, rt, li, ri)
-                return combine_rows(left_table, rt, li, ri)
-
-            return _Source(tasks=right_src.tasks, fn=fn)
+            return _Source(
+                tasks=right_src.tasks,
+                fn=_StreamJoinFn(
+                    build, right_src.fn, right_keys[0], left_table, sampler
+                ),
+            )
 
         # Object or multi-column keys: buffer the (pruned) probe chunks
         # and factorize both sides jointly to dense int64 codes, then
@@ -662,16 +930,12 @@ class ChunkedExecutor:
         lcodes, rcodes = join_codes(left_key_cols, right_cols)
         build = _HashJoinBuild(lcodes, n_buckets)
         offsets = np.cumsum([0] + [rt.n_rows for rt in rights])
-
-        def fn(index: int) -> Table:
-            rt = rights[index]
-            codes = rcodes[offsets[index] : offsets[index + 1]]
-            li, ri = build.probe(codes)
-            if sampler is not None:
-                li, ri = filtered(left_table, rt, li, ri)
-            return combine_rows(left_table, rt, li, ri)
-
-        return _Source(tasks=list(range(len(rights))), fn=fn)
+        return _Source(
+            tasks=list(range(len(rights))),
+            fn=_BufferedJoinFn(
+                build, rights, rcodes, offsets, left_table, sampler
+            ),
+        )
 
     def _compile_cross(
         self, node: p.CrossProduct, needed: frozenset[str] | None, align: int
@@ -688,19 +952,9 @@ class ChunkedExecutor:
         # serial executor's left-major output order.
         right_table = self._materialize(node.right, right_needed, align)
         left_src = self._compile(node.left, left_needed, align)
-        left_fn = left_src.fn
-
-        def fn(task) -> Table:
-            lt = left_fn(task)
-            li = np.repeat(
-                np.arange(lt.n_rows, dtype=np.int64), right_table.n_rows
-            )
-            ri = np.tile(
-                np.arange(right_table.n_rows, dtype=np.int64), lt.n_rows
-            )
-            return combine_rows(lt, right_table, li, ri)
-
-        return _Source(tasks=left_src.tasks, fn=fn)
+        return _Source(
+            tasks=left_src.tasks, fn=_CrossFn(left_src.fn, right_table)
+        )
 
     def _compile_materialized(
         self, node: p.PlanNode, needed: frozenset[str] | None, align: int
@@ -708,11 +962,7 @@ class ChunkedExecutor:
         """Pipeline breakers: evaluate whole, then re-chunk the result."""
         table = self._evaluate_breaker(node, needed, align)
         bounds = chunk_bounds(table.n_rows, self.chunk_size, 1)
-
-        def fn(bound: tuple[int, int]) -> Table:
-            return table.slice(*bound)
-
-        return _Source(tasks=bounds, fn=fn)
+        return _Source(tasks=bounds, fn=_SliceFn(table))
 
     def _evaluate_breaker(
         self, node: p.PlanNode, needed: frozenset[str] | None, align: int

@@ -35,7 +35,15 @@ class Table:
     All transformation methods return new tables.
     """
 
-    __slots__ = ("name", "schema", "columns", "lineage", "n_rows")
+    __slots__ = (
+        "name",
+        "schema",
+        "columns",
+        "lineage",
+        "n_rows",
+        "_mmap_path",
+        "_block_stats",
+    )
 
     def __init__(
         self,
@@ -74,6 +82,8 @@ class Table:
                 )
             lin[rel] = ids_arr
         self.lineage = lin
+        self._mmap_path = None
+        self._block_stats = None
 
     # -- constructors -----------------------------------------------------
 
@@ -100,6 +110,8 @@ class Table:
         table.lineage = lineage
         table.schema = schema
         table.n_rows = n_rows
+        table._mmap_path = None
+        table._block_stats = None
         return table
 
     @classmethod
@@ -120,6 +132,63 @@ class Table:
             for i, col_name in enumerate(column_names)
         }
         return cls(name, columns)
+
+    @classmethod
+    def from_mmap(cls, path: Any, name: str | None = None) -> "Table":
+        """Open a persisted columnar table as zero-copy memory maps.
+
+        Data and lineage columns are ``np.memmap`` views over the files
+        on disk (dictionary-encoded string columns decode to object
+        arrays — the documented exception), so slicing chunks out of the
+        table never copies and the OS pages data in on demand.
+        """
+        from repro.colstore.format import load_columnar
+
+        data = load_columnar(path)
+        table = cls(
+            name if name is not None else data.name,
+            data.columns,
+            data.lineage,
+        )
+        table._mmap_path = str(data.path)
+        table._block_stats = data.block_stats
+        return table
+
+    def persist(self, path: Any, *, block_rows: int = 1 << 20) -> "Table":
+        """Write this table to ``path`` and return an mmap-backed view.
+
+        Rows stream out in ``block_rows`` blocks (each becomes one
+        min/max stats block for scan pruning); the returned table reads
+        back through :meth:`from_mmap`, so the in-RAM copy can be
+        dropped.
+        """
+        from repro.colstore.format import ColumnarWriter
+
+        with ColumnarWriter(
+            path, self.name, list(self.columns), list(self.lineage)
+        ) as writer:
+            for start in range(0, max(self.n_rows, 1), block_rows):
+                chunk = self.slice(start, start + block_rows)
+                writer.append(chunk.columns, chunk.lineage)
+        return Table.from_mmap(path, self.name)
+
+    @property
+    def is_mmap(self) -> bool:
+        """Whether this table is a whole-table view over a colstore dir."""
+        return self._mmap_path is not None
+
+    @property
+    def block_stats(self) -> Mapping[str, list] | None:
+        """Per-block (start, stop, min, max) stats, if mmap-backed."""
+        return self._block_stats
+
+    def __reduce__(self):
+        # Mmap-backed whole tables pickle as a (path, name) descriptor
+        # so process-pool payloads stay O(bytes) regardless of row
+        # count; everything else rebuilds from its arrays.
+        if self._mmap_path is not None:
+            return (_table_from_mmap, (self._mmap_path, self.name))
+        return (_table_rebuild, (self.name, self.columns, self.lineage))
 
     @property
     def lineage_schema(self) -> frozenset[str]:
@@ -227,13 +296,19 @@ class Table:
     def rename(self, name: str | None) -> "Table":
         if name == self.name:
             return self
-        return Table._share(
+        renamed = Table._share(
             name,
             dict(self.columns),
             dict(self.lineage),
             self.schema,
             self.n_rows,
         )
+        # Renaming is the one share-path transform that keeps the full
+        # row set, so the mmap descriptor (and its scan-prune stats)
+        # survives — Database.register renames on attach.
+        renamed._mmap_path = self._mmap_path
+        renamed._block_stats = self._block_stats
+        return renamed
 
     def head(self, k: int = 10) -> "Table":
         return self.take(np.arange(min(k, self.n_rows)))
@@ -243,7 +318,22 @@ class Table:
             f"{c.name}:{c.type.value}" for c in self.schema.columns
         )
         lin = ",".join(sorted(self.lineage)) or "-"
+        backing = ", mmap" if self._mmap_path is not None else ""
         return (
             f"Table({self.name or '<anon>'}, rows={self.n_rows}, "
-            f"cols=[{cols}], lineage=[{lin}])"
+            f"cols=[{cols}], lineage=[{lin}]{backing})"
         )
+
+
+def _table_from_mmap(path: str, name: str | None) -> Table:
+    """Unpickle target: reattach a descriptor-pickled mmap table."""
+    return Table.from_mmap(path, name)
+
+
+def _table_rebuild(
+    name: str | None,
+    columns: Mapping[str, Any],
+    lineage: Mapping[str, Any],
+) -> Table:
+    """Unpickle target: rebuild an in-RAM table from its arrays."""
+    return Table(name, columns, lineage)

@@ -10,6 +10,7 @@ lineage-keyed Bernoulli, and the combined GUS parameters follow from
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Mapping
 
 import numpy as np
@@ -18,6 +19,12 @@ from repro.core.algebra import compose_gus
 from repro.core.gus import GUSParams
 from repro.errors import ReproError
 from repro.sampling.pseudorandom import LineageHashBernoulli
+
+
+def _relation_seed(seed: int, rel: str) -> int:
+    """Process-stable per-relation seed derived from the master seed."""
+    digest = hashlib.blake2b(f"{seed}\x00{rel}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") & (2**63 - 1)
 
 
 class BiDimensionalBernoulli:
@@ -35,10 +42,13 @@ class BiDimensionalBernoulli:
     def __init__(self, rates: Mapping[str, float], seed: int) -> None:
         if not rates:
             raise ReproError("need at least one sampling dimension")
-        # Derive one independent seed per relation from the master seed,
-        # in sorted order so the operator is deterministic.
+        # Derive one independent seed per relation from the master seed.
+        # Python's builtin hash() is salted per process (PYTHONHASHSEED),
+        # which would make the same (seed, relation) pair draw different
+        # samples in different processes — the derivation must be a
+        # stable content hash so REPEATABLE means repeatable everywhere.
         self.filters = {
-            rel: LineageHashBernoulli(p, seed=hash((seed, rel)) & (2**63 - 1))
+            rel: LineageHashBernoulli(p, seed=_relation_seed(seed, rel))
             for rel, p in sorted(rates.items())
         }
 

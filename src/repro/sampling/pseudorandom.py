@@ -9,7 +9,9 @@ result rows while requiring only one stored seed per relation.
 
 The hash is a SplitMix64 finalizer: cheap, stateless, and with output
 uniform enough for sampling purposes (verified statistically in the
-test suite).
+test suite).  The kernel itself lives in :mod:`repro.core.kernels`
+(vectorized numpy, optional bit-identical JIT under ``REPRO_JIT=1``);
+this module re-exports it under its historical name.
 """
 
 from __future__ import annotations
@@ -17,37 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.gus import GUSParams, bernoulli_gus
+from repro.core.kernels import _finalize, hash01
 from repro.errors import ReproError
 from repro.sampling.base import Draw, SamplingMethod, row_lineage
 
-_GAMMA = np.uint64(0x9E3779B97F4A7C15)
-_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX2 = np.uint64(0x94D049BB133111EB)
-_INV_2_64 = 1.0 / float(2**64)
-
-
-def _finalize(z: np.ndarray) -> np.ndarray:
-    """SplitMix64 finalizer: two xor-shift-multiply rounds."""
-    z = (z ^ (z >> np.uint64(30))) * _MIX1
-    z = (z ^ (z >> np.uint64(27))) * _MIX2
-    return z ^ (z >> np.uint64(31))
-
-
-def hash01(seed: int, ids: np.ndarray) -> np.ndarray:
-    """Map ``(seed, id)`` pairs to deterministic uniforms in ``[0, 1)``.
-
-    The seed is finalized *before* being combined with the id stream:
-    a plain additive combination would make ``hash01(s, i)`` a function
-    of ``s + i`` only, perfectly correlating filters with nearby seeds
-    at shifted ids — a real bias source for multi-stream sampling.
-    """
-    with np.errstate(over="ignore"):
-        seed_mix = _finalize(
-            np.uint64(seed % (2**64)) * _GAMMA + _GAMMA
-        )
-        z = seed_mix ^ (np.asarray(ids, dtype=np.uint64) * _GAMMA)
-        z = _finalize(z)
-    return z.astype(np.float64) * _INV_2_64
+__all__ = ["hash01", "_finalize", "LineageHashBernoulli"]
 
 
 class LineageHashBernoulli(SamplingMethod):

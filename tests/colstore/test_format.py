@@ -1,0 +1,218 @@
+"""Columnar format tests: hypothesis round-trips and crash safety.
+
+The round-trip property covers every supported dtype (int64, float64
+with NaN/inf, bool, dictionary-encoded strings with NULLs), arbitrary
+append-block sizes, lineage columns, and the zero-row edge; the crash
+tests assert that torn or truncated layouts fail loudly with
+:class:`~repro.errors.StorageError` rather than returning wrong rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colstore import FOOTER_NAME, ColumnarWriter, load_columnar
+from repro.errors import SchemaError, StorageError
+from repro.relational.table import Table
+
+# -- strategies ---------------------------------------------------------------
+
+_TEXT = st.text(alphabet=st.characters(codec="utf-8"), min_size=0, max_size=8)
+
+
+@st.composite
+def _tables(draw):
+    """(columns, lineage, block_rows) triples spanning every dtype."""
+    n = draw(st.integers(0, 40))
+    cols: dict[str, np.ndarray] = {}
+    for i in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from("ifbs"))
+        name = f"c{i}"
+        if kind == "i":
+            values = draw(st.lists(st.integers(-(2**62), 2**62 - 1), min_size=n, max_size=n))
+            cols[name] = np.array(values, dtype=np.int64)
+        elif kind == "f":
+            values = draw(
+                st.lists(
+                    st.floats(allow_nan=True, width=64),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+            cols[name] = np.array(values, dtype=np.float64)
+        elif kind == "b":
+            values = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+            cols[name] = np.array(values, dtype=bool)
+        else:
+            values = draw(st.lists(st.one_of(st.none(), _TEXT), min_size=n, max_size=n))
+            arr = np.empty(n, dtype=object)
+            arr[:] = values
+            cols[name] = arr
+    lineage: dict[str, np.ndarray] = {}
+    if draw(st.booleans()):
+        ids = draw(st.lists(st.integers(0, 2**62), min_size=n, max_size=n))
+        lineage["base"] = np.array(ids, dtype=np.int64)
+    return cols, lineage, draw(st.integers(1, 17))
+
+
+def _assert_column_equal(actual: np.ndarray, expected: np.ndarray) -> None:
+    actual, expected = np.asarray(actual), np.asarray(expected)
+    if expected.dtype == object:
+        assert actual.dtype == object
+        assert list(actual) == list(expected)
+        return
+    assert actual.dtype == expected.dtype
+    # Bytes, not values: the raw path must preserve every float bit
+    # pattern (NaN payloads included).
+    assert actual.tobytes() == expected.tobytes()
+
+
+def _is_file_backed(arr) -> bool:
+    while arr is not None:
+        if isinstance(arr, np.memmap):
+            return True
+        arr = getattr(arr, "base", None)
+    return False
+
+
+# -- round trips --------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_tables())
+def test_roundtrip_bit_identical(spec) -> None:
+    cols, lineage, block_rows = spec
+    table = Table("t", cols, lineage)
+    with tempfile.TemporaryDirectory() as tmp:
+        mapped = table.persist(os.path.join(tmp, "t"), block_rows=block_rows)
+        assert mapped.is_mmap
+        assert mapped.n_rows == table.n_rows
+        assert list(mapped.columns) == list(table.columns)
+        assert list(mapped.lineage) == list(table.lineage)
+        if table.n_rows == 0:
+            return  # no bytes to compare; shape checks above suffice
+        for name in table.columns:
+            _assert_column_equal(mapped.columns[name], table.columns[name])
+        for rel in table.lineage:
+            _assert_column_equal(mapped.lineage[rel], table.lineage[rel])
+        # The pages are file-backed views, not heap copies.  Table's
+        # constructor may rewrap the array, so walk the view chain.
+        for name, arr in mapped.columns.items():
+            if arr.dtype != object:
+                assert _is_file_backed(arr)
+
+
+def test_zero_row_table_round_trips(tmp_path) -> None:
+    table = Table("empty", {"v": np.array([], dtype=np.float64)})
+    mapped = table.persist(tmp_path / "empty")
+    assert mapped.n_rows == 0
+    assert list(mapped.columns) == ["v"]
+    assert mapped.columns["v"].dtype == np.float64
+
+
+def test_block_stats_cover_raw_columns_only(tmp_path) -> None:
+    strs = np.empty(10, dtype=object)
+    strs[:] = [f"s{i}" for i in range(10)]
+    table = Table(
+        "t",
+        {
+            "a": np.arange(10, dtype=np.int64),
+            "f": np.linspace(0.0, 1.0, 10),
+            "s": strs,
+        },
+    )
+    mapped = table.persist(tmp_path / "t", block_rows=4)
+    stats = mapped.block_stats
+    assert set(stats) == {"a", "f"}  # dict columns carry no stats
+    for blocks in stats.values():
+        spans = [(start, stop) for start, stop, _, _ in blocks]
+        assert spans == [(0, 4), (4, 8), (8, 10)]
+    assert stats["a"][0][2:] == (0, 3)
+    assert stats["a"][-1][2:] == (8, 9)
+
+
+def test_all_nan_block_has_open_bounds(tmp_path) -> None:
+    table = Table("t", {"f": np.full(5, np.nan)})
+    mapped = table.persist(tmp_path / "t", block_rows=5)
+    (start, stop, lo, hi) = mapped.block_stats["f"][0]
+    assert (start, stop) == (0, 5)
+    assert lo is None and hi is None  # conservative: may match anything
+
+
+# -- crash safety -------------------------------------------------------------
+
+
+def test_truncated_column_file_fails_loud(tmp_path) -> None:
+    table = Table("t", {"v": np.arange(100, dtype=np.int64)})
+    table.persist(tmp_path / "t")
+    (bin_file,) = [f for f in os.listdir(tmp_path / "t") if f.startswith("col_")]
+    path = tmp_path / "t" / bin_file
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+    with pytest.raises(StorageError, match="torn"):
+        load_columnar(tmp_path / "t")
+
+
+def test_missing_footer_fails_loud(tmp_path) -> None:
+    table = Table("t", {"v": np.arange(10, dtype=np.int64)})
+    table.persist(tmp_path / "t")
+    os.unlink(tmp_path / "t" / FOOTER_NAME)
+    with pytest.raises(StorageError):
+        load_columnar(tmp_path / "t")
+
+
+def test_corrupt_footer_fails_loud(tmp_path) -> None:
+    table = Table("t", {"v": np.arange(10, dtype=np.int64)})
+    table.persist(tmp_path / "t")
+    with open(tmp_path / "t" / FOOTER_NAME, "w") as handle:
+        handle.write("{not json")
+    with pytest.raises(StorageError):
+        load_columnar(tmp_path / "t")
+
+
+def test_future_format_version_fails_loud(tmp_path) -> None:
+    table = Table("t", {"v": np.arange(10, dtype=np.int64)})
+    table.persist(tmp_path / "t")
+    footer_path = tmp_path / "t" / FOOTER_NAME
+    with open(footer_path) as handle:
+        footer = json.load(handle)
+    footer["version"] = 99
+    with open(footer_path, "w") as handle:
+        json.dump(footer, handle)
+    with pytest.raises(StorageError, match="version"):
+        load_columnar(tmp_path / "t")
+
+
+def test_interrupted_write_leaves_no_footer(tmp_path) -> None:
+    """An exception mid-write must not publish a readable table."""
+    with pytest.raises(RuntimeError):
+        with ColumnarWriter(tmp_path / "t", "t", ["v"]) as writer:
+            writer.append({"v": np.arange(5, dtype=np.int64)})
+            raise RuntimeError("simulated crash")
+    assert not os.path.exists(tmp_path / "t" / FOOTER_NAME)
+    with pytest.raises(StorageError):
+        load_columnar(tmp_path / "t")
+
+
+def test_unsupported_dtype_rejected(tmp_path) -> None:
+    with pytest.raises(SchemaError):
+        with ColumnarWriter(tmp_path / "t", "t", ["v"]) as writer:
+            writer.append({"v": np.array([1 + 2j, 3 + 4j])})
+
+
+def test_ragged_append_rejected(tmp_path) -> None:
+    with pytest.raises(SchemaError):
+        with ColumnarWriter(tmp_path / "t", "t", ["a", "b"]) as writer:
+            writer.append(
+                {
+                    "a": np.arange(3, dtype=np.int64),
+                    "b": np.arange(4, dtype=np.int64),
+                }
+            )

@@ -232,3 +232,35 @@ class TestBiDimensionalBernoulli:
         np.testing.assert_array_equal(
             s1.keep({"l": ids}), s2.keep({"l": ids})
         )
+
+    def test_relation_seeds_are_process_stable(self):
+        """Per-relation seeds must not depend on PYTHONHASHSEED.
+
+        The builtin ``hash()`` is salted per process; deriving relation
+        seeds from it made the same REPEATABLE sample draw different
+        rows in different processes.  Pin the content-hash derivation
+        and confirm it in a child interpreter with a different salt.
+        """
+        from repro.sampling.composed import _relation_seed
+
+        assert _relation_seed(77, "orders") == 776689539391833478
+        assert _relation_seed(77, "lineitem") == 4378465840193713458
+
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        script = (
+            "from repro.sampling.composed import _relation_seed;"
+            "print(_relation_seed(77, 'orders'))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == "776689539391833478"
