@@ -194,7 +194,7 @@ def _child_main(mode: str, data_dir: str, chunk_size: int) -> int:
     if mode == "inram":
         for name in ("lineitem", "orders"):
             table = db.table(name)
-            db.replace_table(
+            db.update_table(
                 name,
                 Table(
                     name,

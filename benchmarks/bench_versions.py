@@ -1,0 +1,281 @@
+"""Coordinated snapshots: variance advantage and storage sharing.
+
+Three contractual claims, recorded machine-readably in
+``BENCH_versions.json`` (run ``python benchmarks/bench_versions.py
+--json`` to regenerate; needs ``PYTHONPATH=src`` like every suite):
+
+* **variance** — on a 1%-change workload, estimating ``SUM`` over
+  ``fact AT VERSION 2 MINUS AT VERSION 1`` from one coordinated
+  sample has ≥ 5× lower variance than differencing two independently
+  sampled sides at the same rate (whose variances add); unchanged
+  keys cancel exactly under coordination, so only the 1% of changed
+  keys contributes noise;
+* **storage** — a chain of snapshots created by ``update_table``
+  mutations that rewrite one column shares every untouched column
+  array with its neighbours: total unique storage is ≥ 2× smaller
+  than materializing each version privately;
+* **determinism** — the versioned difference estimate (value *and*
+  raw variance, compared as ``float.hex()`` strings) is bit-identical
+  across worker counts {0, 1, 4} and engine seeds, because
+  coordinated draws are pure per-key hashes.
+
+Both guarded ratios divide deterministic quantities (closed-form
+variances from REPEATABLE hash draws; array byte counts), so the CI
+regression guard can hold them to the tight tolerance.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the table ~30× and keeps
+the same floors — the ratios are scale-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.obs.metrics import update_peak_rss_gauge
+from repro.relational.database import Database
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N_ROWS = 60_000 if SMOKE else 2_000_000
+N_VERSIONS = 4
+CHANGE_FRACTION = 0.01
+SAMPLE_PERCENT = 10
+MIN_VARIANCE_RATIO = 5.0
+MIN_DEDUP_FACTOR = 2.0
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_versions.json"
+
+DIFF_SQL = (
+    "SELECT SUM(val) AS s\n"
+    "FROM fact AT VERSION 2 MINUS AT VERSION 1 "
+    f"TABLESAMPLE ({SAMPLE_PERCENT} PERCENT) REPEATABLE (7)"
+)
+
+
+def build_workload() -> Database:
+    """A fact table plus a 4-deep snapshot chain of 1%-change updates.
+
+    Each round copies only ``val`` (1% of its entries perturbed), so
+    ``update_table`` freezes a version that shares the three untouched
+    columns with every other version — the storage claim measures
+    exactly that sharing.
+    """
+    rng = np.random.default_rng(20_260_807)
+    db = Database(seed=0)
+    key = np.arange(N_ROWS, dtype=np.int64)
+    db.create_table(
+        "fact",
+        {
+            "key": key,
+            "seg": key % 8,
+            "weight": rng.uniform(0.5, 1.5, N_ROWS),
+            "val": rng.uniform(0.0, 100.0, N_ROWS),
+        },
+    )
+    n_changed = max(1, int(N_ROWS * CHANGE_FRACTION))
+    for _ in range(N_VERSIONS):
+        val = db.table("fact").column("val").copy()
+        rows = rng.choice(N_ROWS, size=n_changed, replace=False)
+        val[rows] += rng.normal(0.0, 5.0, n_changed)
+        db.update_table(
+            "fact", db.table("fact").with_columns({"val": val})
+        )
+    return db
+
+
+# -- variance advantage ------------------------------------------------------
+
+
+def run_variance_benchmark(db: Database) -> dict:
+    """Coordinated difference vs independently sampled sides."""
+    start = time.perf_counter()
+    diff = db.sql(DIFF_SQL)
+    diff_seconds = time.perf_counter() - start
+    coordinated = diff.estimates["s"].variance_raw
+    independent = sum(
+        db.sql(
+            f"SELECT SUM(val) AS s\nFROM fact AT VERSION {version} "
+            f"TABLESAMPLE ({SAMPLE_PERCENT} PERCENT) REPEATABLE ({seed})"
+        )
+        .estimates["s"]
+        .variance_raw
+        for version, seed in ((2, 1), (1, 2))
+    )
+    truth = float(
+        np.asarray(
+            db.sql_exact(
+                "SELECT SUM(val) AS s\n"
+                "FROM fact AT VERSION 2 MINUS AT VERSION 1"
+            ).column("s")
+        )[0]
+    )
+    return {
+        "benchmark": "coordinated_difference",
+        "smoke": SMOKE,
+        "n_rows": N_ROWS,
+        "change_fraction": CHANGE_FRACTION,
+        "sample_percent": SAMPLE_PERCENT,
+        "estimate": float(diff["s"]),
+        "truth": truth,
+        "changed_keys_sampled": int(diff.estimates["s"].extras["nonzero"]),
+        "coordinated_variance": float(coordinated),
+        "independent_variance": float(independent),
+        "variance_ratio": float(independent / coordinated),
+        "diff_seconds": diff_seconds,
+        "peak_rss_bytes": update_peak_rss_gauge(),
+    }
+
+
+# -- storage sharing ---------------------------------------------------------
+
+
+def _unique_storage_bytes(arrays) -> int:
+    """Bytes of distinct backing buffers (views collapse to their base)."""
+    seen: dict[int, int] = {}
+    for arr in arrays:
+        base = arr if arr.base is None else arr.base
+        seen[id(base)] = base.nbytes
+    return sum(seen.values())
+
+
+def run_storage_benchmark(db: Database) -> dict:
+    """Unique bytes across the version chain vs private materialization."""
+    tables = [db.table("fact")] + [
+        db.table("fact", version=v) for v in db.versions_of("fact")
+    ]
+    arrays = [
+        np.asarray(t.column(name)) for t in tables for name in t.columns
+    ]
+    naive = sum(arr.nbytes for arr in arrays)
+    unique = _unique_storage_bytes(arrays)
+    return {
+        "benchmark": "snapshot_storage",
+        "smoke": SMOKE,
+        "n_rows": N_ROWS,
+        "versions": len(tables) - 1,
+        "naive_mb": naive / 1e6,
+        "unique_mb": unique / 1e6,
+        "dedup_factor": naive / unique,
+        "peak_rss_bytes": update_peak_rss_gauge(),
+    }
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _hex_fingerprint(result) -> tuple:
+    return tuple(
+        (alias, float(result.values[alias]).hex(), est.variance_raw.hex())
+        for alias, est in sorted(result.estimates.items())
+    )
+
+
+def run_determinism_benchmark(db: Database) -> dict:
+    """Bit-identity of the diff across worker counts and engine seeds."""
+    baseline = _hex_fingerprint(db.sql(DIFF_SQL))
+    runs = [
+        _hex_fingerprint(db.sql(DIFF_SQL, workers=w, seed=s))
+        for w, s in ((0, 1), (1, 2), (4, 3))
+    ]
+    return {
+        "benchmark": "versioned_determinism",
+        "smoke": SMOKE,
+        "worker_counts": [0, 1, 4],
+        "bit_identical": all(run == baseline for run in runs),
+    }
+
+
+def _verdict(ok: bool) -> str:
+    return "smoke" if SMOKE else ("match" if ok else "MISS")
+
+
+class TestCoordinatedDifference:
+    def test_variance_advantage(self, repro_report):
+        db = build_workload()
+        metrics = run_variance_benchmark(db)
+        repro_report.add(
+            "versions (coordinated diff)",
+            "variance vs independent per-side samples (1% change)",
+            ">= 5x lower",
+            f"{metrics['variance_ratio']:.0f}x",
+            _verdict(metrics["variance_ratio"] >= MIN_VARIANCE_RATIO),
+        )
+        assert metrics["variance_ratio"] >= MIN_VARIANCE_RATIO, metrics
+        sigma = float(np.sqrt(metrics["coordinated_variance"]))
+        assert abs(metrics["estimate"] - metrics["truth"]) <= 6.0 * sigma
+
+
+class TestSnapshotStorage:
+    def test_version_chain_shares_columns(self, repro_report):
+        db = build_workload()
+        metrics = run_storage_benchmark(db)
+        repro_report.add(
+            "versions (snapshot storage)",
+            "version-chain bytes vs private copies",
+            ">= 2x smaller",
+            f"{metrics['dedup_factor']:.1f}x",
+            _verdict(metrics["dedup_factor"] >= MIN_DEDUP_FACTOR),
+        )
+        assert metrics["dedup_factor"] >= MIN_DEDUP_FACTOR, metrics
+
+
+class TestVersionedDeterminism:
+    def test_bit_identical_across_workers_and_seeds(self, repro_report):
+        db = build_workload()
+        metrics = run_determinism_benchmark(db)
+        repro_report.add(
+            "versions (determinism)",
+            "diff estimate bits across workers {0,1,4} + seeds",
+            "identical",
+            "identical" if metrics["bit_identical"] else "DIVERGED",
+            _verdict(metrics["bit_identical"]),
+        )
+        assert metrics["bit_identical"], metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Coordinated-snapshot benchmark; asserts the "
+        "variance, storage, and determinism claims, optionally "
+        "recording them machine-readably."
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=str(JSON_PATH),
+        default=None,
+        metavar="PATH",
+        help=f"write results as JSON (default path: {JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+    db = build_workload()
+    variance = run_variance_benchmark(db)
+    storage = run_storage_benchmark(db)
+    determinism = run_determinism_benchmark(db)
+    payload = {
+        "suite": "bench_versions",
+        "schema_version": 2,
+        "workloads": [variance, storage, determinism],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        pathlib.Path(args.json).write_text(text + "\n")
+        print(f"\nwrote {args.json}")
+    ok = (
+        variance["variance_ratio"] >= MIN_VARIANCE_RATIO
+        and storage["dedup_factor"] >= MIN_DEDUP_FACTOR
+        and determinism["bit_identical"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())

@@ -49,8 +49,8 @@ def main() -> None:
     show("push ", db.sql(FILTERED, seed=3))
 
     print("\n== invalidation on mutation ==")
-    db.replace_table("lineitem", db.table("lineitem"))
-    show("after replace_table", db.sql(BASE, seed=1))
+    db.update_table("lineitem", db.table("lineitem"))
+    show("after update_table", db.sql(BASE, seed=1))
 
     print("\n== concurrent serving ==")
     service = QueryService(db)

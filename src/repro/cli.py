@@ -81,7 +81,7 @@ def _build_database(args):
     return db
 
 
-def _format_grouped(result, level: float) -> str:
+def _format_grouped(result, level: float, footer: str | None = None) -> str:
     """Per-group table: key columns, then ``value [lo, hi]`` per alias."""
     key_names = list(result.keys)
     aliases = list(result.values)
@@ -101,11 +101,19 @@ def _format_grouped(result, level: float) -> str:
         lines.append("\t".join(cells))
     if result.n_groups > shown:
         lines.append(f"... ({result.n_groups} groups total)")
-    lines.append(
-        f"-- {result.n_groups} groups @{level:.0%}, "
-        f"{result.sample.n_rows} sample rows, a = {result.gus.a:.4g}"
-    )
+    if footer is None:
+        footer = (
+            f"-- {result.n_groups} groups @{level:.0%}, "
+            f"{result.sample.n_rows} sample rows, a = {result.gus.a:.4g}"
+        )
+    lines.append(footer)
     return "\n".join(lines)
+
+
+def _diff_footer(result, prefix: str) -> str:
+    rate = result.plan.rate if result.plan is not None else None
+    mode = f"coordinated p = {rate:g}" if rate is not None else "exact"
+    return f"-- {prefix}, {result.n_matched} matched keys, {mode}"
 
 
 def _format_result(result, level: float) -> str:
@@ -127,6 +135,30 @@ def _format_result(result, level: float) -> str:
             + "\n-- "
             + result.outcome_line()
         )
+    from repro.versions.engine import (
+        GroupedVersionDiffResult,
+        VersionDiffResult,
+    )
+
+    if isinstance(result, GroupedVersionDiffResult):
+        return _format_grouped(
+            result,
+            level,
+            footer=_diff_footer(
+                result, f"{result.n_groups} segments @{level:.0%}"
+            ),
+        )
+    if isinstance(result, VersionDiffResult):
+        lines = []
+        for alias, value in result.values.items():
+            est = result.estimates[alias]
+            ci = est.ci(level)
+            lines.append(
+                f"{alias} = {value:.6g}   "
+                f"[{ci.lo:.6g}, {ci.hi:.6g}] @{level:.0%}"
+            )
+        lines.append(_diff_footer(result, "version diff"))
+        return "\n".join(lines)
     if isinstance(result, GroupedQueryResult):
         return _format_grouped(result, level)
     if isinstance(result, QueryResult):
@@ -158,12 +190,26 @@ def run_statement(db, text: str, level: float = 0.95) -> str:
     if stripped.startswith("\\"):
         command, _, rest = stripped[1:].partition(" ")
         if command == "tables":
-            return "\n".join(
-                f"{name}  ({table.n_rows} rows: "
-                + ", ".join(table.schema.names)
-                + ")"
-                for name, table in sorted(db.tables.items())
-            )
+            from repro.versions.snapshots import split_versioned_name
+
+            lines = []
+            for name, table in sorted(db.tables.items()):
+                text = (
+                    f"{name}  ({table.n_rows} rows: "
+                    + ", ".join(table.schema.names)
+                    + ")"
+                )
+                base, version = split_versioned_name(name)
+                if version is not None:
+                    text += f"  [snapshot v{version} of {base}]"
+                else:
+                    versions = db.versions_of(name)
+                    if versions:
+                        text += "  [versions: " + ", ".join(
+                            str(v) for v in versions
+                        ) + "]"
+                lines.append(text)
+            return "\n".join(lines)
         if command == "explain":
             return db.explain(db.plan_sql(rest))
         if command == "exact":

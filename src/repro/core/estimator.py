@@ -63,8 +63,13 @@ __all__ = [
     "estimate_sum",
     "estimate_sums_grouped",
     "estimate_sums_grouped_multi",
+    "difference_inputs",
+    "estimate_subset_sum",
+    "estimate_difference",
+    "estimate_subset_sums_grouped",
     "Estimate",
     "GroupedEstimates",
+    "ClosedFormGroupedEstimates",
 ]
 
 
@@ -644,7 +649,7 @@ class GroupedEstimates:
 
     def take(self, indices: np.ndarray) -> "GroupedEstimates":
         """Gather a subset of groups (e.g. after a HAVING filter)."""
-        return GroupedEstimates(
+        return type(self)(
             values=self.values[indices],
             variance_raw=self.variance_raw[indices],
             n_samples=self.n_samples[indices],
@@ -787,3 +792,180 @@ def estimate_sums_grouped_multi(
             )
         )
     return out
+
+
+# -- coordinated subset sums and version differences -------------------------
+
+
+class ClosedFormGroupedEstimates(GroupedEstimates):
+    """Grouped estimates whose variance is closed-form per element.
+
+    The pair-based Theorem 1 machinery cannot bound a singleton group
+    (one row carries no pair information), so :class:`GroupedEstimates`
+    reports ``NaN`` intervals for it.  Subset-sum estimates under
+    independent-per-key Bernoulli draws have an exact per-element
+    variance — ``(1−p)/p² · Σ f²`` needs no pairs — so here only groups
+    with *no* observed key lack spread information.
+    """
+
+    def _spread_std(self) -> np.ndarray:
+        std = self.std.copy()
+        std[self.n_samples == 0] = np.nan
+        return std
+
+
+def difference_inputs(
+    hi_key_columns: Sequence[np.ndarray],
+    hi_f_vectors: Sequence[np.ndarray],
+    lo_key_columns: Sequence[np.ndarray],
+    lo_f_vectors: Sequence[np.ndarray],
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Per-key signed aggregate inputs ``g(k) = f_hi(k) − f_lo(k)``.
+
+    Each side contributes its per-row aggregate values keyed by the
+    coordination key columns (lineage row ids, optionally prefixed by
+    GROUP BY columns).  One :func:`group_reduce_multi` over the
+    hi-then-lo concatenation nets out every key: keys present on both
+    sides reduce to their value change, keys on one side only keep
+    their signed contribution (inserted or filtered-out rows).
+    Returns ``(key_columns, g_vectors)`` in sorted key order —
+    deterministic for any chunking of the inputs because the keys are
+    unique per side and the reduction is a per-key sum.
+    """
+    if len(hi_key_columns) != len(lo_key_columns):
+        raise EstimationError(
+            f"{len(hi_key_columns)} hi key columns vs "
+            f"{len(lo_key_columns)} lo key columns"
+        )
+    if len(hi_f_vectors) != len(lo_f_vectors):
+        raise EstimationError(
+            f"{len(hi_f_vectors)} hi aggregate vectors vs "
+            f"{len(lo_f_vectors)} lo aggregate vectors"
+        )
+    columns = [
+        np.concatenate([np.asarray(h), np.asarray(l)])
+        for h, l in zip(hi_key_columns, lo_key_columns)
+    ]
+    weights = [
+        np.concatenate(
+            [
+                np.asarray(h, dtype=np.float64),
+                -np.asarray(l, dtype=np.float64),
+            ]
+        )
+        for h, l in zip(hi_f_vectors, lo_f_vectors)
+    ]
+    return group_reduce_multi(columns, weights)
+
+
+def _check_rate(p: float) -> float:
+    p = float(p)
+    if not 0.0 < p <= 1.0:
+        raise EstimationError(f"Bernoulli rate {p} outside (0, 1]")
+    return p
+
+
+def estimate_subset_sum(
+    p: float, f: np.ndarray, *, label: str = "SUM"
+) -> Estimate:
+    """Horvitz–Thompson subset sum under per-key Bernoulli(``p``) draws.
+
+    ``f`` holds the observed per-key values of a subset-sum aggregate
+    (for a version difference, the netted ``g`` of
+    :func:`difference_inputs`; for a single segment, its per-key
+    contributions).  With every key kept independently with probability
+    ``p``,
+
+        ``X = Σ_sample f / p``          is unbiased for ``Σ_all f``, and
+        ``σ̂² = (1−p)/p² · Σ_sample f²`` is unbiased for
+        ``σ²(X) = (1−p)/p · Σ_all f²``.
+
+    Keys whose value did not change between coordinated versions have
+    ``f = 0`` and contribute nothing to the variance — the whole point
+    of sharing draws across versions.  At ``p = 1`` both sums are exact
+    and the variance is identically zero.
+
+    ``extras["nonzero"]`` counts the keys with ``f != 0`` — the
+    *effective* sample size.  Both the estimate and σ̂ are carried
+    entirely by those keys, so any sample-size gate on interval quality
+    (e.g. the fuzzer's coverage check) must look at this count, not at
+    ``n_sample``.
+    """
+    p = _check_rate(p)
+    f = np.asarray(f, dtype=np.float64)
+    total = float(np.sum(f))
+    squares = float(np.dot(f, f))
+    return Estimate(
+        value=total / p,
+        variance_raw=(1.0 - p) / (p * p) * squares,
+        n_sample=int(f.shape[0]),
+        label=label,
+        extras={
+            "p": p,
+            "estimator": "subset-sum",
+            "nonzero": int(np.count_nonzero(f)),
+        },
+    )
+
+
+def estimate_difference(
+    p: float,
+    hi_key_columns: Sequence[np.ndarray],
+    hi_f: np.ndarray,
+    lo_key_columns: Sequence[np.ndarray],
+    lo_f: np.ndarray,
+    *,
+    label: str = "SUM",
+) -> Estimate:
+    """Estimate ``Σ f_hi − Σ f_lo`` from coordinated samples of two
+    versions.
+
+    Requires the two samples to share their Bernoulli draws by key
+    (:class:`~repro.sampling.CoordinatedBernoulli`): only then is the
+    per-key indicator common to both sides and the difference a single
+    subset sum over ``g = f_hi − f_lo``.
+    """
+    _keys, gs = difference_inputs(
+        hi_key_columns, [hi_f], lo_key_columns, [lo_f]
+    )
+    return estimate_subset_sum(p, gs[0], label=label)
+
+
+def estimate_subset_sums_grouped(
+    p: float,
+    f: np.ndarray,
+    gids: np.ndarray,
+    n_groups: int,
+    *,
+    label: str = "SUM",
+) -> ClosedFormGroupedEstimates:
+    """Per-segment subset sums: :func:`estimate_subset_sum` per group.
+
+    ``gids`` assigns each observed key a dense segment id; each
+    segment's estimate and variance equal what the scalar estimator
+    would produce on that segment's keys alone (segment membership is a
+    data property, so the per-key draws restricted to a segment are the
+    same Bernoulli process).
+    """
+    p = _check_rate(p)
+    f = np.asarray(f, dtype=np.float64)
+    gids = np.asarray(gids, dtype=np.int64)
+    if gids.shape != f.shape:
+        raise EstimationError(
+            f"group ids have shape {gids.shape}; f has shape {f.shape}"
+        )
+    if gids.size and (int(gids.min()) < 0 or int(gids.max()) >= n_groups):
+        raise EstimationError(
+            f"group ids must lie in [0, {n_groups}); got range "
+            f"[{int(gids.min())}, {int(gids.max())}]"
+        )
+    totals = np.bincount(gids, weights=f, minlength=n_groups)
+    squares = np.bincount(gids, weights=f * f, minlength=n_groups)
+    counts = np.bincount(gids, minlength=n_groups)
+    return ClosedFormGroupedEstimates(
+        values=totals / p,
+        variance_raw=(1.0 - p) / (p * p) * squares,
+        n_samples=counts,
+        label=label,
+        extras={"p": p, "estimator": "subset-sum"},
+    )

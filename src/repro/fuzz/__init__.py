@@ -2,7 +2,8 @@
 
 The fuzzer generates seeded random queries over the full SQL surface
 (joins × sampling families/rates/seeds × GROUP BY/HAVING × ``WITHIN``
-budgets × catalog reuse × worker counts), checks each one three ways —
+budgets × snapshot pins and coordinated version differences × catalog
+reuse × worker counts), checks each one three ways —
 exact-executor oracle, serial/chunked/cross-worker determinism, and
 statistical unbiasedness + CI coverage via a sequential
 probability-ratio test — and greedily shrinks any failure to a minimal
@@ -19,7 +20,11 @@ from repro.fuzz.checker import (
     check_statement,
     oracle_statement,
 )
-from repro.fuzz.generator import QueryGenerator, build_fuzz_tables
+from repro.fuzz.generator import (
+    QueryGenerator,
+    build_fuzz_tables,
+    install_fuzz_versions,
+)
 from repro.fuzz.runner import FuzzReport, run_fuzz
 from repro.fuzz.shrink import ReproCase, shrink_failure
 
@@ -31,6 +36,7 @@ __all__ = [
     "ReproCase",
     "build_fuzz_tables",
     "check_statement",
+    "install_fuzz_versions",
     "oracle_statement",
     "run_fuzz",
     "shrink_failure",

@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import EstimationError, ReproError
-from repro.fuzz.generator import build_fuzz_tables
+from repro.fuzz.generator import build_fuzz_tables, install_fuzz_versions
 from repro.relational.database import Database
 from repro.relational.table import Table
 from repro.sql import ast_nodes as ast
@@ -314,7 +314,12 @@ class CheckContext:
     Holds the fuzz tables and a persistent plain :class:`Database`
     (keeping its calibrated cost model warm for budget queries);
     catalog databases are built fresh per reuse check so one
-    statement's synopses never serve another's.
+    statement's synopses never serve another's.  Every database grows
+    the same deterministic ``fact`` version history
+    (:func:`install_fuzz_versions`), so generated ``AT VERSION`` pins
+    and coordinated version differences check exactly like any other
+    statement — including the exact oracle, which nets the two sides
+    at rate 1.
     """
 
     def __init__(
@@ -328,7 +333,9 @@ class CheckContext:
         self.tables = {
             name: Table(name, cols) for name, cols in arrays.items()
         }
+        self.data_seed = data_seed
         self.db = Database.from_tables(self.tables)
+        self._install_versions(self.db)
         self.max_trials = max_trials
         # The mmap twin: the same tables persisted to the columnar
         # layout once and memory-mapped back, so the determinism check
@@ -344,9 +351,23 @@ class CheckContext:
             self.mmap_db.register(
                 name, table.persist(os.path.join(self._mmap_dir.name, name))
             )
+        self._install_versions(self.mmap_db)
+
+    def _install_versions(self, db: Database) -> None:
+        """Grow the fact table's snapshot history on one database.
+
+        The mutations are deterministic in ``data_seed`` and the fact
+        contents, so every database a check compares (plain, mmap twin,
+        catalog rebuilds) carries a bit-identical version chain and
+        versioned statements stay differential.
+        """
+        if "fact" in self.tables:
+            install_fuzz_versions(db, self.data_seed)
 
     def fresh_db(self, *, catalog: bool = False) -> Database:
-        return Database.from_tables(self.tables, catalog=catalog)
+        db = Database.from_tables(self.tables, catalog=catalog)
+        self._install_versions(db)
+        return db
 
     # -- individual checks -------------------------------------------------
 
@@ -597,7 +618,10 @@ class CheckContext:
         an empty draw estimates 0, and those zeros are exactly what
         balances the lucky draws in expectation — conditioning on
         "the sample was non-trivial" would make a perfectly unbiased
-        estimator look biased.  Each test only runs on designs where
+        estimator look biased.  When a trial is *refused* outright (an
+        AVG over an empty draw raises instead of completing), that
+        conditioning is unavoidable, so any drift verdict the
+        surviving trials produced is discarded.  Each test only runs on designs where
         its inference is sound (:meth:`_design_gates`): the drift guard
         needs every draw to see a real fraction of its tables, coverage
         needs enough rows (or blocks, for block designs) behind σ̂.
@@ -629,6 +653,7 @@ class CheckContext:
         drift = {
             alias: SequentialBiasGuard(min_n=DRIFT_MIN_N) for alias in truth
         } if drift_ok else {}
+        refused = 0
         for trial in range(self.max_trials):
             if all(
                 test.decision != "undecided"
@@ -642,6 +667,7 @@ class CheckContext:
                     trial_stmt, seed=seed + 7919 * (trial + 1)
                 )
             except EstimationError:
+                refused += 1
                 continue  # refused trial (e.g. empty sample): no evidence
             except ReproError as exc:
                 return [
@@ -658,7 +684,12 @@ class CheckContext:
                 est = result.estimates[alias]
                 if drift_ok:
                     drift[alias].observe(est.value - expected)
-                if not coverage_ok or est.n_sample < COVERAGE_MIN_ROWS:
+                # Subset-sum (version-difference) estimates report how
+                # many sampled keys actually changed: the netted g is 0
+                # everywhere else, so only those keys inform σ̂ and the
+                # effective sample size is their count, not n_sample.
+                n_effective = est.extras.get("nonzero", est.n_sample)
+                if not coverage_ok or n_effective < COVERAGE_MIN_ROWS:
                     # The a-priori gate sees per-table draw sizes only;
                     # join and predicate selectivity can shrink the
                     # *surviving* sample back into the tail-blind-σ̂
@@ -682,6 +713,15 @@ class CheckContext:
                     )
                 )
         for alias, guard in drift.items():
+            if refused:
+                # Refused trials (an AVG over an empty draw raises)
+                # were dropped, conditioning the surviving trials on a
+                # non-empty sample — and conditional on non-emptiness
+                # even a perfectly unbiased HT estimator reads high (on
+                # a 3-row table at a 25 % rate the conditional mean of
+                # ``COUNT(*)/p`` is 5.2, not 3).  No sound drift
+                # verdict exists for this statement; abstain.
+                break
             if guard.decision == "reject":
                 v = guard.verdict()
                 failures.append(

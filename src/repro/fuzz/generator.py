@@ -10,7 +10,10 @@ The schema is small but adversarial: a skewed fact table, a dimension
 for joins, a three-row ``tiny`` table (singleton-group fodder), and a
 zero-row ``void`` table (the empty-input corner every hand-written
 suite skips).  Column names are globally unique, as the planner
-requires.
+requires.  :func:`install_fuzz_versions` additionally grows the fact
+table a deterministic snapshot history, so the stream covers version
+pins (``AT VERSION n``) and coordinated version differences
+(``MINUS AT VERSION`` / ``VERSIONS BETWEEN``) too.
 """
 
 from __future__ import annotations
@@ -19,9 +22,16 @@ import random
 
 import numpy as np
 
+from repro.sampling import sql_sample_tags
 from repro.sql import ast_nodes as ast
 
-__all__ = ["QueryGenerator", "build_fuzz_tables", "FUZZ_TABLES"]
+__all__ = [
+    "FUZZ_TABLES",
+    "FUZZ_VERSIONS",
+    "QueryGenerator",
+    "build_fuzz_tables",
+    "install_fuzz_versions",
+]
 
 #: Sampling-rate ladder (percent).  Includes the tiny rates that
 #: degradation produces (exponent-form literals) and rates low enough
@@ -38,6 +48,24 @@ FUZZ_TABLES = {
 
 #: (left, right) table pairs joinable on their join keys.
 JOIN_PAIRS = (("fact", "dim"), ("fact", "tiny"), ("fact", "void"))
+
+#: Snapshot versions installed on the fuzz ``fact`` table; the live
+#: table sits one further mutation step past the last snapshot.
+FUZZ_VERSIONS = 2
+
+#: Fraction of ``f_val`` rows each version step perturbs.
+VERSION_CHANGE_FRACTION = 0.05
+
+#: Draw weight per registered ``TABLESAMPLE`` surface form (see
+#: :func:`repro.sampling.sql_sample_tags`).  A registered family whose
+#: tag has no weight here is skipped — the generator cannot guess a
+#: clause shape for a form it has never seen.
+SAMPLE_TAG_WEIGHTS = {
+    "percent": 0.30,
+    "percent-repeatable": 0.25,
+    "rows": 0.20,
+    "system": 0.25,
+}
 
 
 def build_fuzz_tables(seed: int = 0) -> dict[str, dict[str, np.ndarray]]:
@@ -75,6 +103,27 @@ def build_fuzz_tables(seed: int = 0) -> dict[str, dict[str, np.ndarray]]:
             "v_val": np.array([], dtype=np.float64),
         },
     }
+
+
+def install_fuzz_versions(db, seed: int = 0) -> None:
+    """Give ``fact`` a deterministic version history on ``db``.
+
+    Applies :data:`FUZZ_VERSIONS` update-shaped mutation steps through
+    ``db.update_table`` — each perturbs ~5 % of ``f_val`` in place, so
+    row positions (the coordination keys) never move — leaving the
+    catalog with ``fact AT VERSION 1..FUZZ_VERSIONS`` plus a live table
+    one step further.  Deterministic in ``seed`` and the starting
+    contents, so every database one check touches (plain, catalog,
+    mmap twin, fresh rebuilds) grows a bit-identical history.
+    """
+    rng = np.random.default_rng(seed + 0x5EED)
+    for _ in range(FUZZ_VERSIONS):
+        fact = db.table("fact")
+        values = np.array(fact.column("f_val"), dtype=np.float64, copy=True)
+        n_changed = max(1, int(values.shape[0] * VERSION_CHANGE_FRACTION))
+        rows = rng.choice(values.shape[0], size=n_changed, replace=False)
+        values[rows] += rng.normal(0.0, 25.0, size=n_changed)
+        db.update_table("fact", fact.with_columns({"f_val": values}))
 
 
 class QueryGenerator:
@@ -163,31 +212,44 @@ class QueryGenerator:
         self._alias_n += 1
         return ast.SelectItem(expr, alias)
 
-    def _sample(self) -> ast.SampleClause | None:
-        roll = self.rand.random()
-        if roll < 0.25:
-            return None
-        if roll < 0.65:
+    def _sample_for_tag(self, tag: str) -> ast.SampleClause:
+        """A clause in one registered ``TABLESAMPLE`` surface form."""
+        if tag == "percent":
+            return ast.SampleClause("percent", self._pick(RATE_LADDER))
+        if tag == "percent-repeatable":
             # REPEATABLE is percent-only: fixed-size and block draws
             # have no per-tuple hash form for the planner to pin.
-            seed = (
-                self.rand.randrange(1_000_000) if self._chance(0.5) else None
-            )
             return ast.SampleClause(
-                "percent", self._pick(RATE_LADDER), repeatable_seed=seed
+                "percent",
+                self._pick(RATE_LADDER),
+                repeatable_seed=self.rand.randrange(1_000_000),
             )
-        if roll < 0.80:
+        if tag == "rows":
             return ast.SampleClause(
                 "rows", float(self._pick((1, 5, 50, 200)))
             )
-        kind = "system_percent" if roll < 0.90 else "system_blocks"
-        amount = (
-            self._pick((50.0, 20.0, 5.0))
-            if kind == "system_percent"
-            else float(self._pick((1, 2, 8)))
-        )
-        return ast.SampleClause(
-            kind, amount, rows_per_block=self._pick((4, 16, 64))
+        if tag == "system":
+            kind = (
+                "system_percent" if self._chance(0.6) else "system_blocks"
+            )
+            amount = (
+                self._pick((50.0, 20.0, 5.0))
+                if kind == "system_percent"
+                else float(self._pick((1, 2, 8)))
+            )
+            return ast.SampleClause(
+                kind, amount, rows_per_block=self._pick((4, 16, 64))
+            )
+        raise ValueError(f"no clause shape for sample tag {tag!r}")
+
+    def _sample(self) -> ast.SampleClause | None:
+        """A sample clause drawn from the registered family surface."""
+        if self._chance(0.25):
+            return None
+        tags = [t for t in sql_sample_tags() if t in SAMPLE_TAG_WEIGHTS]
+        weights = [SAMPLE_TAG_WEIGHTS[t] for t in tags]
+        return self._sample_for_tag(
+            self.rand.choices(tags, weights=weights)[0]
         )
 
     def _filter_predicate(self, tables: list[str]) -> ast.SqlExpr:
@@ -215,11 +277,118 @@ class QueryGenerator:
             pred = ast.NotOp(pred)
         return pred
 
+    def _grouping(self, items, tables: list[str]):
+        """An optional GROUP BY (and HAVING) over the tables' keys."""
+        if not self._chance(0.45):
+            return (), None
+        candidates = self._group_columns(tables)
+        self.rand.shuffle(candidates)
+        group_by = tuple(
+            ast.ColumnRef(c) for c in candidates[: self.rand.randint(1, 2)]
+        )
+        having = (
+            self._having(items, group_by) if self._chance(0.40) else None
+        )
+        return group_by, having
+
+    # -- versioned statements ----------------------------------------------
+
+    def _diff_sample(self) -> ast.SampleClause | None:
+        """Difference refs sample by coordinated Bernoulli or not at all."""
+        if self._chance(0.3):
+            return None
+        return ast.SampleClause(
+            "percent",
+            self._pick(RATE_LADDER),
+            repeatable_seed=self.rand.randrange(1_000_000),
+        )
+
+    def _version_pair(self) -> tuple[int, int | None]:
+        """``(lo, hi)`` with hi above lo; ``None`` is the live table."""
+        lo = self._pick(range(1, FUZZ_VERSIONS + 1))
+        if lo == FUZZ_VERSIONS:
+            return lo, None
+        return lo, self._pick((*range(lo + 1, FUZZ_VERSIONS + 1), None))
+
+    def _diff_aggregate(self) -> ast.SelectItem:
+        """SUM/COUNT only: AVG over a difference is a ratio, not a sum."""
+        roll = self.rand.random()
+        if roll < 0.60:
+            agg = ast.AggCall("sum", self._agg_argument(["fact"]))
+        elif roll < 0.80:
+            agg = ast.AggCall("count", None)
+        else:
+            agg = ast.AggCall(
+                "count", ast.ColumnRef(self._pick(FUZZ_TABLES["fact"][0]))
+            )
+        expr: ast.SqlExpr = agg
+        if self._chance(0.12):
+            expr = ast.QuantileCall(agg, self._pick((0.5, 0.9, 0.95)))
+        alias = f"a{self._alias_n}"
+        self._alias_n += 1
+        return ast.SelectItem(expr, alias)
+
+    def _diff_query(self) -> ast.SelectQuery:
+        """A version-difference statement over the ``fact`` history."""
+        lo, hi = self._version_pair()
+        between = hi is not None and self._chance(0.3)
+        ref = ast.TableRef(
+            "fact",
+            sample=self._diff_sample(),
+            version=hi,
+            minus_version=lo,
+            between=between,
+        )
+        items = tuple(
+            self._diff_aggregate() for _ in range(self.rand.randint(1, 2))
+        )
+        where = (
+            self._filter_predicate(["fact"]) if self._chance(0.35) else None
+        )
+        group_by, having = self._grouping(items, ["fact"])
+        return ast.SelectQuery(
+            items=items,
+            tables=(ref,),
+            where=where,
+            group_by=group_by,
+            having=having,
+        )
+
+    def _versioned_query(self) -> ast.SelectQuery:
+        """A statement over the ``fact`` version history.
+
+        Either a version *difference* (the coordinated change
+        estimator: SUM/COUNT only, optional GROUP BY/HAVING, sampling
+        restricted to percent + REPEATABLE) or a plain aggregate pinned
+        to one frozen snapshot, where the ordinary surface applies.
+        """
+        if self._chance(0.55):
+            return self._diff_query()
+        version = self._pick(range(1, FUZZ_VERSIONS + 1))
+        items = tuple(
+            self._aggregate(["fact"], allow_quantile=True)
+            for _ in range(self.rand.randint(1, 2))
+        )
+        ref = ast.TableRef("fact", sample=self._sample(), version=version)
+        where = (
+            self._filter_predicate(["fact"]) if self._chance(0.35) else None
+        )
+        group_by, having = self._grouping(items, ["fact"])
+        return ast.SelectQuery(
+            items=items,
+            tables=(ref,),
+            where=where,
+            group_by=group_by,
+            having=having,
+        )
+
     # -- the generator proper ----------------------------------------------
 
     def query(self) -> ast.SelectQuery:
         """One random, planner-valid aggregate query."""
         self._alias_n = 0
+        if self._chance(0.18):
+            return self._versioned_query()
         tables, join = self._tables()
 
         budget = None
@@ -250,15 +419,8 @@ class QueryGenerator:
 
         group_by: tuple[ast.ColumnRef, ...] = ()
         having = None
-        if budget is None and self._chance(0.45):
-            candidates = self._group_columns(tables)
-            self.rand.shuffle(candidates)
-            group_by = tuple(
-                ast.ColumnRef(c)
-                for c in candidates[: self.rand.randint(1, 2)]
-            )
-            if self._chance(0.40):
-                having = self._having(items, group_by)
+        if budget is None:
+            group_by, having = self._grouping(items, tables)
 
         return ast.SelectQuery(
             items=items,

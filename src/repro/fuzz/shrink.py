@@ -121,6 +121,19 @@ def _candidates(query: ast.SelectQuery) -> Iterator[ast.SelectQuery]:
         for i in range(len(query.items)):
             items = query.items[:i] + query.items[i + 1 :]
             yield replace(query, items=items)
+    # Unpin versions: a difference collapses to its hi side first
+    # (live-MINUS next), a snapshot read to the live table.
+    for i, ref in enumerate(query.tables):
+        variants = []
+        if ref.minus_version is not None:
+            variants.append(replace(ref, minus_version=None, between=False))
+        if ref.version is not None:
+            variants.append(replace(ref, version=None, between=False))
+        for variant in variants:
+            tables = (
+                query.tables[:i] + (variant,) + query.tables[i + 1 :]
+            )
+            yield replace(query, tables=tables)
     # Simplify sampling clauses.
     for i, ref in enumerate(query.tables):
         if ref.sample is None:

@@ -26,31 +26,39 @@ change.  This module makes that concrete:
 
 from __future__ import annotations
 
-import zlib
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
 from repro.relational import plan as p
 from repro.relational.expressions import Expr, and_
 from repro.sampling import (
     Bernoulli,
     BlockBernoulli,
     BlockWithoutReplacement,
+    CoordinatedBernoulli,
     LineageHashBernoulli,
     SamplingMethod,
     WithoutReplacement,
+)
+from repro.sampling.registry import (
+    DEFAULT_BLOCK_ROWS,
+    family_names,
+    make_family_method,
+    relation_seed,
 )
 
 #: Geometric rate ladder the enumerator walks (×2–2.5 steps).
 RATE_LADDER: tuple[float, ...] = (0.02, 0.05, 0.1, 0.2, 0.4, 0.8)
 
-#: Method families the enumerator knows how to instantiate.
-FAMILIES: tuple[str, ...] = ("bernoulli", "lineage-hash", "block", "wor")
+#: Method families the enumerator instantiates — discovered from the
+#: sampling-family registry (``sampling.register_family``), so newly
+#: registered families enter candidate enumeration without edits here.
+FAMILIES: tuple[str, ...] = family_names(enumerated_only=True)
 
 #: Rows per block for generated SYSTEM-style candidates.
-BLOCK_ROWS = 64
+BLOCK_ROWS = DEFAULT_BLOCK_ROWS
 
 #: Cap on the per-relation cartesian product of rate assignments.
 MAX_CARTESIAN = 256
@@ -186,27 +194,15 @@ def _owner(column_owner: Mapping[str, str], column: str) -> str:
 def make_method(
     family: str, rate: float, relation: str, size: int, seed: int
 ) -> SamplingMethod:
-    """Instantiate one candidate family at a target sampling fraction."""
-    if family == "bernoulli":
-        return Bernoulli(rate)
-    if family == "lineage-hash":
-        return LineageHashBernoulli(rate, seed=relation_seed(seed, relation))
-    if family == "block":
-        return BlockBernoulli(rate, BLOCK_ROWS)
-    if family == "wor":
-        # n ≥ 2 keeps b_∅ > 0, which the unbiasing recursion requires.
-        n = min(size, max(2, int(round(rate * size))))
-        return WithoutReplacement(n)
-    raise PlanError(f"unknown sampling family {family!r}")
+    """Instantiate one candidate family at a target sampling fraction.
 
-
-def relation_seed(seed: int, relation: str) -> int:
-    """A stable per-relation seed for hash-based (nested-draw) filters.
-
-    Uses CRC32 rather than ``hash()`` so the seed survives process
-    restarts (string hashing is salted per interpreter run).
+    Thin wrapper over the sampling-family registry, kept for its
+    historical name and :class:`~repro.errors.PlanError` contract.
     """
-    return (seed * 0x9E3779B1 + zlib.crc32(relation.encode())) % (2**31)
+    try:
+        return make_family_method(family, rate, relation, size, seed)
+    except ReproError as exc:
+        raise PlanError(str(exc)) from None
 
 
 def methods_label(methods: Mapping[str, SamplingMethod]) -> str:
@@ -215,6 +211,8 @@ def methods_label(methods: Mapping[str, SamplingMethod]) -> str:
         m = methods[rel]
         if isinstance(m, Bernoulli):
             parts.append(f"{rel}=B({m.p:g})")
+        elif isinstance(m, CoordinatedBernoulli):
+            parts.append(f"{rel}=C({m.p:g})")
         elif isinstance(m, LineageHashBernoulli):
             parts.append(f"{rel}=H({m.p:g})")
         elif isinstance(m, BlockBernoulli):
@@ -387,7 +385,11 @@ def escalate_methods(
     """Geometrically increase every sampling rate by ``factor``."""
     out: dict[str, SamplingMethod] = {}
     for rel, method in methods.items():
-        if isinstance(method, LineageHashBernoulli):
+        if isinstance(method, CoordinatedBernoulli):
+            # at_rate keeps the namespace-derived seed, so the escalated
+            # draw stays nested *and* coordinated across versions.
+            out[rel] = method.at_rate(min(1.0, method.p * factor))
+        elif isinstance(method, LineageHashBernoulli):
             out[rel] = LineageHashBernoulli(
                 min(1.0, method.p * factor), seed=method.seed
             )

@@ -13,6 +13,7 @@ Binds together the catalog, executor, SBox estimator, and SQL frontend:
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any
 
@@ -26,6 +27,11 @@ from repro.relational.plan import (
     strip_sampling,
 )
 from repro.relational.table import Table
+from repro.versions.snapshots import (
+    VERSION_SEP,
+    SnapshotRegistry,
+    versioned_name,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.rewrite import RewriteResult
@@ -69,6 +75,7 @@ class Database:
         catalog: "SynopsisCatalog | bool | None" = None,
     ) -> None:
         self.tables: dict[str, Table] = {}
+        self.snapshots = SnapshotRegistry()
         self._rng = np.random.default_rng(seed)
         self._cost_model: "CostModel | None" = None
         self.workers = workers
@@ -136,6 +143,12 @@ class Database:
         """Register an existing :class:`Table` under ``name``."""
         if name in self.tables:
             raise SchemaError(f"table {name!r} already exists")
+        if VERSION_SEP in name:
+            raise SchemaError(
+                f"table name {name!r} uses the reserved snapshot "
+                f"namespace ({VERSION_SEP!r}); snapshots are taken with "
+                "Database.snapshot()"
+            )
         named = table.rename(name)
         self.tables[name] = named
         self._cost_model = None  # statistics are stale
@@ -146,11 +159,12 @@ class Database:
         """Create a table from column arrays."""
         return self.register(name, Table(name, columns))
 
-    def replace_table(self, name: str, table: Table) -> Table:
-        """Swap a registered table's contents (an UPDATE-shaped mutation).
+    def _swap_table(self, name: str, table: Table) -> Table:
+        """Swap a registered table's contents in place (no snapshot).
 
         Invalidates every synopsis drawn from the old contents — the
-        stored samples no longer describe the live table.
+        stored samples no longer describe the live table.  Snapshot
+        synopses (registered under versioned names) are untouched.
         """
         if name not in self.tables:
             raise SchemaError(
@@ -162,6 +176,64 @@ class Database:
         self._cost_model = None
         self._invalidate_synopses(name)
         return named
+
+    def replace_table(self, name: str, table: Table) -> Table:
+        """Deprecated in-place mutation; use :meth:`update_table`.
+
+        The versioned API re-expresses mutation as snapshot-then-swap so
+        the outgoing contents stay queryable (``AT VERSION n``) and their
+        synopses stay servable.  This shim keeps the old discard-history
+        behavior for existing callers and warns once per call site.
+        """
+        warnings.warn(
+            "Database.replace_table is deprecated: use "
+            "Database.update_table (snapshot-then-mutate) to keep the "
+            "outgoing version queryable, or create/drop the table "
+            "explicitly to discard it",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._swap_table(name, table)
+
+    def snapshot(self, name: str) -> int:
+        """Freeze the current contents of ``name`` as a new version.
+
+        Copy-on-write: the snapshot shares every column array — and,
+        for mmap tables, the colstore column files on disk — with the
+        live table, so this is O(1) in data volume.  Returns the new
+        version number (counting up from 1 per base table).  The
+        snapshot is immediately queryable via ``db.table(name,
+        version=v)`` and ``FROM name AT VERSION v``, and its synopses
+        are keyed separately from the live table's, so later mutations
+        never invalidate them.
+        """
+        table = self.table(name)
+        version = self.snapshots.allocate(name)
+        internal = versioned_name(name, version)
+        self.tables[internal] = table.rename(internal).with_version(version)
+        self._cost_model = None
+        return version
+
+    def update_table(self, name: str, table: Table) -> Table:
+        """Snapshot-then-mutate: the versioned replacement for
+        :meth:`replace_table`.
+
+        The outgoing contents are frozen as a new snapshot version
+        first, then ``table`` becomes the live contents.  Live-table
+        synopses are invalidated (the samples no longer describe the
+        live data) but the new snapshot keeps serving time-travel and
+        difference queries from the catalog.  For coordinated
+        difference estimates to stay keyed correctly, mutations should
+        be update/append-shaped (row positions stable; new rows at the
+        end) — :meth:`Table.with_columns` builds such updates sharing
+        every untouched column.
+        """
+        self.snapshot(name)
+        return self._swap_table(name, table)
+
+    def versions_of(self, name: str) -> tuple[int, ...]:
+        """The snapshot versions of ``name``, ascending."""
+        return self.snapshots.versions_of(name)
 
     def persist(self, name: str, path: str, *, block_rows: int = 1 << 20) -> Table:
         """Write a registered table to columnar storage and go mmap.
@@ -177,7 +249,7 @@ class Database:
         """
         table = self.table(name)
         mapped = table.persist(path, block_rows=block_rows)
-        return self.replace_table(name, mapped)
+        return self._swap_table(name, mapped)
 
     def attach(self, name: str, path: str) -> Table:
         """Register a persisted columnar directory as a live table.
@@ -189,20 +261,43 @@ class Database:
         return self.register(name, Table.from_mmap(path, name))
 
     def drop_table(self, name: str) -> None:
+        """Drop a table and every snapshot version taken of it."""
         try:
             del self.tables[name]
         except KeyError:
             raise SchemaError(f"no table {name!r} to drop") from None
+        for version in self.snapshots.drop_base(name):
+            internal = versioned_name(name, version)
+            self.tables.pop(internal, None)
+            self._invalidate_synopses(internal)
         self._cost_model = None
         self._invalidate_synopses(name)
 
-    def table(self, name: str) -> Table:
+    def table(self, name: str, version: int | None = None) -> Table:
+        """Look up a table, optionally at a frozen snapshot version."""
+        if version is not None:
+            return self.table(self.resolve_version(name, version))
         try:
             return self.tables[name]
         except KeyError:
             raise SchemaError(
                 f"no table {name!r}; available: {sorted(self.tables)}"
             ) from None
+
+    def resolve_version(self, name: str, version: int | None) -> str:
+        """The catalog name of ``name`` at ``version`` (live if None)."""
+        if name not in self.tables:
+            raise SchemaError(
+                f"no table {name!r}; available: {sorted(self.tables)}"
+            )
+        if version is None:
+            return name
+        if not self.snapshots.has(name, version):
+            raise SchemaError(
+                f"table {name!r} has no snapshot version {version}; "
+                f"available versions: {list(self.snapshots.versions_of(name))}"
+            )
+        return versioned_name(name, version)
 
     def sizes(self) -> dict[str, int]:
         return {name: t.n_rows for name, t in self.tables.items()}
@@ -413,6 +508,8 @@ class Database:
             if query.explain_sampling:
                 return optimizer.report(plan, budget, seed=seed)
             return optimizer.optimize(plan, budget, seed=seed)
+        from repro.versions.plan import VersionDiff
+
         if query.explain_analyze:
             from dataclasses import replace
 
@@ -420,7 +517,11 @@ class Database:
             from repro.obs.trace import start_trace
 
             with start_trace("explain analyze") as tracer:
-                if isinstance(plan, (Aggregate, GroupAggregate)):
+                if isinstance(plan, VersionDiff):
+                    result = self._estimate_version_diff(
+                        plan, seed=seed, workers=workers, chunk_size=chunk_size
+                    )
+                elif isinstance(plan, (Aggregate, GroupAggregate)):
                     result = self.estimate(
                         plan,
                         seed=seed,
@@ -436,6 +537,19 @@ class Database:
             if hasattr(result, "trace"):
                 result = replace(result, trace=trace)
             return ExplainAnalyzeReport(result=result, trace=trace)
+        if isinstance(plan, VersionDiff):
+            if subsample is not None:
+                from repro.errors import SQLError
+
+                raise SQLError(
+                    "subsampling applies to the single-expression "
+                    "estimate path; version-difference estimates carry "
+                    "their own closed-form variance (drop the subsample "
+                    "spec)"
+                )
+            return self._estimate_version_diff(
+                plan, seed=seed, workers=workers, chunk_size=chunk_size
+            )
         if isinstance(plan, (Aggregate, GroupAggregate)):
             return self.estimate(
                 plan,
@@ -448,9 +562,29 @@ class Database:
             plan, seed=seed, workers=workers, chunk_size=chunk_size
         )
 
+    def _estimate_version_diff(
+        self,
+        plan: "PlanNode",
+        *,
+        seed: int | None,
+        workers: int | None,
+        chunk_size: int | None,
+    ):
+        from repro.versions.engine import estimate_version_diff
+
+        return estimate_version_diff(
+            self, plan, seed=seed, workers=workers, chunk_size=chunk_size
+        )
+
     def sql_exact(self, text: str) -> Table:
         """Ground truth for a SQL query: strip sampling, run exactly."""
+        from repro.versions.plan import VersionDiff
+
         plan = self.plan_sql(text)
+        if isinstance(plan, VersionDiff):
+            from repro.versions.engine import exact_version_diff
+
+            return exact_version_diff(self, plan)
         return self.execute_exact(plan)
 
     def __repr__(self) -> str:

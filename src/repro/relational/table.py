@@ -41,6 +41,7 @@ class Table:
         "columns",
         "lineage",
         "n_rows",
+        "version",
         "_mmap_path",
         "_block_stats",
     )
@@ -82,6 +83,7 @@ class Table:
                 )
             lin[rel] = ids_arr
         self.lineage = lin
+        self.version = None
         self._mmap_path = None
         self._block_stats = None
 
@@ -110,6 +112,7 @@ class Table:
         table.lineage = lineage
         table.schema = schema
         table.n_rows = n_rows
+        table.version = None
         table._mmap_path = None
         table._block_stats = None
         return table
@@ -187,8 +190,14 @@ class Table:
         # so process-pool payloads stay O(bytes) regardless of row
         # count; everything else rebuilds from its arrays.
         if self._mmap_path is not None:
-            return (_table_from_mmap, (self._mmap_path, self.name))
-        return (_table_rebuild, (self.name, self.columns, self.lineage))
+            return (
+                _table_from_mmap,
+                (self._mmap_path, self.name, self.version),
+            )
+        return (
+            _table_rebuild,
+            (self.name, self.columns, self.lineage, self.version),
+        )
 
     @property
     def lineage_schema(self) -> frozenset[str]:
@@ -305,10 +314,53 @@ class Table:
         )
         # Renaming is the one share-path transform that keeps the full
         # row set, so the mmap descriptor (and its scan-prune stats)
-        # survives — Database.register renames on attach.
+        # survives — Database.register renames on attach.  The version
+        # stamp does NOT: a renamed table is a new identity.
         renamed._mmap_path = self._mmap_path
         renamed._block_stats = self._block_stats
         return renamed
+
+    def with_version(self, version: int | None) -> "Table":
+        """The same table contents stamped as snapshot ``version``.
+
+        Zero-copy: columns, lineage, and any mmap descriptor are
+        shared — a snapshot is identity, not data.
+        """
+        if version == self.version:
+            return self
+        stamped = Table._share(
+            self.name,
+            self.columns,
+            self.lineage,
+            self.schema,
+            self.n_rows,
+        )
+        stamped.version = version
+        stamped._mmap_path = self._mmap_path
+        stamped._block_stats = self._block_stats
+        return stamped
+
+    def with_columns(self, updates: Mapping[str, Any]) -> "Table":
+        """Copy-on-write column update: replace/add only ``updates``.
+
+        Columns not named in ``updates`` stay the *same arrays* as this
+        table's (zero-copy sharing), which is what makes
+        snapshot-then-mutate cheap: after
+        ``db.update_table(t, old.with_columns({...}))`` the snapshot and
+        the live table share every untouched column.  Row positions are
+        unchanged, so lineage (the coordinated-sampling key) carries
+        over; new columns must match the row count.
+        """
+        merged = dict(self.columns)
+        for col_name, values in updates.items():
+            arr = _as_column_array(values)
+            if arr.shape != (self.n_rows,):
+                raise SchemaError(
+                    f"column {col_name!r} has shape {arr.shape}, "
+                    f"expected ({self.n_rows},)"
+                )
+            merged[col_name] = arr
+        return Table(self.name, merged, self.lineage)
 
     def head(self, k: int = 10) -> "Table":
         return self.take(np.arange(min(k, self.n_rows)))
@@ -319,21 +371,25 @@ class Table:
         )
         lin = ",".join(sorted(self.lineage)) or "-"
         backing = ", mmap" if self._mmap_path is not None else ""
+        stamp = f", version={self.version}" if self.version is not None else ""
         return (
             f"Table({self.name or '<anon>'}, rows={self.n_rows}, "
-            f"cols=[{cols}], lineage=[{lin}]{backing})"
+            f"cols=[{cols}], lineage=[{lin}]{stamp}{backing})"
         )
 
 
-def _table_from_mmap(path: str, name: str | None) -> Table:
+def _table_from_mmap(
+    path: str, name: str | None, version: int | None = None
+) -> Table:
     """Unpickle target: reattach a descriptor-pickled mmap table."""
-    return Table.from_mmap(path, name)
+    return Table.from_mmap(path, name).with_version(version)
 
 
 def _table_rebuild(
     name: str | None,
     columns: Mapping[str, Any],
     lineage: Mapping[str, Any],
+    version: int | None = None,
 ) -> Table:
     """Unpickle target: rebuild an in-RAM table from its arrays."""
-    return Table(name, columns, lineage)
+    return Table(name, columns, lineage).with_version(version)

@@ -17,7 +17,17 @@ from repro.sampling.base import SamplingMethod
 from repro.sampling.bernoulli import Bernoulli
 from repro.sampling.block import BlockBernoulli, BlockWithoutReplacement
 from repro.sampling.composed import BiDimensionalBernoulli
+from repro.sampling.coordinated import CoordinatedBernoulli, coordination_seed
 from repro.sampling.pseudorandom import LineageHashBernoulli, hash01
+from repro.sampling.registry import (
+    FamilySpec,
+    family,
+    family_names,
+    make_family_method,
+    register_family,
+    relation_seed,
+    sql_sample_tags,
+)
 from repro.sampling.with_replacement import WithReplacement
 from repro.sampling.without_replacement import WithoutReplacement
 
@@ -28,7 +38,16 @@ __all__ = [
     "WithReplacement",
     "BlockBernoulli",
     "BlockWithoutReplacement",
+    "CoordinatedBernoulli",
     "LineageHashBernoulli",
     "BiDimensionalBernoulli",
+    "FamilySpec",
+    "coordination_seed",
+    "family",
+    "family_names",
     "hash01",
+    "make_family_method",
+    "register_family",
+    "relation_seed",
+    "sql_sample_tags",
 ]

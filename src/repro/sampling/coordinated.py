@@ -1,0 +1,76 @@
+"""Coordinated Bernoulli sampling across table versions.
+
+Cohen & Kaplan's coordinated (monotone) sampling assigns every *key* a
+single persistent uniform draw ``u(k)`` and keeps the key at rate ``p``
+iff ``u(k) < p``.  Two samples that share the draws are then maximally
+overlapping: at equal rates they keep exactly the same keys, and a
+higher-rate sample is a strict superset of a lower-rate one (nesting).
+Over table snapshots this is the whole trick behind cheap change
+aggregates — rows present unchanged in both versions land in both
+samples or in neither, so their contribution to a difference estimate
+cancels *exactly*, and only genuinely changed rows contribute variance.
+
+:class:`CoordinatedBernoulli` realizes the shared draw as the same
+SplitMix64 lineage-id hash :class:`LineageHashBernoulli` uses, but with
+the seed derived (blake2b) from a *coordination namespace* — normally
+the base-table name — rather than chosen per relation.  Snapshots of
+one base table therefore share draws no matter which catalog name
+(``t``, ``t@v1``, ``t@v2``) they are scanned under, while different
+base tables stay independent.  Because each single sample is still an
+ordinary lineage-keyed Bernoulli(p) filter, the GUS parameters are
+plain ``bernoulli_gus`` and every algebra rule (join, compose, union,
+compaction, lifting) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+from repro.errors import ReproError
+from repro.sampling.pseudorandom import LineageHashBernoulli
+
+__all__ = ["CoordinatedBernoulli", "coordination_seed"]
+
+
+def coordination_seed(namespace: str, salt: int = 0) -> int:
+    """The shared hash seed of a coordination namespace.
+
+    A pure function of ``(namespace, salt)`` — every party that agrees
+    on the namespace (typically the base-table name) derives the same
+    per-key draws, which is what makes samples of different snapshots
+    coordinated without any shared state.
+    """
+    digest = blake2b(
+        f"{int(salt)}:{namespace}".encode(), digest_size=8
+    ).digest()
+    # Keep within int64 so the SplitMix64 kernel sees a plain seed.
+    return int.from_bytes(digest, "little") >> 1
+
+
+class CoordinatedBernoulli(LineageHashBernoulli):
+    """Bernoulli(p) with draws shared across a coordination namespace.
+
+    Same key and rate ⇒ identical keep decision in every table of the
+    namespace; a higher rate keeps a superset of a lower rate's keys.
+    Everything else — execution, GUS analysis, catalog fingerprinting,
+    chunked determinism — is inherited from the lineage-hash family.
+    """
+
+    __slots__ = ("namespace", "salt")
+
+    def __init__(self, p: float, namespace: str, salt: int = 0) -> None:
+        if not namespace:
+            raise ReproError("coordinated sampling needs a namespace")
+        super().__init__(p, coordination_seed(namespace, salt))
+        self.namespace = str(namespace)
+        self.salt = int(salt)
+
+    def at_rate(self, p: float) -> "CoordinatedBernoulli":
+        """The same coordinated draws at a different rate (nesting)."""
+        return CoordinatedBernoulli(p, self.namespace, self.salt)
+
+    def describe(self) -> str:
+        return (
+            f"COORDINATED({self.p * 100:g} PERCENT, "
+            f"namespace={self.namespace!r}, salt={self.salt})"
+        )

@@ -1,0 +1,192 @@
+"""The sampling-family registry: one discovery point for all consumers.
+
+Historically the optimizer's candidate enumerator and the SQL fuzzer
+each carried a hard-coded list of sampling families; adding a family
+meant editing both (and silently missing one).  The registry inverts
+that: families register here once, under a stable name, with
+
+* a ``factory(rate, relation, size, seed)`` that instantiates the
+  family at a target sampling fraction of one relation — the shape the
+  optimizer's rate-ladder enumeration needs; and
+* an optional ``sql_tag`` naming the family's SQL-expressible
+  ``TABLESAMPLE`` form, which the fuzz generator draws its sample
+  clauses from (families sharing a surface form — e.g. coordinated
+  sampling *is* ``percent REPEATABLE`` at a shared seed — share a tag).
+
+Built-in families are registered when :mod:`repro.sampling` is
+imported.  Third-party methods plug in via :func:`register_family`; a
+plain :class:`SamplingMethod` subclass whose constructor takes the rate
+can be registered directly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.sampling.base import SamplingMethod
+
+__all__ = [
+    "DEFAULT_BLOCK_ROWS",
+    "FamilySpec",
+    "family",
+    "family_names",
+    "make_family_method",
+    "register_family",
+    "relation_seed",
+    "sql_sample_tags",
+]
+
+#: Rows per block for generated SYSTEM-style methods.
+DEFAULT_BLOCK_ROWS = 64
+
+Factory = Callable[[float, str, int, int], SamplingMethod]
+
+
+def relation_seed(seed: int, relation: str) -> int:
+    """A stable per-relation seed for hash-based (nested-draw) filters.
+
+    Uses CRC32 rather than ``hash()`` so the seed survives process
+    restarts (string hashing is salted per interpreter run).
+    """
+    return (seed * 0x9E3779B1 + zlib.crc32(relation.encode())) % (2**31)
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One registered sampling family.
+
+    ``enumerated`` controls whether the optimizer's candidate
+    enumerator walks this family's rate ladder by default; ``sql_tag``
+    (``"percent"``, ``"percent-repeatable"``, ``"rows"``, ``"system"``,
+    or ``None``) names its ``TABLESAMPLE`` surface form for the fuzz
+    generator.
+    """
+
+    name: str
+    factory: Factory
+    enumerated: bool = True
+    sql_tag: str | None = None
+
+
+_REGISTRY: dict[str, FamilySpec] = {}
+
+
+def register_family(
+    name: str,
+    factory: Factory | type[SamplingMethod],
+    *,
+    enumerated: bool = True,
+    sql_tag: str | None = None,
+    replace: bool = False,
+) -> FamilySpec:
+    """Register a sampling family under ``name``.
+
+    ``factory`` is either a ``(rate, relation, size, seed)`` callable
+    or a :class:`SamplingMethod` subclass taking the rate alone.
+    Registration order is preserved — it is the enumeration order every
+    consumer sees — and duplicate names are refused unless ``replace``
+    is set (re-registration keeps the original position).
+    """
+    if not replace and name in _REGISTRY:
+        raise ReproError(
+            f"sampling family {name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    if isinstance(factory, type) and issubclass(factory, SamplingMethod):
+        cls = factory
+
+        def factory(rate, relation, size, seed, _cls=cls):  # noqa: ARG001
+            return _cls(rate)
+
+    spec = FamilySpec(
+        name=name, factory=factory, enumerated=enumerated, sql_tag=sql_tag
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def family(name: str) -> FamilySpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown sampling family {name!r}; registered: "
+            f"{list(_REGISTRY)}"
+        ) from None
+
+
+def family_names(*, enumerated_only: bool = False) -> tuple[str, ...]:
+    """Registered family names, in registration order."""
+    return tuple(
+        spec.name
+        for spec in _REGISTRY.values()
+        if spec.enumerated or not enumerated_only
+    )
+
+
+def make_family_method(
+    name: str, rate: float, relation: str, size: int, seed: int
+) -> SamplingMethod:
+    """Instantiate a registered family at a target sampling fraction."""
+    return family(name).factory(rate, relation, size, seed)
+
+
+def sql_sample_tags() -> tuple[str, ...]:
+    """The distinct SQL surface forms of registered families, in order."""
+    seen: dict[str, None] = {}
+    for spec in _REGISTRY.values():
+        if spec.sql_tag is not None:
+            seen.setdefault(spec.sql_tag)
+    return tuple(seen)
+
+
+def _register_builtins() -> None:
+    from repro.sampling.bernoulli import Bernoulli
+    from repro.sampling.block import BlockBernoulli
+    from repro.sampling.coordinated import CoordinatedBernoulli
+    from repro.sampling.pseudorandom import LineageHashBernoulli
+    from repro.sampling.without_replacement import WithoutReplacement
+    from repro.versions.snapshots import base_name
+
+    register_family(
+        "bernoulli",
+        lambda rate, relation, size, seed: Bernoulli(rate),
+        sql_tag="percent",
+    )
+    register_family(
+        "lineage-hash",
+        lambda rate, relation, size, seed: LineageHashBernoulli(
+            rate, seed=relation_seed(seed, relation)
+        ),
+        sql_tag="percent-repeatable",
+    )
+    register_family(
+        "block",
+        lambda rate, relation, size, seed: BlockBernoulli(
+            rate, DEFAULT_BLOCK_ROWS
+        ),
+        sql_tag="system",
+    )
+    register_family(
+        "wor",
+        # n ≥ 2 keeps b_∅ > 0, which the unbiasing recursion requires.
+        lambda rate, relation, size, seed: WithoutReplacement(
+            min(size, max(2, int(round(rate * size))))
+        ),
+        sql_tag="rows",
+    )
+    register_family(
+        "coordinated",
+        # Snapshots of one base table share a namespace, so candidates
+        # for t, t@v1, t@v2 draw the same per-key decisions.
+        lambda rate, relation, size, seed: CoordinatedBernoulli(
+            rate, namespace=base_name(relation), salt=seed
+        ),
+        sql_tag="percent-repeatable",
+    )
+
+
+_register_builtins()

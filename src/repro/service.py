@@ -285,12 +285,17 @@ class QueryService:
     def refresh_table(self, name: str, table: "Table") -> None:
         """Swap a table's contents and drop every answer derived from it.
 
-        The result cache cannot tell which answers touched the table,
-        so it is cleared wholesale; the synopsis catalog invalidates
-        precisely (per-table versions).
+        The outgoing contents are frozen as a snapshot first
+        (:meth:`~repro.relational.database.Database.update_table`), so
+        clients can keep querying the previous state with ``AT
+        VERSION n`` — and difference queries against it stay served by
+        untouched snapshot synopses.  The result cache cannot tell
+        which answers touched the table, so it is cleared wholesale;
+        the synopsis catalog invalidates precisely (per-table
+        versions).
         """
         with self._lock:
-            self.db.replace_table(name, table)
+            self.db.update_table(name, table)
             self._results.clear()
 
     def snapshot_stats(self) -> tuple[ServiceStats, "CatalogStats"]:

@@ -106,9 +106,27 @@ class SampleClause:
 
 @dataclass(frozen=True)
 class TableRef:
+    """A FROM-clause table, optionally pinned to snapshot versions.
+
+    ``version`` selects a frozen snapshot (``AT VERSION n``; ``None``
+    is the live table).  ``minus_version`` turns the reference into a
+    version *difference* — ``AT VERSION 2 MINUS AT VERSION 1`` — whose
+    aggregates estimate the change between the two versions.
+    ``between`` records that the difference was written with the
+    ``VERSIONS BETWEEN lo AND hi`` sugar, so printing round-trips the
+    original spelling.
+    """
+
     name: str
     alias: str | None = None
     sample: SampleClause | None = None
+    version: int | None = None
+    minus_version: int | None = None
+    between: bool = False
+
+    @property
+    def is_diff(self) -> bool:
+        return self.minus_version is not None
 
 
 # -- error budget ------------------------------------------------------------

@@ -34,6 +34,11 @@ KEYWORDS = {
     "EXPLAIN",
     "SAMPLING",
     "ANALYZE",
+    "AT",
+    "VERSION",
+    "VERSIONS",
+    "MINUS",
+    "BETWEEN",
 }
 
 #: Multi-character operators first so maximal munch applies.

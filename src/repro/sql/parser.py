@@ -18,8 +18,11 @@ Grammar (EBNF, keywords case-insensitive)::
                   | agg                     -- inside HAVING only
     column       := ident ["." ident]
     tables       := table ("," table)*
-    table        := ident [ident] [TABLESAMPLE "(" sample ")"
-                                   [REPEATABLE "(" number ")"]]
+    table        := ident [ident] [versions]
+                    [TABLESAMPLE "(" sample ")" [REPEATABLE "(" number ")"]]
+    versions     := AT VERSION number [MINUS AT VERSION number]
+                  | MINUS AT VERSION number
+                  | VERSIONS BETWEEN number AND number
     sample       := number (PERCENT | ROWS)
                   | SYSTEM "(" number (PERCENT | BLOCKS) "," number ")"
     bool_expr    := bool_term (OR bool_term)*
@@ -317,10 +320,63 @@ class _Parser:
         alias = None
         if self.current.kind == "ident":
             alias = self.advance().value
+        version, minus_version, between = self.parse_versions()
         sample = None
         if self.accept_kw("TABLESAMPLE"):
             sample = self.parse_sample()
-        return TableRef(name=name, alias=alias, sample=sample)
+        return TableRef(
+            name=name,
+            alias=alias,
+            sample=sample,
+            version=version,
+            minus_version=minus_version,
+            between=between,
+        )
+
+    def parse_versions(self) -> tuple[int | None, int | None, bool]:
+        """The optional version pin / difference clause of a table ref.
+
+        Returns ``(version, minus_version, between)``; ``version`` is
+        ``None`` for the live table.  ``VERSIONS BETWEEN lo AND hi``
+        is sugar for ``AT VERSION hi MINUS AT VERSION lo``.
+        """
+        if self.accept_kw("AT"):
+            self.expect_kw("VERSION")
+            version = self.expect_version_number()
+            minus = None
+            if self.accept_kw("MINUS"):
+                self.expect_kw("AT")
+                self.expect_kw("VERSION")
+                minus = self.expect_version_number()
+            return version, minus, False
+        if self.accept_kw("MINUS"):
+            # Live table minus a snapshot: ``t MINUS AT VERSION n``.
+            self.expect_kw("AT")
+            self.expect_kw("VERSION")
+            return None, self.expect_version_number(), False
+        if self.accept_kw("VERSIONS"):
+            self.expect_kw("BETWEEN")
+            position = self.current.position
+            lo = self.expect_version_number()
+            self.expect_kw("AND")
+            hi = self.expect_version_number()
+            if lo >= hi:
+                raise SQLSyntaxError(
+                    f"VERSIONS BETWEEN needs lo < hi, got {lo} and {hi}",
+                    position,
+                )
+            return hi, lo, True
+        return None, None, False
+
+    def expect_version_number(self) -> int:
+        position = self.current.position
+        value = self.expect_number()
+        if value != int(value) or value < 1:
+            raise SQLSyntaxError(
+                f"version numbers are positive integers, got {value:g}",
+                position,
+            )
+        return int(value)
 
     def parse_sample(self) -> SampleClause:
         self.expect_symbol("(")

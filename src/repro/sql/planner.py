@@ -15,17 +15,20 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import PlanError, SQLError
+from repro.errors import PlanError, SchemaError, SQLError
 from repro.relational import expressions as e
 from repro.relational import plan as p
 from repro.sampling import (
     Bernoulli,
     BlockBernoulli,
     BlockWithoutReplacement,
+    CoordinatedBernoulli,
     LineageHashBernoulli,
     WithoutReplacement,
 )
 from repro.sql import ast_nodes as ast
+from repro.versions.plan import VersionDiff
+from repro.versions.snapshots import base_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.database import Database
@@ -93,14 +96,18 @@ class _Planner:
     def __init__(self, query: ast.SelectQuery, db: "Database") -> None:
         self.query = query
         self.db = db
-        # column name -> owning table name
+        # column name -> owning (internal, possibly versioned) table name
         self.column_owner: dict[str, str] = {}
-        # alias -> table name
+        # alias or base name -> internal table name
         self.aliases: dict[str, str] = {}
+        # internal catalog names, aligned with query.tables
+        self.internal_names: list[str] = []
 
     # -- entry point ---------------------------------------------------------
 
     def plan(self) -> p.PlanNode:
+        if any(ref.is_diff for ref in self.query.tables):
+            return self._plan_version_diff()
         self._resolve_tables()
         join_conds, filters = self._split_where()
         tree = self._build_join_tree(join_conds)
@@ -112,31 +119,171 @@ class _Planner:
             return p.Aggregate(tree, self._agg_specs())
         return p.Project(tree, self._projection_outputs(tree))
 
+    # -- version differences -----------------------------------------------
+
+    def _plan_version_diff(self) -> VersionDiff:
+        """Plan ``... FROM t AT VERSION hi MINUS AT VERSION lo``.
+
+        The difference form is an aggregate estimator, not a relation:
+        per-key aggregate inputs from the two sides are subtracted and
+        scaled by the shared coordinated-Bernoulli rate, so only
+        subset-sum aggregates (SUM/COUNT) survive, and the only legal
+        sample is ``PERCENT ... REPEATABLE`` (the seed keys the hash
+        both sides share).
+        """
+        query = self.query
+        if len(query.tables) != 1:
+            raise SQLError(
+                "a version difference must be the only FROM entry; "
+                "joining against a difference is outside the GUS algebra"
+            )
+        ref = query.tables[0]
+        if query.budget is not None or query.explain_sampling:
+            raise SQLError(
+                "WITHIN/CONFIDENCE budgets and EXPLAIN SAMPLING are not "
+                "supported on version differences; the coordinated "
+                "estimator carries its own closed-form variance"
+            )
+        if not query.has_aggregates:
+            raise SQLError(
+                "a version difference is an aggregate form; SELECT "
+                "SUM/COUNT (optionally with GROUP BY) over it"
+            )
+        base = ref.name
+        try:
+            hi_name = self.db.resolve_version(base, ref.version)
+            lo_name = self.db.resolve_version(base, ref.minus_version)
+        except SchemaError as exc:
+            raise SQLError(str(exc)) from None
+        hi_table = self.db.tables[hi_name]
+        lo_table = self.db.tables[lo_name]
+        self.internal_names.append(hi_name)
+        if ref.alias:
+            self.aliases[ref.alias] = hi_name
+        self.aliases[base] = hi_name
+        for column in hi_table.schema.names:
+            self.column_owner[column] = hi_name
+
+        rate: float | None = None
+        seed: int | None = None
+        if ref.sample is not None:
+            clause = ref.sample
+            if clause.kind != "percent" or clause.repeatable_seed is None:
+                raise SQLError(
+                    "version differences need coordinated Bernoulli "
+                    "draws; the only supported sample is "
+                    "'TABLESAMPLE (p PERCENT) REPEATABLE (seed)' "
+                    "(the seed keys the per-row hash both sides share)"
+                )
+            rate = clause.amount / 100.0
+            seed = clause.repeatable_seed
+
+        _joins, filters = self._split_where()
+
+        if query.group_by:
+            grouped = self._group_aggregate(p.Scan(hi_name))
+            keys: tuple[str, ...] = grouped.keys
+            specs = list(grouped.specs)
+            having = grouped.having
+        else:
+            keys = ()
+            specs = self._agg_specs()
+            having = None
+        for spec in specs:
+            if spec.kind == "avg":
+                raise SQLError(
+                    "AVG over a version difference is a ratio of two "
+                    "estimates, not a subset sum; estimate SUM and "
+                    "COUNT separately and divide"
+                )
+
+        used: set[str] = set(keys)
+        for flt in filters:
+            used |= flt.columns_used()
+        for spec in specs:
+            if spec.expr is not None:
+                used |= spec.expr.columns_used()
+        missing = used - set(lo_table.schema.names)
+        if missing:
+            raise SQLError(
+                f"column(s) {sorted(missing)} are missing from version "
+                f"{ref.minus_version} of {base!r}; a difference needs "
+                "both sides to expose every referenced column"
+            )
+
+        def side(scan_name: str) -> p.PlanNode:
+            node: p.PlanNode = p.Scan(scan_name)
+            if rate is not None:
+                node = p.TableSample(
+                    node,
+                    CoordinatedBernoulli(rate, namespace=base, salt=seed),
+                )
+            if filters:
+                node = p.Select(node, e.and_(*filters))
+            return node
+
+        try:
+            return VersionDiff(
+                side(hi_name),
+                side(lo_name),
+                specs,
+                base=base,
+                lo_version=ref.minus_version,
+                hi_version=ref.version,
+                keys=keys,
+                having=having,
+                rate=rate,
+                seed=seed,
+            )
+        except PlanError as exc:
+            raise SQLError(str(exc)) from exc
+
     # -- resolution ------------------------------------------------------------
 
     def _resolve_tables(self) -> None:
-        seen: set[str] = set()
+        seen_bases: set[str] = set()
         for ref in self.query.tables:
-            if ref.name not in self.db.tables:
-                raise SQLError(
-                    f"unknown table {ref.name!r}; "
-                    f"catalog has {sorted(self.db.tables)}"
-                )
-            if ref.name in seen:
+            internal = self._internal_name(ref)
+            self.internal_names.append(internal)
+            if ref.name in seen_bases:
                 raise SQLError(
                     f"table {ref.name!r} appears twice: self-joins are "
-                    "outside the GUS algebra (paper, Section 9)"
+                    "outside the GUS algebra (paper, Section 9); to "
+                    "compare two versions of one table, write "
+                    f"'{ref.name} AT VERSION hi MINUS AT VERSION lo'"
                 )
-            seen.add(ref.name)
+            seen_bases.add(ref.name)
             if ref.alias:
-                self.aliases[ref.alias] = ref.name
-            for column in self.db.tables[ref.name].schema.names:
+                self.aliases[ref.alias] = internal
+            if internal != ref.name:
+                # Let ``t.col`` qualifiers keep working on ``t AT VERSION n``.
+                self.aliases[ref.name] = internal
+            for column in self.db.tables[internal].schema.names:
                 if column in self.column_owner:
                     raise SQLError(
                         f"column {column!r} is ambiguous between "
-                        f"{self.column_owner[column]!r} and {ref.name!r}"
+                        f"{self.column_owner[column]!r} and {internal!r}"
                     )
-                self.column_owner[column] = ref.name
+                self.column_owner[column] = internal
+
+    def _internal_name(self, ref: ast.TableRef) -> str:
+        """Catalog name for a table ref, resolving ``AT VERSION`` pins."""
+        if ref.name not in self.db.tables:
+            raise SQLError(
+                f"unknown table {ref.name!r}; "
+                f"catalog has {sorted(self.db.tables)}"
+            )
+        if base_name(ref.name) != ref.name:
+            raise SQLError(
+                f"table {ref.name!r} addresses the snapshot namespace "
+                "directly; use 'AT VERSION n' instead"
+            )
+        if ref.version is None:
+            return ref.name
+        try:
+            return self.db.resolve_version(ref.name, ref.version)
+        except SchemaError as exc:
+            raise SQLError(str(exc)) from None
 
     def _owner_of(self, ref: ast.ColumnRef) -> str:
         if ref.name not in self.column_owner:
@@ -196,8 +343,8 @@ class _Planner:
 
     # -- join-tree construction ---------------------------------------------
 
-    def _leaf(self, ref: ast.TableRef) -> p.PlanNode:
-        scan = p.Scan(ref.name)
+    def _leaf(self, ref: ast.TableRef, internal: str) -> p.PlanNode:
+        scan = p.Scan(internal)
         if ref.sample is None:
             return scan
         return p.TableSample(scan, build_sampling_method(ref.sample))
@@ -207,9 +354,10 @@ class _Planner:
     ) -> p.PlanNode:
         """Left-deep tree in FROM order, joining on every applicable
         condition; unconnected tables fall back to cross products."""
-        order = [ref.name for ref in self.query.tables]
+        order = list(self.internal_names)
         trees: dict[str, p.PlanNode] = {
-            ref.name: self._leaf(ref) for ref in self.query.tables
+            internal: self._leaf(ref, internal)
+            for ref, internal in zip(self.query.tables, self.internal_names)
         }
         try:
             return p.left_deep_join_tree(order, trees, joins)

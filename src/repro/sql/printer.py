@@ -105,6 +105,22 @@ def sample_to_sql(clause: ast.SampleClause) -> str:
     return text
 
 
+def versions_to_sql(ref: ast.TableRef) -> str:
+    """Render a table ref's version pin / difference clause.
+
+    Keeps the spelling the query used (``VERSIONS BETWEEN`` vs the
+    ``MINUS`` form) so ``parse ∘ print`` is the identity.
+    """
+    if ref.between:
+        return f" VERSIONS BETWEEN {ref.minus_version} AND {ref.version}"
+    text = ""
+    if ref.version is not None:
+        text += f" AT VERSION {ref.version}"
+    if ref.minus_version is not None:
+        text += f" MINUS AT VERSION {ref.minus_version}"
+    return text
+
+
 def query_to_sql(query: ast.SelectQuery) -> str:
     """Render a full query."""
     parts = []
@@ -131,6 +147,7 @@ def query_to_sql(query: ast.SelectQuery) -> str:
         text = ref.name
         if ref.alias:
             text += f" {ref.alias}"
+        text += versions_to_sql(ref)
         if ref.sample is not None:
             text += " " + sample_to_sql(ref.sample)
         tables.append(text)

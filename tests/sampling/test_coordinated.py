@@ -1,0 +1,153 @@
+"""Coordinated Bernoulli draws and the sampling-family registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sampling import (
+    CoordinatedBernoulli,
+    coordination_seed,
+    family_names,
+    make_family_method,
+    register_family,
+    sql_sample_tags,
+)
+from repro.sampling.base import Draw, SamplingMethod, row_lineage
+from repro.sampling.registry import _REGISTRY
+
+KEYS = np.arange(5_000, dtype=np.int64)
+
+
+class _StubMethod(SamplingMethod):
+    """Minimal registrable family for registry tests."""
+
+    def __init__(self, p):
+        self.p = p
+
+    def draw(self, n_rows, rng):
+        lineage = row_lineage(n_rows)
+        return Draw(mask=np.ones(n_rows, dtype=bool), lineage=lineage)
+
+    def gus(self, relation, n_rows):
+        from repro.core.gus import bernoulli_gus
+
+        return bernoulli_gus(relation, self.p)
+
+    def describe(self):
+        return f"STUB({self.p})"
+
+
+class TestCoordinatedDraws:
+    def test_same_key_and_rate_agree_across_instances(self):
+        """The whole point: any party naming the namespace gets the
+        same per-key decisions — no shared state required."""
+        a = CoordinatedBernoulli(0.3, namespace="fact", salt=7)
+        b = CoordinatedBernoulli(0.3, namespace="fact", salt=7)
+        np.testing.assert_array_equal(a.keep(KEYS), b.keep(KEYS))
+
+    def test_nesting_at_escalating_rates(self):
+        """A higher rate keeps a strict superset of a lower rate's keys
+        (monotone sampling), at every rung of the ladder."""
+        rates = (0.01, 0.05, 0.2, 0.5, 0.9)
+        masks = [
+            CoordinatedBernoulli(p, namespace="fact", salt=3).keep(KEYS)
+            for p in rates
+        ]
+        for lower, higher in zip(masks, masks[1:]):
+            assert not np.any(lower & ~higher)
+        counts = [int(m.sum()) for m in masks]
+        assert counts == sorted(counts)
+
+    def test_at_rate_preserves_the_namespace(self):
+        method = CoordinatedBernoulli(0.5, namespace="fact", salt=11)
+        thinned = method.at_rate(0.1)
+        assert isinstance(thinned, CoordinatedBernoulli)
+        assert (thinned.namespace, thinned.salt) == ("fact", 11)
+        assert not np.any(thinned.keep(KEYS) & ~method.keep(KEYS))
+
+    def test_namespaces_and_salts_decorrelate(self):
+        base = CoordinatedBernoulli(0.5, namespace="fact", salt=0)
+        other_ns = CoordinatedBernoulli(0.5, namespace="dim", salt=0)
+        other_salt = CoordinatedBernoulli(0.5, namespace="fact", salt=1)
+        for other in (other_ns, other_salt):
+            overlap = np.mean(base.keep(KEYS) == other.keep(KEYS))
+            # Independent fair coins agree half the time.
+            assert overlap == pytest.approx(0.5, abs=0.05)
+
+    def test_keep_rate_statistics(self):
+        mask = CoordinatedBernoulli(0.3, namespace="fact").keep(KEYS)
+        assert mask.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_gus_is_plain_bernoulli(self):
+        """A single coordinated sample is an ordinary lineage-keyed
+        Bernoulli filter, so the whole sampling algebra applies."""
+        g = CoordinatedBernoulli(0.25, namespace="fact").gus("fact", 1000)
+        assert g.a == pytest.approx(0.25)
+        assert g.b_of([]) == pytest.approx(0.0625)
+
+    def test_empty_namespace_refused(self):
+        with pytest.raises(ReproError):
+            CoordinatedBernoulli(0.5, namespace="")
+
+    def test_describe_names_the_namespace(self):
+        text = CoordinatedBernoulli(0.1, namespace="fact", salt=9).describe()
+        assert "fact" in text and "COORDINATED" in text
+
+    def test_coordination_seed_is_pure_and_distinct(self):
+        assert coordination_seed("fact", 1) == coordination_seed("fact", 1)
+        assert coordination_seed("fact", 1) != coordination_seed("fact", 2)
+        assert coordination_seed("fact", 1) != coordination_seed("dim", 1)
+
+
+class TestFamilyRegistry:
+    def test_builtins_are_registered_in_order(self):
+        names = family_names()
+        assert names.index("bernoulli") < names.index("coordinated")
+        assert {"lineage-hash", "block", "wor"} <= set(names)
+
+    def test_snapshots_share_a_coordination_namespace(self):
+        """Family instances built for ``t``, ``t@v1``, ``t@v2`` draw the
+        same per-key decisions — versioned scans stay coordinated."""
+        masks = [
+            make_family_method("coordinated", 0.3, relation, 400, 17).keep(
+                KEYS
+            )
+            for relation in ("fact", "fact@v1", "fact@v2")
+        ]
+        np.testing.assert_array_equal(masks[0], masks[1])
+        np.testing.assert_array_equal(masks[0], masks[2])
+
+    def test_duplicate_registration_refused_unless_replaced(self):
+        register_family("test-custom", _StubMethod, enumerated=False)
+        try:
+            with pytest.raises(ReproError):
+                register_family("test-custom", _StubMethod)
+            spec = register_family("test-custom", _StubMethod, replace=True)
+            assert spec.name == "test-custom"
+            method = make_family_method("test-custom", 0.4, "fact", 100, 0)
+            assert isinstance(method, _StubMethod)
+            assert method.p == pytest.approx(0.4)
+        finally:
+            _REGISTRY.pop("test-custom", None)
+
+    def test_enumerated_only_filter(self):
+        register_family("test-hidden", _StubMethod, enumerated=False)
+        try:
+            assert "test-hidden" in family_names()
+            assert "test-hidden" not in family_names(enumerated_only=True)
+        finally:
+            _REGISTRY.pop("test-hidden", None)
+
+    def test_sql_sample_tags_cover_the_surface(self):
+        tags = sql_sample_tags()
+        assert set(tags) == {
+            "percent",
+            "percent-repeatable",
+            "rows",
+            "system",
+        }
+        # Coordinated shares lineage-hash's surface form, so the tag
+        # list stays deduplicated.
+        assert len(tags) == len(set(tags))

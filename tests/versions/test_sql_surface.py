@@ -1,0 +1,159 @@
+"""SQL surface of versioned queries: round trips and planner rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SQLError
+from repro.relational.database import Database
+from repro.sql.parser import parse
+from repro.sql.printer import query_to_sql
+from repro.relational.plan import Scan
+from repro.versions.plan import VersionDiff
+
+
+def scan_names(plan) -> set[str]:
+    names, stack = set(), [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Scan):
+            names.add(node.table_name)
+        stack.extend(node.children)
+    return names
+
+
+@pytest.fixture
+def vdb() -> Database:
+    db = Database(seed=7)
+    db.create_table(
+        "fact",
+        {
+            "cat": np.array([0, 0, 1, 1, 2, 2], dtype=np.int64),
+            "val": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        },
+    )
+    db.create_table(
+        "dim", {"grp": np.array([0, 1, 2], dtype=np.int64)}
+    )
+    db.update_table(
+        "fact",
+        db.table("fact").with_columns(
+            {"val": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 60.0])}
+        ),
+    )
+    db.snapshot("fact")  # v1 = original, v2 = live contents
+    return db
+
+
+ROUND_TRIP = [
+    "SELECT SUM(val) AS s\nFROM fact AT VERSION 2",
+    "SELECT SUM(val) AS s\nFROM fact AT VERSION 2 MINUS AT VERSION 1",
+    "SELECT SUM(val) AS s\nFROM fact MINUS AT VERSION 1",
+    "SELECT SUM(val) AS s\nFROM fact VERSIONS BETWEEN 1 AND 2",
+    "SELECT SUM(val) AS s\n"
+    "FROM fact AT VERSION 2 MINUS AT VERSION 1 "
+    "TABLESAMPLE (10 PERCENT) REPEATABLE (7)",
+    "SELECT SUM(val) AS s, COUNT(*) AS n\n"
+    "FROM fact MINUS AT VERSION 1\nWHERE val > 2\nGROUP BY cat\n"
+    "HAVING s > 0",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("statement", ROUND_TRIP)
+    def test_parse_print_fixed_point(self, statement):
+        query = parse(statement)
+        printed = query_to_sql(query)
+        assert parse(printed) == query
+        assert query_to_sql(parse(printed)) == printed
+
+    def test_between_spelling_is_preserved(self):
+        query = parse("SELECT SUM(val) AS s\nFROM fact VERSIONS BETWEEN 1 AND 2")
+        ref = query.tables[0]
+        assert (ref.version, ref.minus_version, ref.between) == (2, 1, True)
+        assert "VERSIONS BETWEEN 1 AND 2" in query_to_sql(query)
+
+    def test_live_minus_form(self):
+        ref = parse(
+            "SELECT SUM(val) AS s\nFROM fact MINUS AT VERSION 1"
+        ).tables[0]
+        assert ref.version is None
+        assert ref.minus_version == 1
+        assert ref.is_diff
+
+    def test_internal_names_do_not_lex(self):
+        with pytest.raises(SQLError):
+            parse('SELECT SUM(val) AS s\nFROM "fact@v1"')
+        with pytest.raises(SQLError):
+            parse("SELECT SUM(val) AS s\nFROM fact@v1")
+
+
+class TestPlanner:
+    def test_versioned_scan_plans_to_internal_name(self, vdb):
+        plan = vdb.plan_sql("SELECT SUM(val) AS s\nFROM fact AT VERSION 1")
+        assert scan_names(plan) == {"fact@v1"}
+
+    def test_diff_plans_to_version_diff(self, vdb):
+        plan = vdb.plan_sql(
+            "SELECT SUM(val) AS s\n"
+            "FROM fact AT VERSION 2 MINUS AT VERSION 1 "
+            "TABLESAMPLE (20 PERCENT) REPEATABLE (5)"
+        )
+        assert isinstance(plan, VersionDiff)
+        assert plan.base == "fact"
+        assert (plan.hi_version, plan.lo_version) == (2, 1)
+        assert plan.rate == pytest.approx(0.2)
+        assert plan.seed == 5
+
+    def test_unknown_version_rejected(self, vdb):
+        with pytest.raises(SQLError, match="no snapshot version"):
+            vdb.plan_sql("SELECT SUM(val) AS s\nFROM fact AT VERSION 9")
+
+    def test_avg_over_diff_rejected(self, vdb):
+        with pytest.raises(SQLError, match="ratio"):
+            vdb.plan_sql(
+                "SELECT AVG(val) AS a\nFROM fact MINUS AT VERSION 1"
+            )
+
+    def test_diff_sample_must_be_repeatable_percent(self, vdb):
+        with pytest.raises(SQLError, match="REPEATABLE"):
+            vdb.plan_sql(
+                "SELECT SUM(val) AS s\nFROM fact MINUS AT VERSION 1 "
+                "TABLESAMPLE (20 PERCENT)"
+            )
+        with pytest.raises(SQLError, match="REPEATABLE"):
+            vdb.plan_sql(
+                "SELECT SUM(val) AS s\nFROM fact MINUS AT VERSION 1 "
+                "TABLESAMPLE (5 ROWS)"
+            )
+
+    def test_diff_refuses_budget_and_explain_sampling(self, vdb):
+        with pytest.raises(SQLError, match="closed-form"):
+            vdb.plan_sql(
+                "SELECT SUM(val) AS s\nFROM fact MINUS AT VERSION 1\n"
+                "WITHIN 10 % CONFIDENCE 0.95"
+            )
+        with pytest.raises(SQLError, match="closed-form"):
+            vdb.plan_sql(
+                "EXPLAIN SAMPLING SELECT SUM(val) AS s\n"
+                "FROM fact MINUS AT VERSION 1"
+            )
+
+    def test_same_base_twice_points_to_minus_syntax(self, vdb):
+        with pytest.raises(SQLError, match="MINUS AT VERSION"):
+            vdb.plan_sql(
+                "SELECT SUM(val) AS s\n"
+                "FROM fact AT VERSION 1, fact AT VERSION 2"
+            )
+
+    def test_diff_requires_aggregates(self, vdb):
+        with pytest.raises(SQLError):
+            vdb.plan_sql("SELECT val AS v\nFROM fact MINUS AT VERSION 1")
+
+    def test_versioned_scan_joins_like_any_table(self, vdb):
+        plan = vdb.plan_sql(
+            "SELECT SUM(val) AS s\nFROM fact AT VERSION 1, dim\n"
+            "WHERE cat = grp"
+        )
+        assert scan_names(plan) == {"fact@v1", "dim"}
